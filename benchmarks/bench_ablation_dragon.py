@@ -1,0 +1,11 @@
+"""Ablation: Dragon's second-order model terms.
+
+    Extension verifying the Section 2.2.4 remark that cache-supplied
+    misses and cycle stealing barely matter.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_dragon(benchmark):
+    run_and_report(benchmark, "ablation-dragon-small-terms")

@@ -1,0 +1,10 @@
+"""Ablation: replay-order distortion.
+
+    Extension quantifying the Section 3 reference-order distortion.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_order(benchmark):
+    run_and_report(benchmark, "ablation-replay-order", fast=True)

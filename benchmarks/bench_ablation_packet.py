@@ -1,0 +1,10 @@
+"""Ablation: packet switching favours No-Cache.
+
+    Extension quantifying the paper's Section 6.3 conjecture.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_packet(benchmark):
+    run_and_report(benchmark, "ablation-packet-switching")

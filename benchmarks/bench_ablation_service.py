@@ -1,0 +1,11 @@
+"""Extension: exponential vs measured-mixture bus service times.
+
+Probes the paper's own explanation of its model error (Section 3) by
+solving the bus with the exact service variance of the operation mix.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_service_model(benchmark):
+    run_and_report(benchmark, "ablation-service-model", fast=True)

@@ -1,0 +1,10 @@
+"""Extension: why Dragon — the write-through-invalidate comparison.
+
+Quantifies the paper's reliance on Archibald & Baer's protocol survey.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_why_dragon(benchmark):
+    run_and_report(benchmark, "ablation-why-dragon", fast=True)

@@ -1,0 +1,11 @@
+"""Extension: cache block size, simulated end to end.
+
+The model holds miss rates constant by design; the simulator lets
+block size act on both miss rates and transfer costs.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_extension_block_size(benchmark):
+    run_and_report(benchmark, "extension-block-size", fast=True)

@@ -1,0 +1,11 @@
+"""Extension: Software-Flush (low range) vs a full-map directory.
+
+Makes the paper's Section 6.3 remark checkable: at the low parameter
+range the two schemes' network processing powers agree within 10%.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_extension_directory(benchmark):
+    run_and_report(benchmark, "extension-directory-vs-flush")

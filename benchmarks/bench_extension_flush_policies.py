@@ -1,0 +1,11 @@
+"""Extension: compiler flush-placement policies, measured.
+
+Replays one reference stream under eager / section / oracle flush
+placement and measures the achieved apl and processing power.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_extension_flush_policies(benchmark):
+    run_and_report(benchmark, "extension-flush-policies", fast=True)

@@ -1,0 +1,11 @@
+"""Extension: the cost of process migration.
+
+The paper's traces contain none; this quantifies what that omission
+hides (cold-cache refills after every migration).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_extension_migration(benchmark):
+    run_and_report(benchmark, "extension-migration", fast=True)

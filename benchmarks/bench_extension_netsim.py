@@ -1,0 +1,11 @@
+"""Extension: validate Patel's network model by flit-level simulation.
+
+Provides the validation the paper notes is missing for its Section 6
+network model.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_extension_network_validation(benchmark):
+    run_and_report(benchmark, "extension-network-validation", fast=True)

@@ -1,0 +1,11 @@
+"""Extension: write-update (Dragon) vs write-invalidate (directory).
+
+Runs both engines on identical traces and checks the mechanism-level
+facts (invalidation adds misses; powers stay comparable here).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_extension_update_vs_invalidate(benchmark):
+    run_and_report(benchmark, "extension-update-vs-invalidate", fast=True)

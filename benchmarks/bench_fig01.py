@@ -1,0 +1,12 @@
+"""Figure 1: model vs simulation, Base and Dragon at 64K.
+
+    Trace-driven validation on the three ATUM-like workloads at 1-4
+    processors; the model must track the simulator within 10% and
+    capture the Base-over-Dragon gap.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig01(benchmark):
+    run_and_report(benchmark, "figure1", fast=True)

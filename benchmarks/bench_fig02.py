@@ -1,0 +1,10 @@
+"""Figure 2: Dragon across cache sizes, <=4 CPUs.
+
+    16K/64K/256K caches on the pops-like trace.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig02(benchmark):
+    run_and_report(benchmark, "figure2", fast=True)

@@ -1,0 +1,11 @@
+"""Figure 3: Dragon across cache sizes, <=8 CPUs.
+
+    The 8-processor pero-like trace; the error budget is 20% here (see
+    EXPERIMENTS.md on burstiness).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig03(benchmark):
+    run_and_report(benchmark, "figure3", fast=True)

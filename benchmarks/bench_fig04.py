@@ -1,0 +1,11 @@
+"""Figure 4: schemes at low sharing.
+
+    Processing power vs processors, ls/shd low: all schemes close to
+    ideal; No-Cache viable.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig04(benchmark):
+    run_and_report(benchmark, "figure4")

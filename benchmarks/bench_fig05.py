@@ -1,0 +1,11 @@
+"""Figure 5: schemes at middle sharing.
+
+    Dragon near Base; Software-Flush flattens past ~10 processors;
+    No-Cache saturates the bus.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig05(benchmark):
+    run_and_report(benchmark, "figure5")

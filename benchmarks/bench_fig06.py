@@ -1,0 +1,11 @@
+"""Figure 6: schemes at high sharing.
+
+    No-Cache saturates below power 2, Software-Flush below 5, Dragon
+    keeps most of Base's power.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig06(benchmark):
+    run_and_report(benchmark, "figure6")

@@ -1,0 +1,11 @@
+"""Figure 7: effect of apl.
+
+    apl=1 pushes Software-Flush below No-Cache; apl=100 reaches
+    Dragon.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig07(benchmark):
+    run_and_report(benchmark, "figure7")

@@ -1,0 +1,10 @@
+"""Figure 8: power vs apl, low sharing.
+
+    Steep at low apl, plateau reached early.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig08(benchmark):
+    run_and_report(benchmark, "figure8")

@@ -1,0 +1,10 @@
+"""Figure 9: power vs apl, middle sharing.
+
+    Still sensitive to apl at high values.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig09(benchmark):
+    run_and_report(benchmark, "figure9")

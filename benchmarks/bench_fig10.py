@@ -1,0 +1,12 @@
+"""Figure 10: buses versus networks.
+
+    The network overtakes the bus where the bus saturates; both
+    software schemes scale on the network; Software-Flush stays more
+    efficient than No-Cache under circuit switching.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig10(benchmark):
+    run_and_report(benchmark, "figure10")

@@ -1,0 +1,12 @@
+"""Figure 11: 256-processor network utilisation map.
+
+    Utilisation vs unit-request rate for message sizes 1-16 words plus
+    the nine B/S/N x l/m/h scheme points; checks the halved-at-60%%
+    claim and the two performance classes.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig11(benchmark):
+    run_and_report(benchmark, "figure11")

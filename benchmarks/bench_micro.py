@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the substrates.
+
+Not paper artefacts: these track the cost of the building blocks so
+performance regressions in the solvers, the generator, or the
+simulator surface in benchmark history.
+"""
+
+import pytest
+
+from repro.core import ALL_SCHEMES, BusSystem, NetworkSystem, WorkloadParams
+from repro.queueing import DeltaNetwork, closed_loop_utilization, solve_machine_repairman
+from repro.sim import Machine, SimulationConfig
+from repro.trace import TraceConfig, generate_trace
+
+MIDDLE = WorkloadParams.middle()
+
+
+def test_mva_solver(benchmark):
+    benchmark(solve_machine_repairman, 64, 20.0, 1.5)
+
+
+def test_delta_fixed_point(benchmark):
+    network = DeltaNetwork(stages=10)
+    benchmark(closed_loop_utilization, network, 0.6)
+
+
+def test_bus_evaluation_all_schemes(benchmark):
+    bus = BusSystem()
+
+    def evaluate_all():
+        for scheme in ALL_SCHEMES:
+            bus.evaluate(scheme, MIDDLE, processors=16)
+
+    benchmark(evaluate_all)
+
+
+def test_network_evaluation(benchmark):
+    network = NetworkSystem(8)
+    from repro.core import SOFTWARE_FLUSH
+
+    benchmark(network.evaluate, SOFTWARE_FLUSH, MIDDLE)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_trace(TraceConfig(cpus=4, records_per_cpu=10_000, seed=1))
+
+
+def test_trace_generation(benchmark):
+    config = TraceConfig(cpus=4, records_per_cpu=5_000, seed=1)
+    benchmark.pedantic(generate_trace, args=(config,), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("protocol", ["base", "dragon", "nocache", "swflush"])
+def test_simulator_throughput(benchmark, small_trace, protocol):
+    machine = Machine(protocol, SimulationConfig())
+    result = benchmark.pedantic(
+        machine.run, args=(small_trace,), rounds=3, iterations=1
+    )
+    assert result.instructions > 0

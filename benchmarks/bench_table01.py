@@ -1,0 +1,12 @@
+"""Table 1: system model operation costs.
+
+    The published CPU/bus cycle table is rebuilt from machine
+    primitives (block transfers, memory latency, miss processing) and
+    must match all 11 published entries.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table01(benchmark):
+    run_and_report(benchmark, "table1")

@@ -1,0 +1,11 @@
+"""Table 7: workload parameter ranges.
+
+    Regenerates the low/middle/high parameter table, including the
+    1/apl presentation the paper uses.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table07(benchmark):
+    run_and_report(benchmark, "table7")

@@ -1,0 +1,13 @@
+"""Table 8: sensitivity analysis.
+
+    Varies each workload parameter low-to-high (others at middle) at 16
+    processors and reports the percent change in execution time.
+    Checks the prose ordering: apl >> shd > ls > miss rate for
+    Software-Flush; miss rate dominant for Dragon; wr second-order.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table08(benchmark):
+    run_and_report(benchmark, "table8")

@@ -1,0 +1,11 @@
+"""Table 9: network system model.
+
+    Rebuilds the n-stage network timing table and checks the published
+    6+2n / 9+2n / ... formulas.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table09(benchmark):
+    run_and_report(benchmark, "table9")

@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one paper table or figure:
+
+* it runs the registered experiment under ``pytest-benchmark`` (so the
+  cost of regenerating each artefact is tracked),
+* asserts every shape check the experiment encodes,
+* and writes the rendered text report to ``reports/<experiment>.txt``
+  so the regenerated rows/series can be compared with the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentResult, get_experiment
+
+REPORTS_DIR = Path(__file__).resolve().parent.parent / "reports"
+
+
+def run_and_report(
+    benchmark, experiment_id: str, rounds: int = 1, **kwargs
+) -> ExperimentResult:
+    """Benchmark one experiment, save its report, assert its checks."""
+    experiment = get_experiment(experiment_id)
+    result = benchmark.pedantic(
+        lambda: experiment.run(**kwargs), rounds=rounds, iterations=1
+    )
+    REPORTS_DIR.mkdir(exist_ok=True)
+    report_path = REPORTS_DIR / f"{experiment_id}.txt"
+    report_path.write_text(result.render() + "\n", encoding="utf-8")
+    failed = [check for check in result.checks if not check.passed]
+    assert not failed, [f"{c.name}: {c.detail}" for c in failed]
+    return result
+
+
+@pytest.fixture()
+def reports_dir() -> Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR

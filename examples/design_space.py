@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Design-space study: when is software coherence good enough?
+
+The paper's headline advice is that software schemes are viable only
+in favourable regions of the workload space — "it is essential to
+consider the characteristics of the expected workload".  This example
+maps that region: over a (shd, apl) grid it marks where each software
+scheme stays within a tolerance of the Dragon snoopy hardware, the
+design alternative it would replace.
+
+Run:  python examples/design_space.py [processors] [tolerance]
+"""
+
+import sys
+
+from repro import (
+    DRAGON,
+    NO_CACHE,
+    SOFTWARE_FLUSH,
+    BusSystem,
+    WorkloadParams,
+)
+
+SHD_GRID = (0.02, 0.05, 0.08, 0.12, 0.18, 0.25, 0.33, 0.42)
+APL_GRID = (1, 2, 4, 8, 16, 32, 64)
+
+
+def classify(bus, shd, apl, processors, tolerance):
+    """One cell: which schemes are within tolerance of Dragon?"""
+    params = WorkloadParams.middle(shd=shd, apl=float(apl))
+    dragon = bus.evaluate(DRAGON, params, processors).processing_power
+    flush = bus.evaluate(SOFTWARE_FLUSH, params, processors).processing_power
+    nocache = bus.evaluate(NO_CACHE, params, processors).processing_power
+    flush_ok = flush >= (1.0 - tolerance) * dragon
+    nocache_ok = nocache >= (1.0 - tolerance) * dragon
+    if nocache_ok and flush_ok:
+        return "B"   # both software schemes suffice
+    if flush_ok:
+        return "F"   # Software-Flush suffices
+    if nocache_ok:
+        return "N"   # only No-Cache (rare: needs tiny sharing)
+    return "."       # hardware wins
+
+
+def main() -> None:
+    processors = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    tolerance = float(sys.argv[2]) if len(sys.argv) > 2 else 0.15
+    bus = BusSystem()
+
+    print(
+        f"Software coherence within {tolerance:.0%} of Dragon on a "
+        f"{processors}-processor bus (other parameters at Table 7 middle)"
+    )
+    print()
+    print("         apl ->" + "".join(f"{apl:>6d}" for apl in APL_GRID))
+    for shd in SHD_GRID:
+        row = "".join(
+            f"{classify(bus, shd, apl, processors, tolerance):>6s}"
+            for apl in APL_GRID
+        )
+        print(f"shd={shd:5.2f}     {row}")
+    print()
+    print("B = Software-Flush and No-Cache both viable, "
+          "F = Software-Flush only, . = use hardware")
+
+    # Where exactly does Software-Flush stop being viable at middle apl?
+    params_apl = WorkloadParams.middle().apl
+    lo, hi = 0.0, 1.0
+    for _ in range(40):
+        mid = (lo + hi) / 2
+        params = WorkloadParams.middle(shd=mid)
+        dragon = bus.evaluate(DRAGON, params, processors).processing_power
+        flush = bus.evaluate(
+            SOFTWARE_FLUSH, params, processors
+        ).processing_power
+        if flush >= (1.0 - tolerance) * dragon:
+            lo = mid
+        else:
+            hi = mid
+    print()
+    print(
+        f"At apl={params_apl:.1f}, Software-Flush stays within "
+        f"{tolerance:.0%} of Dragon up to shd = {lo:.3f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: predict coherence-scheme performance on a bus machine.
+
+The 60-second tour of the public API: build the paper's bus machine,
+pick a workload (Table 7 middle values), and compare the four
+cache-coherence schemes at a few system sizes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ALL_SCHEMES, BusSystem, WorkloadParams
+
+
+def main() -> None:
+    bus = BusSystem()  # the paper's Table 1 machine (4-word blocks)
+    params = WorkloadParams.middle()  # Table 7 middle values
+
+    print("Workload: Table 7 middle values "
+          f"(ls={params.ls}, shd={params.shd}, apl={params.apl:.1f})")
+    print()
+
+    sizes = (1, 4, 8, 16)
+    header = f"{'scheme':16s}" + "".join(f"  n={n:<7d}" for n in sizes)
+    print(header)
+    print("-" * len(header))
+    for scheme in ALL_SCHEMES:
+        cells = []
+        for processors in sizes:
+            prediction = bus.evaluate(scheme, params, processors)
+            cells.append(f"{prediction.processing_power:9.2f}")
+        print(f"{scheme.name:16s}" + " ".join(cells))
+
+    print()
+    print("Processing power = processors x utilization; the dotted "
+          "'ideal' line of the paper's figures would read "
+          + ", ".join(str(n) for n in sizes) + ".")
+
+    # Each prediction also exposes its internals:
+    prediction = bus.evaluate(ALL_SCHEMES[2], params, 16)  # Software-Flush
+    print()
+    print(f"{prediction.scheme} at n=16 in detail:")
+    print(f"  c (CPU cycles/instr)     = {prediction.cost.cpu_cycles:.3f}")
+    print(f"  b (bus cycles/instr)     = {prediction.cost.channel_cycles:.3f}")
+    print(f"  w (contention cycles)    = {prediction.waiting_cycles:.3f}")
+    print(f"  U = 1/(c+w)              = {prediction.utilization:.3f}")
+    print(f"  bus utilization          = {prediction.bus_utilization:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Reproduction of Owicki & Agarwal (ASPLOS 1989).
+
+``repro`` implements the analytical performance model of software cache
+coherence from *Evaluating the Performance of Software Cache Coherence*
+(Susan Owicki and Anant Agarwal, ASPLOS III, 1989), together with every
+substrate the paper depends on:
+
+* :mod:`repro.core` — the analytical model: system model (operation
+  costs), workload models for the Base / No-Cache / Software-Flush /
+  Dragon coherence schemes, and the bus and multistage-network
+  contention models.
+* :mod:`repro.queueing` — exact MVA and Patel's delta-network model.
+* :mod:`repro.trace` — synthetic multiprocessor address traces
+  (standing in for the paper's ATUM-2 traces).
+* :mod:`repro.sim` — a trace-driven multiprocessor cache-and-bus
+  simulator used to validate the model (paper Section 3).
+* :mod:`repro.experiments` — regeneration of every paper table and
+  figure.
+
+Quickstart::
+
+    from repro import BusSystem, WorkloadParams, ALL_SCHEMES
+
+    bus = BusSystem()
+    params = WorkloadParams.middle()
+    for scheme in ALL_SCHEMES:
+        print(scheme.name, bus.evaluate(scheme, params, 16).processing_power)
+"""
+
+from repro.core import (
+    ALL_SCHEMES,
+    BASE,
+    DIRECTORY,
+    DRAGON,
+    NO_CACHE,
+    PARAMETER_RANGES,
+    SOFTWARE_FLUSH,
+    BufferedNetworkSystem,
+    BusPrediction,
+    BusSystem,
+    CoherenceScheme,
+    CostTable,
+    InstructionCost,
+    NetworkPrediction,
+    NetworkSystem,
+    Operation,
+    OperationCost,
+    UnsupportedSchemeError,
+    WorkloadParams,
+    instruction_cost,
+    scheme_by_name,
+    sensitivity_table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SCHEMES",
+    "BASE",
+    "DIRECTORY",
+    "DRAGON",
+    "NO_CACHE",
+    "PARAMETER_RANGES",
+    "SOFTWARE_FLUSH",
+    "BufferedNetworkSystem",
+    "BusPrediction",
+    "BusSystem",
+    "CoherenceScheme",
+    "CostTable",
+    "InstructionCost",
+    "NetworkPrediction",
+    "NetworkSystem",
+    "Operation",
+    "OperationCost",
+    "UnsupportedSchemeError",
+    "WorkloadParams",
+    "__version__",
+    "instruction_cost",
+    "scheme_by_name",
+    "sensitivity_table",
+]

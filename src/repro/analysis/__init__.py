@@ -1,0 +1,35 @@
+"""Design-space analysis on top of the performance models.
+
+Extension package (not part of the paper's artefacts, but in its
+spirit): utilities that *invert* the models to answer design
+questions — where schemes cross over, which workload regions make
+software coherence viable, and how closely the model tracks the
+simulator.
+
+* :mod:`repro.analysis.crossover` — find parameter values where one
+  scheme's performance crosses another's (e.g. the ``apl`` a compiler
+  must achieve for Software-Flush to match Dragon).
+* :mod:`repro.analysis.frontier` — classify a workload-parameter grid
+  by which schemes are viable (the design-space maps of
+  ``examples/design_space.py``).
+* :mod:`repro.analysis.errors` — error statistics for
+  model-versus-simulation validation.
+"""
+
+from repro.analysis.crossover import (
+    required_apl,
+    required_parameter,
+    scheme_crossover,
+)
+from repro.analysis.errors import ErrorSummary, error_summary
+from repro.analysis.frontier import FrontierCell, viability_frontier
+
+__all__ = [
+    "ErrorSummary",
+    "FrontierCell",
+    "error_summary",
+    "required_apl",
+    "required_parameter",
+    "scheme_crossover",
+    "viability_frontier",
+]

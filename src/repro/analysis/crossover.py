@@ -1,0 +1,133 @@
+"""Crossover search: invert the model over one workload parameter.
+
+The paper reads its figures for crossings ("Software-Flush can be
+better than Dragon or worse than No-Cache"); these helpers locate the
+crossings numerically.  All searches are bisections and assume the
+compared quantity is monotone in the varied parameter over the given
+bracket — true for every parameter/scheme pair in the model (tested in
+``tests/analysis``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.bus import BusSystem
+from repro.core.params import WorkloadParams
+from repro.core.schemes import DRAGON, SOFTWARE_FLUSH, CoherenceScheme
+
+__all__ = ["required_apl", "required_parameter", "scheme_crossover"]
+
+_BISECTION_STEPS = 80
+
+
+def required_parameter(
+    predicate: Callable[[float], bool],
+    low: float,
+    high: float,
+    rising: bool = True,
+    geometric: bool = False,
+) -> float | None:
+    """Smallest value in ``[low, high]`` satisfying ``predicate``.
+
+    Args:
+        predicate: monotone condition on the parameter; must be False
+            at ``low`` and True at ``high`` when ``rising`` (the
+            reverse otherwise), or be constant.
+        low: bracket start (``> 0`` when ``geometric``).
+        high: bracket end.
+        rising: True if the predicate flips False→True as the value
+            grows.
+        geometric: bisect in log space (natural for scale parameters
+            like ``apl``).
+
+    Returns:
+        The threshold, or None if the predicate never becomes True in
+        the bracket.
+    """
+    if low > high:
+        raise ValueError(f"empty bracket [{low}, {high}]")
+    if geometric and low <= 0.0:
+        raise ValueError("geometric search needs a positive bracket")
+
+    at_high = predicate(high) if rising else predicate(low)
+    if not at_high:
+        return None
+    at_low = predicate(low) if rising else predicate(high)
+    if at_low:
+        return low if rising else high
+
+    for _ in range(_BISECTION_STEPS):
+        middle = (low * high) ** 0.5 if geometric else 0.5 * (low + high)
+        satisfied = predicate(middle)
+        if satisfied == rising:
+            high = middle
+        else:
+            low = middle
+    return high if rising else low
+
+
+def required_apl(
+    shd: float,
+    processors: int,
+    target_fraction: float = 0.9,
+    reference: CoherenceScheme = DRAGON,
+    bus: BusSystem | None = None,
+    max_apl: float = 10_000.0,
+) -> float | None:
+    """Minimum ``apl`` for Software-Flush to reach a target.
+
+    Answers the paper's closing compiler question: how many references
+    between flushes must flush placement achieve before Software-Flush
+    reaches ``target_fraction`` of the reference scheme's processing
+    power?
+
+    Returns:
+        The threshold ``apl``, or None if even ``max_apl`` falls short.
+    """
+    bus = bus if bus is not None else BusSystem()
+    params = WorkloadParams.middle(shd=shd)
+    goal = (
+        target_fraction
+        * bus.evaluate(reference, params, processors).processing_power
+    )
+
+    def reaches_goal(apl: float) -> bool:
+        flush = bus.evaluate(
+            SOFTWARE_FLUSH, params.replace(apl=apl), processors
+        )
+        return flush.processing_power >= goal
+
+    return required_parameter(
+        reaches_goal, 1.0, max_apl, rising=True, geometric=True
+    )
+
+
+def scheme_crossover(
+    first: CoherenceScheme,
+    second: CoherenceScheme,
+    parameter: str,
+    low: float,
+    high: float,
+    processors: int = 16,
+    bus: BusSystem | None = None,
+    base_params: WorkloadParams | None = None,
+) -> float | None:
+    """Parameter value where ``first`` stops beating ``second``.
+
+    Varies one workload parameter over ``[low, high]`` (all others at
+    ``base_params``, default Table 7 middle) and returns the smallest
+    value at which ``first``'s processing power drops to or below
+    ``second``'s.  None if ``first`` wins over the whole bracket;
+    ``low`` if it never wins.
+    """
+    bus = bus if bus is not None else BusSystem()
+    params = base_params if base_params is not None else WorkloadParams.middle()
+
+    def second_wins(value: float) -> bool:
+        point = params.replace(**{parameter: value})
+        first_power = bus.evaluate(first, point, processors).processing_power
+        second_power = bus.evaluate(second, point, processors).processing_power
+        return second_power >= first_power
+
+    return required_parameter(second_wins, low, high, rising=True)

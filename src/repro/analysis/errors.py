@@ -1,0 +1,64 @@
+"""Error statistics for model-versus-simulation validation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ErrorSummary", "error_summary"]
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate error of model predictions against measurements.
+
+    All errors are relative: ``(predicted - measured) / measured``.
+
+    Attributes:
+        count: number of (predicted, measured) pairs.
+        mean_absolute: mean of ``|relative error|`` (MAPE as fraction).
+        max_absolute: worst ``|relative error|``.
+        bias: mean signed relative error; positive means the model is
+            optimistic (predicts more performance than measured).
+        root_mean_square: RMS of the relative errors.
+    """
+
+    count: int
+    mean_absolute: float
+    max_absolute: float
+    bias: float
+    root_mean_square: float
+
+
+def error_summary(
+    predicted: Sequence[float], measured: Sequence[float]
+) -> ErrorSummary:
+    """Summarise relative errors of predictions against measurements.
+
+    Raises:
+        ValueError: on length mismatch, empty input, or a zero
+            measurement (relative error undefined).
+    """
+    if len(predicted) != len(measured):
+        raise ValueError(
+            f"length mismatch: {len(predicted)} predictions vs "
+            f"{len(measured)} measurements"
+        )
+    if not predicted:
+        raise ValueError("cannot summarise zero points")
+    errors = []
+    for prediction, measurement in zip(predicted, measured):
+        if measurement == 0.0:
+            raise ValueError("measured value of 0 has no relative error")
+        errors.append((prediction - measurement) / measurement)
+    absolute = [abs(error) for error in errors]
+    return ErrorSummary(
+        count=len(errors),
+        mean_absolute=sum(absolute) / len(errors),
+        max_absolute=max(absolute),
+        bias=sum(errors) / len(errors),
+        root_mean_square=math.sqrt(
+            sum(error * error for error in errors) / len(errors)
+        ),
+    )

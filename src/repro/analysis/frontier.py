@@ -1,0 +1,107 @@
+"""Viability frontier: where is software coherence good enough?
+
+Classifies a grid of workload points by which software schemes stay
+within a tolerance of a hardware reference (Dragon by default) — the
+paper's central design question, made executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.bus import BusSystem
+from repro.core.params import WorkloadParams
+from repro.core.schemes import DRAGON, NO_CACHE, SOFTWARE_FLUSH, CoherenceScheme
+
+__all__ = ["FrontierCell", "viability_frontier"]
+
+
+@dataclass(frozen=True)
+class FrontierCell:
+    """One grid point of the viability map.
+
+    Attributes:
+        shd: sharing level at this point.
+        apl: references per flush at this point.
+        reference_power: the hardware scheme's processing power.
+        flush_power: Software-Flush's processing power.
+        nocache_power: No-Cache's processing power.
+        flush_viable: Software-Flush within tolerance of the reference.
+        nocache_viable: No-Cache within tolerance of the reference.
+    """
+
+    shd: float
+    apl: float
+    reference_power: float
+    flush_power: float
+    nocache_power: float
+    flush_viable: bool
+    nocache_viable: bool
+
+    @property
+    def label(self) -> str:
+        """Single-character map label: B, F, N, or '.'."""
+        if self.flush_viable and self.nocache_viable:
+            return "B"
+        if self.flush_viable:
+            return "F"
+        if self.nocache_viable:
+            return "N"
+        return "."
+
+
+def viability_frontier(
+    shd_values: Sequence[float],
+    apl_values: Sequence[float],
+    processors: int = 16,
+    tolerance: float = 0.15,
+    reference: CoherenceScheme = DRAGON,
+    bus: BusSystem | None = None,
+    base_params: WorkloadParams | None = None,
+) -> list[list[FrontierCell]]:
+    """Grid of :class:`FrontierCell`, rows by ``shd``, columns by ``apl``.
+
+    Args:
+        shd_values: sharing levels (row axis).
+        apl_values: references-per-flush values (column axis).
+        processors: bus size evaluated.
+        tolerance: a software scheme is *viable* if its processing
+            power is at least ``(1 - tolerance)`` of the reference's.
+        reference: the hardware scheme being matched.
+        bus: machine model (default Table 1).
+        base_params: all other parameters (default Table 7 middle).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    bus = bus if bus is not None else BusSystem()
+    base = base_params if base_params is not None else WorkloadParams.middle()
+
+    rows = []
+    for shd in shd_values:
+        row = []
+        for apl in apl_values:
+            params = base.replace(shd=shd, apl=float(apl))
+            reference_power = bus.evaluate(
+                reference, params, processors
+            ).processing_power
+            flush_power = bus.evaluate(
+                SOFTWARE_FLUSH, params, processors
+            ).processing_power
+            nocache_power = bus.evaluate(
+                NO_CACHE, params, processors
+            ).processing_power
+            floor = (1.0 - tolerance) * reference_power
+            row.append(
+                FrontierCell(
+                    shd=shd,
+                    apl=float(apl),
+                    reference_power=reference_power,
+                    flush_power=flush_power,
+                    nocache_power=nocache_power,
+                    flush_viable=flush_power >= floor,
+                    nocache_viable=nocache_power >= floor,
+                )
+            )
+        rows.append(row)
+    return rows

@@ -1,0 +1,337 @@
+"""Command-line interface: ``python -m repro`` or the ``swcc`` script.
+
+Subcommands:
+
+* ``list`` — show every registered experiment.
+* ``run <id> [...]`` — run experiments and print their text reports
+  (``--fast`` shrinks the trace-driven ones; ``all`` runs everything).
+* ``params <workload>`` — generate a synthetic trace and print its
+  measured workload parameters next to Table 7's ranges.
+* ``predict`` — one-off model evaluation for a scheme/machine/size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import (
+    PARAMETER_RANGES,
+    BusSystem,
+    NetworkSystem,
+    WorkloadParams,
+    scheme_by_name,
+)
+
+__all__ = ["main"]
+
+
+def _command_list(_: argparse.Namespace) -> int:
+    from repro.experiments import list_experiments
+
+    for experiment in list_experiments():
+        print(
+            f"{experiment.experiment_id:28s} [{experiment.paper_ref:18s}] "
+            f"{experiment.title}"
+        )
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    from repro.experiments import get_experiment, list_experiments
+
+    if "all" in args.experiment:
+        experiments = list_experiments()
+    else:
+        experiments = [get_experiment(name) for name in args.experiment]
+    failed = []
+    for experiment in experiments:
+        result = experiment.run(fast=args.fast)
+        print(result.render())
+        print()
+        if args.csv_dir:
+            _write_csv(result, args.csv_dir)
+        if not result.all_checks_pass:
+            failed.append(experiment.experiment_id)
+    if failed:
+        print(f"shape checks FAILED in: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _write_csv(result, csv_dir: str) -> None:
+    """Dump an experiment's series and tables as CSV files."""
+    import csv
+    from pathlib import Path
+
+    directory = Path(csv_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    if result.series:
+        from repro.experiments.report import series_table
+
+        table = series_table(result.series, result.xlabel or "x")
+        path = directory / f"{result.experiment_id}_series.csv"
+        with open(path, "w", newline="", encoding="utf-8") as stream:
+            writer = csv.writer(stream)
+            writer.writerow(table.headers)
+            writer.writerows(table.rows)
+        print(f"wrote {path}")
+    for index, table in enumerate(result.tables):
+        path = directory / f"{result.experiment_id}_table{index}.csv"
+        with open(path, "w", newline="", encoding="utf-8") as stream:
+            writer = csv.writer(stream)
+            writer.writerow(table.headers)
+            writer.writerows(table.rows)
+        print(f"wrote {path}")
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    """Run every experiment and write a consolidated markdown summary."""
+    from pathlib import Path
+
+    from repro.experiments import list_experiments
+
+    lines = [
+        "# Reproduction report",
+        "",
+        "| experiment | paper ref | checks | detail |",
+        "|---|---|---|---|",
+    ]
+    failures = 0
+    for experiment in list_experiments():
+        result = experiment.run(fast=args.fast)
+        passed = sum(1 for check in result.checks if check.passed)
+        total = len(result.checks)
+        failures += total - passed
+        failed_names = ", ".join(
+            check.name for check in result.checks if not check.passed
+        )
+        lines.append(
+            f"| {experiment.experiment_id} | {experiment.paper_ref} | "
+            f"{passed}/{total} | {failed_names or 'all pass'} |"
+        )
+        print(f"{experiment.experiment_id:32s} {passed}/{total}")
+    lines.append("")
+    lines.append(
+        f"Total: {failures} failing checks."
+        if failures
+        else "Total: every shape check passes."
+    )
+    output = Path(args.output)
+    output.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    return 1 if failures else 0
+
+
+def _command_params(args: argparse.Namespace) -> int:
+    from repro.sim import SimulationConfig, measure_workload_params
+    from repro.trace import preset
+
+    trace = preset(args.workload).generate(
+        records_per_cpu=args.records if args.records else None
+    )
+    config = SimulationConfig(cache_bytes=args.cache_kb * 1024)
+    params = measure_workload_params(trace, config)
+    print(f"workload {args.workload!r}, {len(trace)} records, "
+          f"{args.cache_kb}K caches")
+    print(f"{'parameter':8s} {'measured':>10s}   Table 7 range")
+    for name, value in params.as_dict().items():
+        parameter_range = PARAMETER_RANGES[name]
+        low, high = sorted((parameter_range.low, parameter_range.high))
+        inside = "  " if low <= value <= high else " *"
+        print(
+            f"{name:8s} {value:10.4f}{inside} "
+            f"[{parameter_range.low:g} .. {parameter_range.high:g}]"
+        )
+    print("(* = outside the paper's observed range)")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    """Generate, inspect, or re-flush synthetic traces."""
+    from repro.trace import (
+        collect_stats,
+        load_trace,
+        preset,
+        save_trace,
+    )
+    from repro.trace.flushing import apply_flush_policy, implied_apl
+
+    if args.trace_action == "generate":
+        recipe = preset(args.workload)
+        trace = recipe.generate(
+            records_per_cpu=args.records if args.records else None,
+            seed=args.seed if args.seed is not None else None,
+        )
+        if args.policy != "section":
+            trace = apply_flush_policy(trace, args.policy)
+        save_trace(trace, args.output)
+        print(
+            f"wrote {args.output}: {len(trace)} records, {trace.cpus} CPUs, "
+            f"flush policy {args.policy!r}"
+        )
+        return 0
+
+    trace = load_trace(args.file)
+    stats = collect_stats(trace)
+    print(f"trace {trace.name!r}: {len(trace)} records, {trace.cpus} CPUs")
+    print(f"  instructions      {stats.instructions}")
+    print(f"  loads / stores    {stats.loads} / {stats.stores}")
+    print(f"  flushes           {stats.flushes}")
+    print(f"  ls                {stats.ls:.4f}")
+    print(f"  shd               {stats.shd:.4f}")
+    print(f"  wr                {stats.wr:.4f}")
+    print(f"  apl (run est.)    {stats.apl:.2f}")
+    print(f"  apl (per flush)   {implied_apl(trace):.2f}")
+    print(f"  mdshd             {stats.mdshd:.4f}")
+    print(f"  shared blocks     {stats.shared_blocks_touched}")
+    return 0
+
+
+def _command_predict(args: argparse.Namespace) -> int:
+    scheme = scheme_by_name(args.scheme)
+    params = WorkloadParams.at_level(args.level)
+    if args.network:
+        stages = max((args.processors - 1).bit_length(), 1)
+        if 2**stages != args.processors:
+            print(
+                f"network size must be a power of two; rounding "
+                f"{args.processors} up to {2 ** stages}",
+                file=sys.stderr,
+            )
+        prediction = NetworkSystem(stages).evaluate(scheme, params)
+        print(
+            f"{scheme.name} on a {prediction.processors}-processor "
+            f"{stages}-stage network ({args.level} workload):"
+        )
+        print(f"  c = {prediction.cost.cpu_cycles:.4f} cycles/instr")
+        print(f"  t = {prediction.cost.channel_cycles:.4f} network cycles")
+        print(f"  request rate m*t = {prediction.request_rate:.4f}")
+        print(f"  utilization     = {prediction.utilization:.4f}")
+        print(f"  processing power= {prediction.processing_power:.2f}")
+    else:
+        prediction = BusSystem().evaluate(scheme, params, args.processors)
+        print(
+            f"{scheme.name} on a {args.processors}-processor bus "
+            f"({args.level} workload):"
+        )
+        print(f"  c = {prediction.cost.cpu_cycles:.4f} cycles/instr")
+        print(f"  b = {prediction.cost.channel_cycles:.4f} bus cycles")
+        print(f"  w = {prediction.waiting_cycles:.4f} contention cycles")
+        print(f"  utilization     = {prediction.utilization:.4f}")
+        print(f"  processing power= {prediction.processing_power:.2f}")
+        print(f"  bus utilization = {prediction.bus_utilization:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="swcc",
+        description=(
+            "Reproduction of Owicki & Agarwal, 'Evaluating the Performance "
+            "of Software Cache Coherence' (ASPLOS 1989)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list experiments")
+    list_parser.set_defaults(handler=_command_list)
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiment", nargs="+",
+        help="experiment ids (see 'list'), or 'all'",
+    )
+    run_parser.add_argument(
+        "--fast", action="store_true",
+        help="shrink trace-driven experiments for a quick pass",
+    )
+    run_parser.add_argument(
+        "--csv-dir", default="",
+        help="also dump each experiment's series/tables as CSV here",
+    )
+    run_parser.set_defaults(handler=_command_run)
+
+    report_parser = subparsers.add_parser(
+        "report", help="run everything, write a markdown summary"
+    )
+    report_parser.add_argument(
+        "--output", default="reproduction_report.md",
+        help="markdown file to write",
+    )
+    report_parser.add_argument(
+        "--fast", action="store_true",
+        help="shrink trace-driven experiments",
+    )
+    report_parser.set_defaults(handler=_command_report)
+
+    params_parser = subparsers.add_parser(
+        "params", help="measure workload parameters of a synthetic trace"
+    )
+    params_parser.add_argument("workload", help="pops, thor, pero, or pero8")
+    params_parser.add_argument(
+        "--cache-kb", type=int, default=64, help="cache size in KB"
+    )
+    params_parser.add_argument(
+        "--records", type=int, default=0,
+        help="records per CPU (0 = preset default)",
+    )
+    params_parser.set_defaults(handler=_command_params)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="generate or inspect synthetic traces"
+    )
+    trace_actions = trace_parser.add_subparsers(
+        dest="trace_action", required=True
+    )
+    generate_parser = trace_actions.add_parser(
+        "generate", help="generate a preset workload to a file"
+    )
+    generate_parser.add_argument("workload", help="pops/thor/pero/pero8")
+    generate_parser.add_argument("output", help="output path (*.gz to pack)")
+    generate_parser.add_argument(
+        "--records", type=int, default=0,
+        help="records per CPU (0 = preset default)",
+    )
+    generate_parser.add_argument(
+        "--seed", type=int, default=None, help="override the preset seed"
+    )
+    generate_parser.add_argument(
+        "--policy", default="section",
+        choices=("eager", "section", "oracle", "none"),
+        help="flush-placement policy to apply",
+    )
+    generate_parser.set_defaults(handler=_command_trace)
+    stat_parser = trace_actions.add_parser(
+        "stat", help="print statistics of a trace file"
+    )
+    stat_parser.add_argument("file", help="trace file path")
+    stat_parser.set_defaults(handler=_command_trace)
+
+    predict_parser = subparsers.add_parser(
+        "predict", help="evaluate the analytical model once"
+    )
+    predict_parser.add_argument("scheme", help="base/nocache/flush/dragon")
+    predict_parser.add_argument(
+        "processors", type=int, help="number of processors"
+    )
+    predict_parser.add_argument(
+        "--level", default="middle", choices=("low", "middle", "high"),
+        help="Table 7 parameter level",
+    )
+    predict_parser.add_argument(
+        "--network", action="store_true",
+        help="multistage network instead of a bus",
+    )
+    predict_parser.set_defaults(handler=_command_predict)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Analytical model of software and hardware cache coherence.
+
+This package is the paper's primary contribution: a three-layer
+analytical model (system model, workload model, contention model) that
+predicts processor utilisation and system processing power for four
+cache-coherence schemes — Base, No-Cache, Software-Flush, and Dragon —
+on bus-based and multistage-network multiprocessors.
+
+Typical use::
+
+    from repro.core import (
+        BusSystem, WorkloadParams, SOFTWARE_FLUSH, DRAGON,
+    )
+
+    params = WorkloadParams.middle()
+    bus = BusSystem()
+    for scheme in (SOFTWARE_FLUSH, DRAGON):
+        prediction = bus.evaluate(scheme, params, processors=16)
+        print(scheme.name, prediction.processing_power)
+"""
+
+from repro.core.bus import BusSystem
+from repro.core.directory import DIRECTORY, DirectoryScheme
+from repro.core.model import InstructionCost, instruction_cost
+from repro.core.network import (
+    BufferedNetworkSystem,
+    NetworkSystem,
+    UnsupportedSchemeError,
+)
+from repro.core.operations import (
+    CostTable,
+    Operation,
+    OperationCost,
+    derive_bus_costs,
+    derive_network_costs,
+)
+from repro.core.params import (
+    PARAMETER_RANGES,
+    ParameterRange,
+    WorkloadParams,
+)
+from repro.core.prediction import BusPrediction, NetworkPrediction
+from repro.core.snoopy_variants import (
+    WRITE_THROUGH_INVALIDATE,
+    WriteThroughInvalidateScheme,
+)
+from repro.core.schemes import (
+    ALL_SCHEMES,
+    BASE,
+    DRAGON,
+    NO_CACHE,
+    SOFTWARE_FLUSH,
+    BaseScheme,
+    CoherenceScheme,
+    DragonScheme,
+    NoCacheScheme,
+    SoftwareFlushScheme,
+    scheme_by_name,
+)
+from repro.core.sensitivity import (
+    SensitivityEntry,
+    sensitivity_entry,
+    sensitivity_table,
+)
+
+__all__ = [
+    "ALL_SCHEMES",
+    "BASE",
+    "DIRECTORY",
+    "DirectoryScheme",
+    "DRAGON",
+    "NO_CACHE",
+    "PARAMETER_RANGES",
+    "SOFTWARE_FLUSH",
+    "BaseScheme",
+    "BufferedNetworkSystem",
+    "BusPrediction",
+    "BusSystem",
+    "CoherenceScheme",
+    "CostTable",
+    "DragonScheme",
+    "InstructionCost",
+    "NetworkPrediction",
+    "NetworkSystem",
+    "NoCacheScheme",
+    "Operation",
+    "OperationCost",
+    "ParameterRange",
+    "SensitivityEntry",
+    "SoftwareFlushScheme",
+    "UnsupportedSchemeError",
+    "WRITE_THROUGH_INVALIDATE",
+    "WorkloadParams",
+    "WriteThroughInvalidateScheme",
+    "derive_bus_costs",
+    "derive_network_costs",
+    "instruction_cost",
+    "scheme_by_name",
+    "sensitivity_entry",
+    "sensitivity_table",
+]

@@ -1,0 +1,70 @@
+"""Extension: an analytical model of directory-based coherence.
+
+Not one of the paper's four schemes.  The paper mentions directory
+schemes twice: as the third family of coherence mechanisms (Section 1,
+citing Censier-Feautrier-style full-map directories) and in Section 6.3
+("The performance of the Software-Flush scheme for the low range
+approximates the performance of hardware-based directory schemes").
+This module makes that remark checkable by modelling a simple
+write-invalidate full-map directory with the same workload vocabulary.
+
+Model (per non-flush instruction), mirroring the structure of the
+Software-Flush table:
+
+* unshared data and instructions miss exactly as in Table 4/5:
+  ``ls * msdat * (1 - shd) + mains``;
+* every inter-processor *run* on a shared block begins with a
+  coherence (or cold) miss, because the previous writer invalidated
+  the copy — one miss per ``apl`` shared references, the same run
+  structure the flush model uses, but enforced by hardware instead of
+  by flush instructions;
+* a run that writes (probability ``mdshd``) triggers one directory
+  invalidation round if other copies exist (probability ``opres``):
+  frequency ``ls * shd * mdshd * opres / apl``.
+
+Unlike Software-Flush, there are **no flush instructions** — the
+scheme's overhead is pure misses plus invalidation traffic, and it
+works on any interconnect (no broadcast needed).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.operations import Operation
+from repro.core.params import WorkloadParams
+from repro.core.schemes import CoherenceScheme, _split_by_dirty
+
+__all__ = ["DIRECTORY", "DirectoryScheme"]
+
+
+class DirectoryScheme(CoherenceScheme):
+    """Write-invalidate full-map directory coherence (extension)."""
+
+    name = "Directory"
+    requires_broadcast = False
+
+    def operation_frequencies(
+        self, params: WorkloadParams
+    ) -> Mapping[Operation, float]:
+        run_rate = params.ls * params.shd / params.apl
+        miss_rate = (
+            params.ls * params.msdat * (1.0 - params.shd)
+            + params.mains
+            + run_rate
+        )
+        clean, dirty = _split_by_dirty(miss_rate, params.md)
+        return {
+            Operation.INSTRUCTION: 1.0,
+            Operation.CLEAN_MISS_MEMORY: clean,
+            Operation.DIRTY_MISS_MEMORY: dirty,
+            Operation.INVALIDATE: run_rate * params.mdshd * params.opres,
+        }
+
+
+DIRECTORY = DirectoryScheme()
+
+# Make "directory"/"dir" resolve through scheme_by_name.
+from repro.core.schemes import register_scheme  # noqa: E402
+
+register_scheme(DIRECTORY, "dir", "full-map")

@@ -1,0 +1,171 @@
+"""Per-instruction cost: equations 1 and 2 of the paper.
+
+Combining the system model (operation costs) with a scheme's workload
+model (operation frequencies) yields the average CPU and channel cycles
+per instruction::
+
+    c = sum over operations of freq(o) * cpu_cycles(o)      (eq. 1)
+    b = sum over operations of freq(o) * channel_cycles(o)  (eq. 2)
+
+``b`` is the average channel (bus or network) service demand per
+instruction; ``1 / (c - b)`` is the average transaction rate per busy
+CPU cycle.  The contention models in :mod:`repro.core.bus` and
+:mod:`repro.core.network` consume the pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.operations import CostTable
+from repro.core.params import WorkloadParams
+from repro.core.schemes import CoherenceScheme
+
+__all__ = [
+    "InstructionCost",
+    "TransactionMoments",
+    "instruction_cost",
+    "transaction_moments",
+]
+
+
+@dataclass(frozen=True)
+class InstructionCost:
+    """Average cost of one (non-flush) instruction.
+
+    Attributes:
+        cpu_cycles: ``c``, mean CPU cycles per instruction, including
+            the cycles spent holding the channel.
+        channel_cycles: ``b``, mean channel cycles per instruction.
+    """
+
+    cpu_cycles: float
+    channel_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_cycles <= 0.0:
+            raise ValueError(
+                f"cpu_cycles must be > 0 (every instruction executes), "
+                f"got {self.cpu_cycles}"
+            )
+        if not 0.0 <= self.channel_cycles <= self.cpu_cycles:
+            raise ValueError(
+                f"channel_cycles must be in [0, cpu_cycles], got "
+                f"{self.channel_cycles} with cpu_cycles={self.cpu_cycles}"
+            )
+
+    @property
+    def think_time(self) -> float:
+        """Mean CPU cycles between channel transactions, ``c - b``."""
+        return self.cpu_cycles - self.channel_cycles
+
+    @property
+    def transaction_rate(self) -> float:
+        """Transactions per busy CPU cycle, ``1 / (c - b)``.
+
+        Infinite if the instruction mix spends all its time on the
+        channel (``c == b``), which only happens for degenerate inputs.
+        """
+        if self.think_time == 0.0:
+            return float("inf")
+        return 1.0 / self.think_time
+
+    @property
+    def uncontended_utilization(self) -> float:
+        """Processor utilisation with zero contention, ``1 / c``."""
+        return 1.0 / self.cpu_cycles
+
+
+@dataclass(frozen=True)
+class TransactionMoments:
+    """First two moments of the channel-transaction distribution.
+
+    Extension beyond the paper's model: the paper folds all channel
+    work into the per-instruction mean ``b``, which (with the
+    exponential-service queueing model) loses the service-time
+    *distribution*.  The workload model actually determines it — each
+    operation holds the channel for a fixed count of cycles, so the
+    transaction service time is a discrete mixture.  These moments
+    feed the general-service bus solver
+    (:func:`repro.queueing.mva.solve_machine_repairman_general`).
+
+    Attributes:
+        rate: transactions per (non-flush) instruction.
+        mean_service: mean channel cycles per transaction.
+        second_moment: ``E[S^2]`` of the channel cycles.
+    """
+
+    rate: float
+    mean_service: float
+    second_moment: float
+
+    @property
+    def variance(self) -> float:
+        return max(self.second_moment - self.mean_service**2, 0.0)
+
+    @property
+    def cv2(self) -> float:
+        """Squared coefficient of variation (0 for a single op type)."""
+        if self.mean_service == 0.0:
+            return 0.0
+        return self.variance / self.mean_service**2
+
+
+def transaction_moments(
+    scheme: CoherenceScheme,
+    params: WorkloadParams,
+    costs: CostTable,
+) -> TransactionMoments:
+    """Moments of the channel-holding distribution for one workload.
+
+    Only operations with non-zero channel time count as transactions;
+    their probabilities are the workload frequencies renormalised over
+    that set.
+    """
+    rate = 0.0
+    weighted_service = 0.0
+    weighted_square = 0.0
+    for operation, frequency in scheme.operation_frequencies(params).items():
+        if frequency == 0.0:
+            continue
+        channel = costs[operation].channel_cycles
+        if channel <= 0.0:
+            continue
+        rate += frequency
+        weighted_service += frequency * channel
+        weighted_square += frequency * channel * channel
+    if rate == 0.0:
+        return TransactionMoments(rate=0.0, mean_service=0.0, second_moment=0.0)
+    return TransactionMoments(
+        rate=rate,
+        mean_service=weighted_service / rate,
+        second_moment=weighted_square / rate,
+    )
+
+
+def instruction_cost(
+    scheme: CoherenceScheme,
+    params: WorkloadParams,
+    costs: CostTable,
+) -> InstructionCost:
+    """Evaluate equations 1 and 2 for one scheme and workload.
+
+    Args:
+        scheme: the coherence scheme (supplies operation frequencies).
+        params: the workload parameters.
+        costs: the machine's cost table; must define every operation
+            the scheme generates.
+
+    Raises:
+        KeyError: if the cost table lacks an operation the scheme uses
+            with non-zero frequency (e.g. Dragon on a network machine).
+    """
+    cpu_cycles = 0.0
+    channel_cycles = 0.0
+    for operation, frequency in scheme.operation_frequencies(params).items():
+        if frequency == 0.0:
+            continue
+        cost = costs[operation]
+        cpu_cycles += frequency * cost.cpu_cycles
+        channel_cycles += frequency * cost.channel_cycles
+    return InstructionCost(cpu_cycles=cpu_cycles, channel_cycles=channel_cycles)

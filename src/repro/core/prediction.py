@@ -1,0 +1,100 @@
+"""Result types produced by the bus and network performance models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import InstructionCost
+from repro.core.params import WorkloadParams
+
+__all__ = ["BusPrediction", "NetworkPrediction"]
+
+
+@dataclass(frozen=True)
+class BusPrediction:
+    """Model output for a bus-based system (Sections 2 and 5).
+
+    Attributes:
+        scheme: name of the coherence scheme evaluated.
+        params: the workload parameters used.
+        processors: number of processors ``n``.
+        cost: per-instruction cost pair ``(c, b)``.
+        waiting_cycles: ``w``, mean bus-contention cycles per
+            instruction.
+        utilization: ``U = 1 / (c + w)``, fraction of time in
+            productive computation.
+        processing_power: ``n * U``, the paper's comparison metric.
+        bus_utilization: fraction of time the bus is busy.
+    """
+
+    scheme: str
+    params: WorkloadParams
+    processors: int
+    cost: InstructionCost
+    waiting_cycles: float
+    utilization: float
+    processing_power: float
+    bus_utilization: float
+
+    @property
+    def time_per_instruction(self) -> float:
+        """Wall-clock cycles per instruction, ``c + w``."""
+        return self.cost.cpu_cycles + self.waiting_cycles
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of time lost to cache and coherence activity."""
+        return 1.0 - self.utilization
+
+
+@dataclass(frozen=True)
+class NetworkPrediction:
+    """Model output for a multistage-network system (Section 6).
+
+    Attributes:
+        scheme: name of the coherence scheme evaluated.
+        params: the workload parameters used.
+        stages: number of network stages ``n`` (``2**n`` processors).
+        processors: number of processors, ``2**stages`` by default.
+        cost: per-instruction cost pair ``(c, b)`` with the network
+            timing model (Table 9).
+        request_rate: ``m * t``, unit requests per thinking cycle.
+        thinking_fraction: solved fixed point ``U`` (the paper's
+            network ``U = m_n / (m t)``).
+        offered_rate: steady-state offered load per port, ``m_0``.
+        accepted_rate: accepted load per port, ``m_n``.
+        time_per_instruction: wall-clock cycles per instruction,
+            ``(c - b) / U``.
+        utilization: productive fraction, ``1 / time_per_instruction``.
+        processing_power: ``processors * utilization``.
+    """
+
+    scheme: str
+    params: WorkloadParams
+    stages: int
+    processors: int
+    cost: InstructionCost
+    request_rate: float
+    thinking_fraction: float
+    offered_rate: float
+    accepted_rate: float
+    time_per_instruction: float
+    utilization: float
+    processing_power: float
+
+    @property
+    def acceptance_probability(self) -> float:
+        """``m_n / m_0`` at the operating point (1.0 at zero load)."""
+        if self.offered_rate == 0.0:
+            return 1.0
+        return self.accepted_rate / self.offered_rate
+
+    @property
+    def contention_cycles(self) -> float:
+        """Extra cycles per instruction versus a contention-free network."""
+        return self.time_per_instruction - self.cost.cpu_cycles
+
+    @property
+    def relative_utilization(self) -> float:
+        """Utilisation relative to the contention-free network, in [0, 1]."""
+        return self.cost.cpu_cycles / self.time_per_instruction

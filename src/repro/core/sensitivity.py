@@ -1,0 +1,114 @@
+"""Sensitivity analysis (Section 4, Table 8).
+
+The significance of each workload parameter is assessed by moving it
+from its Table 7 low value to its high value while all other parameters
+sit at their middle values, and reporting the per-cent change in
+execution time (cycles per instruction, ``c + w``).
+
+For ``apl`` the low→high direction follows Table 7's ``1/apl`` row
+(0.04 → 1.0, i.e. ``apl`` 25 → 1), which is the degrading direction —
+consistent with the paper reporting a huge positive effect for ``apl``
+on Software-Flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.bus import BusSystem
+from repro.core.params import PARAMETER_RANGES, WorkloadParams
+from repro.core.schemes import CoherenceScheme
+
+__all__ = ["SensitivityEntry", "sensitivity_entry", "sensitivity_table"]
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Effect of one parameter on one scheme's execution time.
+
+    Attributes:
+        parameter: workload parameter name.
+        scheme: coherence scheme name.
+        low_time: cycles per instruction at the parameter's low value.
+        middle_time: cycles per instruction at the middle value.
+        high_time: cycles per instruction at the high value.
+        percent_change: ``100 * (high_time - low_time) / low_time``,
+            the number reported in Table 8.
+    """
+
+    parameter: str
+    scheme: str
+    low_time: float
+    middle_time: float
+    high_time: float
+
+    @property
+    def percent_change(self) -> float:
+        return 100.0 * (self.high_time - self.low_time) / self.low_time
+
+
+def _execution_time(
+    system: BusSystem,
+    scheme: CoherenceScheme,
+    params: WorkloadParams,
+    processors: int,
+) -> float:
+    return system.evaluate(scheme, params, processors).time_per_instruction
+
+
+def sensitivity_entry(
+    scheme: CoherenceScheme,
+    parameter: str,
+    processors: int = 16,
+    system: BusSystem | None = None,
+) -> SensitivityEntry:
+    """Sensitivity of one scheme to one parameter.
+
+    Args:
+        scheme: the coherence scheme to evaluate.
+        parameter: one of the Table 2 parameter names.
+        processors: system size at which execution time is measured.
+        system: the bus system model (defaults to the Table 1 machine).
+
+    Raises:
+        KeyError: if ``parameter`` is not a Table 7 parameter.
+    """
+    if parameter not in PARAMETER_RANGES:
+        known = ", ".join(sorted(PARAMETER_RANGES))
+        raise KeyError(f"unknown parameter {parameter!r}; known: {known}")
+    system = system if system is not None else BusSystem()
+    parameter_range = PARAMETER_RANGES[parameter]
+
+    times = {}
+    for level in ("low", "middle", "high"):
+        params = WorkloadParams.middle(**{parameter: parameter_range.at(level)})
+        times[level] = _execution_time(system, scheme, params, processors)
+
+    return SensitivityEntry(
+        parameter=parameter,
+        scheme=scheme.name,
+        low_time=times["low"],
+        middle_time=times["middle"],
+        high_time=times["high"],
+    )
+
+
+def sensitivity_table(
+    scheme: CoherenceScheme,
+    processors: int = 16,
+    system: BusSystem | None = None,
+    parameters: tuple[str, ...] | None = None,
+) -> Mapping[str, SensitivityEntry]:
+    """One scheme's column of the paper's Table 8.
+
+    Returns:
+        ``{parameter: SensitivityEntry}`` for every Table 7 parameter
+        (or the requested subset), in Table 7 order.
+    """
+    system = system if system is not None else BusSystem()
+    names = parameters if parameters is not None else tuple(PARAMETER_RANGES)
+    return {
+        name: sensitivity_entry(scheme, name, processors=processors, system=system)
+        for name in names
+    }

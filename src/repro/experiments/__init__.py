@@ -1,0 +1,50 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each experiment is a registered callable returning an
+:class:`~repro.experiments.result.ExperimentResult` — series and/or
+tables plus the *shape checks* the paper's prose asserts (who wins,
+where curves saturate, which points cluster).  The checks are what
+"reproduction" means here: absolute cycle counts depend on the
+synthetic traces, but the qualitative structure must match.
+
+Run experiments from Python::
+
+    from repro.experiments import get_experiment
+    result = get_experiment("figure5").run()
+    print(result.render())
+
+or from the command line: ``python -m repro run figure5``.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    list_experiments,
+    register,
+)
+from repro.experiments.result import (
+    Check,
+    ExperimentResult,
+    Series,
+    TableData,
+)
+
+# Importing these modules populates the registry.
+from repro.experiments import bus_figures  # noqa: F401  (registration)
+from repro.experiments import extensions  # noqa: F401
+from repro.experiments import network_figures  # noqa: F401
+from repro.experiments import tables  # noqa: F401
+from repro.experiments import validation  # noqa: F401
+
+__all__ = [
+    "Check",
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentResult",
+    "Series",
+    "TableData",
+    "get_experiment",
+    "list_experiments",
+    "register",
+]

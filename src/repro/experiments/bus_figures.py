@@ -1,0 +1,326 @@
+"""Bus performance figures (paper Figures 4-9, Section 5).
+
+All six figures evaluate the four schemes on the Table 1 bus machine
+over Table 7 parameter settings:
+
+* Figures 4-6: processing power versus processors at low / middle /
+  high ``ls`` and ``shd`` (all other parameters middle).
+* Figure 7: the drastic effect of ``apl`` on Software-Flush.
+* Figures 8-9: processing power versus ``apl`` at low and middle
+  sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import (
+    ALL_SCHEMES,
+    BASE,
+    DRAGON,
+    NO_CACHE,
+    SOFTWARE_FLUSH,
+    BusSystem,
+    WorkloadParams,
+)
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, Series
+
+__all__ = [
+    "scheme_comparison",
+    "apl_effect",
+    "power_vs_apl",
+]
+
+_PROCESSOR_RANGE = tuple(range(1, 17))
+
+
+def scheme_comparison(
+    level: str,
+    processors: Sequence[int] = _PROCESSOR_RANGE,
+    bus: BusSystem | None = None,
+) -> ExperimentResult:
+    """Processing power vs processors with ``ls``/``shd`` at ``level``.
+
+    The theoretical upper bound (power = n) is included, as the dotted
+    line in the paper's plots.
+    """
+    bus = bus if bus is not None else BusSystem()
+    params = WorkloadParams.middle(
+        ls=_level_value("ls", level), shd=_level_value("shd", level)
+    )
+    result = ExperimentResult(
+        experiment_id=f"figure{_FIGURE_BY_LEVEL[level]}",
+        title=(
+            f"Performance of cache-coherence schemes with {level} shd and ls"
+        ),
+        xlabel="processors",
+        ylabel="processing power",
+    )
+    result.series.append(
+        Series("ideal", tuple(float(n) for n in processors),
+               tuple(float(n) for n in processors))
+    )
+    for scheme in ALL_SCHEMES:
+        predictions = bus.sweep(scheme, params, processors)
+        result.series.append(
+            Series(
+                scheme.name,
+                tuple(float(p.processors) for p in predictions),
+                tuple(p.processing_power for p in predictions),
+            )
+        )
+    _check_ordering(result, processors[-1])
+    return result
+
+
+_FIGURE_BY_LEVEL = {"low": 4, "middle": 5, "high": 6}
+
+
+def _level_value(name: str, level: str) -> float:
+    from repro.core import PARAMETER_RANGES
+
+    return PARAMETER_RANGES[name].at(level)
+
+
+def _check_ordering(result: ExperimentResult, n: int) -> None:
+    """The ordering claims of Section 5.1 at the largest system size."""
+    base = result.series_by_label("Base").y_at(n)
+    dragon = result.series_by_label("Dragon").y_at(n)
+    flush = result.series_by_label("Software-Flush").y_at(n)
+    nocache = result.series_by_label("No-Cache").y_at(n)
+    result.add_check(
+        "base-bounds-all",
+        base >= dragon and base >= flush and base >= nocache,
+        f"at n={n}: Base={base:.2f}, Dragon={dragon:.2f}, "
+        f"Flush={flush:.2f}, No-Cache={nocache:.2f}",
+    )
+    result.add_check(
+        "dragon-beats-software",
+        dragon >= flush and dragon >= nocache,
+        f"Dragon={dragon:.2f} vs Flush={flush:.2f}, No-Cache={nocache:.2f}",
+    )
+    result.add_check(
+        "flush-beats-nocache-at-middle-apl",
+        flush >= nocache,
+        f"Flush={flush:.2f} vs No-Cache={nocache:.2f}",
+    )
+
+
+@register(
+    "figure4",
+    "Scheme comparison, low sharing and reference rate",
+    "Figure 4",
+)
+def figure4(**_) -> ExperimentResult:
+    result = scheme_comparison("low")
+    # Section 5.2: at low ls/shd all schemes do well; even No-Cache is
+    # viable for a moderate number of processors.
+    nocache8 = result.series_by_label("No-Cache").y_at(8)
+    result.add_check(
+        "nocache-viable-at-low-sharing",
+        nocache8 >= 5.0,
+        f"No-Cache power at n=8 is {nocache8:.2f} (>= 5 expected)",
+    )
+    dragon16 = result.series_by_label("Dragon").y_at(16)
+    base16 = result.series_by_label("Base").y_at(16)
+    result.add_check(
+        "dragon-close-to-base",
+        dragon16 >= 0.95 * base16,
+        f"Dragon {dragon16:.2f} vs Base {base16:.2f} at n=16",
+    )
+    return result
+
+
+@register(
+    "figure5",
+    "Scheme comparison, middle sharing and reference rate",
+    "Figure 5",
+)
+def figure5(**_) -> ExperimentResult:
+    result = scheme_comparison("middle")
+    # Section 5.2: Dragon performs very well even with 16 processors;
+    # Software-Flush gains little beyond 8-10 processors; No-Cache only
+    # suits small systems.
+    flush = result.series_by_label("Software-Flush")
+    gain = flush.y_at(16) - flush.y_at(10)
+    result.add_check(
+        "flush-flattens-past-10",
+        gain <= 0.35 * (16 - 10),
+        f"Flush gains {gain:.2f} from n=10 to n=16 (flat if << 6)",
+    )
+    nocache = result.series_by_label("No-Cache")
+    result.add_check(
+        "nocache-saturates",
+        nocache.y_at(16) - nocache.y_at(8) <= 0.5,
+        f"No-Cache gains {nocache.y_at(16) - nocache.y_at(8):.2f} "
+        f"from n=8 to n=16",
+    )
+    return result
+
+
+@register(
+    "figure6",
+    "Scheme comparison, high sharing and reference rate",
+    "Figure 6",
+)
+def figure6(**_) -> ExperimentResult:
+    result = scheme_comparison("high")
+    # Section 5.2: No-Cache saturates the bus below processing power 2;
+    # Software-Flush below 5; Dragon still performs well.
+    nocache16 = result.series_by_label("No-Cache").y_at(16)
+    result.add_check(
+        "nocache-saturates-below-2",
+        nocache16 < 2.0,
+        f"No-Cache power at n=16 is {nocache16:.2f} (< 2 expected)",
+    )
+    flush16 = result.series_by_label("Software-Flush").y_at(16)
+    result.add_check(
+        "flush-saturates-below-5",
+        flush16 < 5.0,
+        f"Software-Flush power at n=16 is {flush16:.2f} (< 5 expected)",
+    )
+    dragon16 = result.series_by_label("Dragon").y_at(16)
+    base16 = result.series_by_label("Base").y_at(16)
+    # "Dragon still gives good performance": it keeps the bulk of
+    # Base's power while the software schemes collapse.
+    result.add_check(
+        "dragon-still-good",
+        dragon16 >= 0.7 * base16 and dragon16 >= 2.0 * flush16,
+        f"Dragon {dragon16:.2f} vs Base {base16:.2f} and "
+        f"Flush {flush16:.2f} at n=16",
+    )
+    return result
+
+
+@register("figure7", "Effect of varying apl on Software-Flush", "Figure 7")
+def apl_effect(
+    apl_values: Sequence[float] = (1.0, 2.0, 4.0, 7.7, 25.0, 100.0),
+    processors: Sequence[int] = _PROCESSOR_RANGE,
+    **_,
+) -> ExperimentResult:
+    """Software-Flush power vs processors for several ``apl`` values.
+
+    Dragon and No-Cache at middle parameters are included as
+    references, since the paper's claim is positional: ``apl = 1`` puts
+    Software-Flush *below* No-Cache, large ``apl`` takes it to Dragon
+    or beyond.
+    """
+    bus = BusSystem()
+    middle = WorkloadParams.middle()
+    result = ExperimentResult(
+        experiment_id="figure7",
+        title="Effect of varying apl; other parameters at middle values",
+        xlabel="processors",
+        ylabel="processing power",
+    )
+    for scheme in (DRAGON, NO_CACHE):
+        predictions = bus.sweep(scheme, middle, processors)
+        result.series.append(
+            Series(
+                scheme.name,
+                tuple(float(p.processors) for p in predictions),
+                tuple(p.processing_power for p in predictions),
+            )
+        )
+    for apl in apl_values:
+        params = middle.replace(apl=apl)
+        predictions = bus.sweep(SOFTWARE_FLUSH, params, processors)
+        result.series.append(
+            Series(
+                f"Flush apl={apl:g}",
+                tuple(float(p.processors) for p in predictions),
+                tuple(p.processing_power for p in predictions),
+            )
+        )
+    n = processors[-1]
+    flush_worst = result.series_by_label("Flush apl=1").y_at(n)
+    nocache = result.series_by_label("No-Cache").y_at(n)
+    result.add_check(
+        "apl-1-worse-than-nocache",
+        flush_worst < nocache,
+        f"Flush(apl=1)={flush_worst:.2f} < No-Cache={nocache:.2f} at n={n}",
+    )
+    flush_best = result.series_by_label(
+        f"Flush apl={apl_values[-1]:g}"
+    ).y_at(n)
+    dragon = result.series_by_label("Dragon").y_at(n)
+    result.add_check(
+        "high-apl-approaches-dragon",
+        flush_best >= 0.9 * dragon,
+        f"Flush(apl={apl_values[-1]:g})={flush_best:.2f} vs "
+        f"Dragon={dragon:.2f} at n={n}",
+    )
+    return result
+
+
+def power_vs_apl(
+    shd_level: str,
+    figure_id: str,
+    apl_values: Sequence[float] | None = None,
+    processors: Sequence[int] = (4, 8, 16),
+) -> ExperimentResult:
+    """Processing power versus ``apl`` for fixed system sizes."""
+    if apl_values is None:
+        apl_values = (1, 2, 3, 4, 6, 8, 12, 16, 25, 40, 60, 100)
+    bus = BusSystem()
+    from repro.core import PARAMETER_RANGES
+
+    shd = PARAMETER_RANGES["shd"].at(shd_level)
+    result = ExperimentResult(
+        experiment_id=figure_id,
+        title=f"Effect of apl with {shd_level} sharing (shd={shd:g})",
+        xlabel="apl",
+        ylabel="processing power",
+    )
+    for n in processors:
+        points = []
+        for apl in apl_values:
+            params = WorkloadParams.middle(shd=shd, apl=float(apl))
+            points.append(
+                (float(apl),
+                 bus.evaluate(SOFTWARE_FLUSH, params, n).processing_power)
+            )
+        result.series.append(Series(f"n={n}", *zip(*points)))
+
+    largest = f"n={processors[-1]}"
+    curve = result.series_by_label(largest)
+    low_gain = curve.y_at(4) - curve.y_at(1)
+    tail_gain = curve.y_at(100) - curve.y_at(25)
+    result.add_check(
+        "steep-at-low-apl",
+        low_gain > 0 and low_gain > tail_gain,
+        f"{largest}: gain apl 1→4 = {low_gain:.2f}, "
+        f"apl 25→100 = {tail_gain:.2f}",
+    )
+    return result
+
+
+@register("figure8", "Effect of apl with low sharing", "Figure 8")
+def figure8(**_) -> ExperimentResult:
+    result = power_vs_apl("low", "figure8")
+    # Section 5.3: with low sharing, performance quickly reaches its
+    # maximum as apl increases.
+    curve = result.series_by_label("n=16")
+    result.add_check(
+        "plateau-reached-early",
+        curve.y_at(25) >= 0.95 * curve.y_at(100),
+        f"n=16: power at apl=25 is {curve.y_at(25):.2f} vs "
+        f"{curve.y_at(100):.2f} at apl=100",
+    )
+    return result
+
+
+@register("figure9", "Effect of apl with middle sharing", "Figure 9")
+def figure9(**_) -> ExperimentResult:
+    result = power_vs_apl("middle", "figure9")
+    # Section 5.3: with middle sharing, performance stays sensitive to
+    # apl even at relatively high values.
+    curve = result.series_by_label("n=16")
+    result.add_check(
+        "still-sensitive-at-high-apl",
+        curve.y_at(100) >= 1.05 * curve.y_at(16),
+        f"n=16: power keeps growing apl 16→100: "
+        f"{curve.y_at(16):.2f} → {curve.y_at(100):.2f}",
+    )
+    return result

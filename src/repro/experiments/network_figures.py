@@ -1,0 +1,193 @@
+"""Multistage-network figures (paper Figures 10-11, Section 6).
+
+Figure 10 compares buses against circuit-switched multistage networks
+in the small scale; Figure 11 maps the 256-processor network's
+utilisation surface and places the Base / Software-Flush / No-Cache
+schemes on it at Table 7's low/middle/high parameter ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import (
+    BASE,
+    DRAGON,
+    NO_CACHE,
+    SOFTWARE_FLUSH,
+    BusSystem,
+    NetworkSystem,
+    WorkloadParams,
+)
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, Series
+
+__all__ = ["bus_versus_network", "network_utilization_map"]
+
+
+@register("figure10", "Buses versus networks in the small scale", "Figure 10")
+def bus_versus_network(
+    bus_processors: Sequence[int] = tuple(range(1, 17)),
+    network_stages: Sequence[int] = (1, 2, 3, 4, 5),
+    **_,
+) -> ExperimentResult:
+    """Processing power of bus and network machines, middle workload.
+
+    Dragon appears only on the bus (no broadcast on a network); the
+    Base, Software-Flush, and No-Cache schemes appear on both.
+    """
+    params = WorkloadParams.middle()
+    bus = BusSystem()
+    result = ExperimentResult(
+        experiment_id="figure10",
+        title="Buses versus networks in the small scale (middle workload)",
+        xlabel="processors",
+        ylabel="processing power",
+    )
+    for scheme in (BASE, DRAGON, SOFTWARE_FLUSH, NO_CACHE):
+        predictions = bus.sweep(scheme, params, bus_processors)
+        result.series.append(
+            Series(
+                f"bus {scheme.name}",
+                tuple(float(p.processors) for p in predictions),
+                tuple(p.processing_power for p in predictions),
+            )
+        )
+    for scheme in (BASE, SOFTWARE_FLUSH, NO_CACHE):
+        points = []
+        for stages in network_stages:
+            prediction = NetworkSystem(stages).evaluate(scheme, params)
+            points.append((float(prediction.processors),
+                           prediction.processing_power))
+        result.series.append(Series(f"net {scheme.name}", *zip(*points)))
+
+    # Section 6.3 claims, checked at the largest common size.
+    top = float(2 ** network_stages[-1])
+    largest_bus = float(bus_processors[-1])
+    net_flush = result.series_by_label("net Software-Flush")
+    net_nocache = result.series_by_label("net No-Cache")
+    bus_flush = result.series_by_label("bus Software-Flush")
+    bus_nocache = result.series_by_label("bus No-Cache")
+    compare_at = min(top, largest_bus)
+    result.add_check(
+        "network-overtakes-saturated-bus",
+        net_flush.y_at(compare_at) > bus_flush.y_at(compare_at)
+        and net_nocache.y_at(compare_at) > bus_nocache.y_at(compare_at),
+        f"at n={compare_at:g}: net Flush {net_flush.y_at(compare_at):.2f} vs "
+        f"bus {bus_flush.y_at(compare_at):.2f}; net No-Cache "
+        f"{net_nocache.y_at(compare_at):.2f} vs bus "
+        f"{bus_nocache.y_at(compare_at):.2f}",
+    )
+    flush_scales = all(
+        later > earlier
+        for earlier, later in zip(net_flush.y, net_flush.y[1:])
+    )
+    nocache_scales = all(
+        later > earlier
+        for earlier, later in zip(net_nocache.y, net_nocache.y[1:])
+    )
+    result.add_check(
+        "software-schemes-scale-on-network",
+        flush_scales and nocache_scales,
+        f"net Flush {net_flush.y[0]:.2f}→{net_flush.y[-1]:.2f}, "
+        f"net No-Cache {net_nocache.y[0]:.2f}→{net_nocache.y[-1]:.2f}",
+    )
+    result.add_check(
+        "flush-more-efficient-than-nocache",
+        net_flush.y_at(top) > net_nocache.y_at(top),
+        f"at n={top:g}: Flush {net_flush.y_at(top):.2f} vs "
+        f"No-Cache {net_nocache.y_at(top):.2f}",
+    )
+    return result
+
+
+@register(
+    "figure11",
+    "256-processor network utilisation vs request rate",
+    "Figure 11",
+)
+def network_utilization_map(
+    stages: int = 8,
+    message_sizes: Sequence[float] = (1, 2, 4, 8, 16),
+    request_rates: Sequence[float] | None = None,
+    **_,
+) -> ExperimentResult:
+    """Relative utilisation versus unit-request rate, plus scheme points.
+
+    The x axis is the unit-request rate ``m * t`` (transaction rate
+    times network service time); the y axis is utilisation relative to
+    a contention-free network.  The nine markers place Base (B),
+    Software-Flush (S), and No-Cache (N) at the low/middle/high ranges,
+    as in the paper's plot.
+    """
+    if request_rates is None:
+        request_rates = tuple(i / 50.0 for i in range(1, 50))
+    network = NetworkSystem(stages)
+    result = ExperimentResult(
+        experiment_id="figure11",
+        title=(
+            f"{2**stages}-processor network: utilisation vs request rate "
+            f"for message sizes {tuple(message_sizes)}"
+        ),
+        xlabel="unit-request rate (m*t)",
+        ylabel="processor utilisation U = m_n/(m t)",
+    )
+    for size in message_sizes:
+        service = size + 2.0 * stages
+        points = []
+        for rate in request_rates:
+            transaction_rate = rate / service
+            prediction = network.evaluate_message_load(size, transaction_rate)
+            points.append((rate, prediction.thinking_fraction))
+        result.series.append(Series(f"size={size:g}w", *zip(*points)))
+
+    marker_points: dict[str, tuple[float, float]] = {}
+    for code, scheme in (("B", BASE), ("S", SOFTWARE_FLUSH), ("N", NO_CACHE)):
+        for level in ("low", "middle", "high"):
+            params = WorkloadParams.at_level(level)
+            prediction = network.evaluate(scheme, params)
+            label = f"{code}{level[0]}"
+            marker_points[label] = (
+                prediction.request_rate,
+                prediction.thinking_fraction,
+            )
+            result.series.append(
+                Series(label, (prediction.request_rate,),
+                       (prediction.thinking_fraction,))
+            )
+
+    # Claim 1: for 4-word messages, utilisation is roughly halved at a
+    # unit-request rate of ~60% (the paper's 3% miss rate example),
+    # relative to its light-load value.  Skipped when the caller sweeps
+    # custom sizes that exclude 4 words.
+    if any(float(size) == 4.0 for size in message_sizes):
+        four_word = result.series_by_label("size=4w")
+        at_sixty = min(
+            zip(four_word.x, four_word.y), key=lambda p: abs(p[0] - 0.60)
+        )[1]
+        light_load = four_word.y[0]
+        ratio = at_sixty / light_load
+        result.add_check(
+            "halved-at-60pct-rate",
+            0.35 <= ratio <= 0.65,
+            f"U at rate 0.6 is {at_sixty:.2f}, {ratio:.2f}x the light-load "
+            f"{light_load:.2f} (size 4w)",
+        )
+    # Claim 2: the nine points split into the two classes of Section 6.3.
+    good = ("Bl", "Bm", "Bh", "Sl", "Sm", "Nl")
+    poor = ("Sh", "Nm", "Nh")
+    good_values = {label: marker_points[label][1] for label in good}
+    poor_values = {label: marker_points[label][1] for label in poor}
+    result.add_check(
+        "two-performance-classes",
+        min(good_values.values()) > max(poor_values.values()),
+        f"good class min {min(good_values.values()):.2f} "
+        f"({min(good_values, key=good_values.get)}) > poor class max "
+        f"{max(poor_values.values()):.2f} "
+        f"({max(poor_values, key=poor_values.get)})",
+    )
+    result.notes.append(
+        "Marker code: first letter = scheme (B/S/N), second = parameter "
+        "range (l/m/h); the paper's Figure 11 annotation."
+    )
+    return result

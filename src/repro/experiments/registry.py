@@ -1,0 +1,78 @@
+"""Experiment registry: one entry per paper table/figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.result import ExperimentResult
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "list_experiments",
+    "register",
+]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one paper artefact.
+
+    Attributes:
+        experiment_id: registry key, e.g. ``"figure5"`` or ``"table8"``.
+        title: what the artefact shows.
+        paper_ref: the table/figure number in the paper.
+        runner: callable producing the :class:`ExperimentResult`.
+            Keyword arguments (e.g. ``fast=True``) are forwarded.
+    """
+
+    experiment_id: str
+    title: str
+    paper_ref: str
+    runner: Callable[..., ExperimentResult]
+
+    def run(self, **kwargs) -> ExperimentResult:
+        """Execute the experiment."""
+        return self.runner(**kwargs)
+
+
+EXPERIMENTS: dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str, paper_ref: str):
+    """Decorator registering an experiment runner under ``experiment_id``."""
+
+    def decorator(runner: Callable[..., ExperimentResult]):
+        if experiment_id in EXPERIMENTS:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        EXPERIMENTS[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            paper_ref=paper_ref,
+            runner=runner,
+        )
+        return runner
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id.
+
+    Raises:
+        KeyError: with the known ids listed, if absent.
+    """
+    try:
+        return EXPERIMENTS[experiment_id.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def list_experiments() -> list[Experiment]:
+    """All experiments, ordered by id."""
+    return [EXPERIMENTS[key] for key in sorted(EXPERIMENTS)]

@@ -1,0 +1,95 @@
+"""Plain-text rendering: ASCII line charts and series tables.
+
+The paper's figures are line charts of processing power or utilisation;
+for a terminal-first reproduction we render them as character grids.
+Each series gets a marker letter; overlapping points show the later
+series' marker.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.result import Series, TableData
+
+__all__ = ["ascii_chart", "series_table"]
+
+_MARKERS = "ox+*#@%&=~abcdefgh"
+
+
+def ascii_chart(
+    series: Sequence[Series],
+    width: int = 72,
+    height: int = 20,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render series as an ASCII chart with axes and a legend.
+
+    Args:
+        series: curves to draw (at least one non-empty).
+        width: plot-area width in characters.
+        height: plot-area height in rows.
+        xlabel: x-axis caption.
+        ylabel: y-axis caption (shown in the header line).
+    """
+    points = [
+        (x, y) for one in series for x, y in zip(one.x, one.y)
+    ]
+    if not points:
+        return "(no data)"
+    xs, ys = zip(*points)
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    y_low = min(y_low, 0.0)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        column = round((x - x_low) / x_span * (width - 1))
+        row = height - 1 - round((y - y_low) / y_span * (height - 1))
+        grid[row][column] = marker
+
+    for index, one in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(one.x, one.y):
+            place(x, y, marker)
+
+    label_width = 9
+    lines = []
+    if ylabel:
+        lines.append(f"{ylabel}")
+    for row_index, row in enumerate(grid):
+        value = y_high - (y_high - y_low) * row_index / (height - 1)
+        lines.append(f"{value:>{label_width}.2f} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  {x_low:<12.4g}"
+        + f"{xlabel:^{max(width - 28, 0)}}"
+        + f"{x_high:>12.4g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {one.label}"
+        for i, one in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def series_table(series: Sequence[Series], xlabel: str = "x") -> TableData:
+    """Tabulate series against the union of their x values."""
+    x_values = sorted({x for one in series for x in one.x})
+    headers = (xlabel or "x",) + tuple(one.label for one in series)
+    rows = []
+    for x in x_values:
+        row = [f"{x:g}"]
+        for one in series:
+            try:
+                row.append(f"{one.y_at(x):.4g}")
+            except KeyError:
+                row.append("-")
+        rows.append(tuple(row))
+    return TableData(title="series values", headers=headers, rows=tuple(rows))

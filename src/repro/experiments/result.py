@@ -1,0 +1,146 @@
+"""Result containers and text rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Check", "ExperimentResult", "Series", "TableData"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve: parallel ``x`` and ``y`` vectors."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: x and y lengths differ "
+                f"({len(self.x)} vs {len(self.y)})"
+            )
+
+    @classmethod
+    def from_points(
+        cls, label: str, points: Sequence[tuple[float, float]]
+    ) -> "Series":
+        xs, ys = zip(*points) if points else ((), ())
+        return cls(label=label, x=tuple(xs), y=tuple(ys))
+
+    def y_at(self, x_value: float) -> float:
+        """The y value at an exact x (raises if absent)."""
+        try:
+            return self.y[self.x.index(x_value)]
+        except ValueError:
+            raise KeyError(
+                f"series {self.label!r} has no point at x={x_value}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class TableData:
+    """A rendered-ready table: header row plus body rows."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.headers):
+                raise ValueError(
+                    f"table {self.title!r}: row width {len(row)} != "
+                    f"header width {len(self.headers)}"
+                )
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.headers[i]), *(len(row[i]) for row in self.rows))
+            if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = [self.title]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Check:
+    """One shape assertion from the paper's prose.
+
+    Attributes:
+        name: short identifier of the claim.
+        passed: whether the regenerated data satisfies it.
+        detail: human-readable evidence (numbers involved).
+    """
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    xlabel: str = ""
+    ylabel: str = ""
+    series: list[Series] = field(default_factory=list)
+    tables: list[TableData] = field(default_factory=list)
+    checks: list[Check] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def series_by_label(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        known = ", ".join(s.label for s in self.series)
+        raise KeyError(f"no series {label!r}; have: {known}")
+
+    def add_check(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(Check(name=name, passed=passed, detail=detail))
+
+    def render(self, chart_width: int = 72, chart_height: int = 20) -> str:
+        """Full text report: title, chart, tables, checks, notes."""
+        from repro.experiments.report import ascii_chart, series_table
+
+        blocks = [f"== {self.experiment_id}: {self.title} =="]
+        if self.series:
+            blocks.append(
+                ascii_chart(
+                    self.series,
+                    width=chart_width,
+                    height=chart_height,
+                    xlabel=self.xlabel,
+                    ylabel=self.ylabel,
+                )
+            )
+            blocks.append(series_table(self.series, self.xlabel).render())
+        for table in self.tables:
+            blocks.append(table.render())
+        if self.checks:
+            lines = ["shape checks:"]
+            for check in self.checks:
+                mark = "PASS" if check.passed else "FAIL"
+                lines.append(f"  [{mark}] {check.name}: {check.detail}")
+            blocks.append("\n".join(lines))
+        for note in self.notes:
+            blocks.append(f"note: {note}")
+        return "\n\n".join(blocks)

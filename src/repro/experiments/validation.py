@@ -1,0 +1,277 @@
+"""Model-versus-simulation validation (paper Figures 1-3, Section 3).
+
+The paper validates the analytical model by simulating multiprocessor
+address traces and comparing predicted against simulated processing
+power for the Base and Dragon schemes at 16K/64K/256K caches.  We do
+the same with the synthetic ATUM-like traces: for each processor
+count, workload parameters are measured from the (restricted) trace at
+the simulated cache configuration and fed to the model — the paper's
+own methodology ("a parameter value must be input for each point under
+consideration").
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from repro.core import BASE, DRAGON, BusSystem, CoherenceScheme
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, Series, TableData
+from repro.sim import Machine, SimulationConfig, measure_workload_params
+from repro.trace import Trace, preset
+
+__all__ = ["model_vs_simulation", "validation_points"]
+
+_SCHEME_BY_PROTOCOL: dict[str, CoherenceScheme] = {
+    "base": BASE,
+    "dragon": DRAGON,
+}
+
+#: records_per_cpu used when an experiment is run with fast=True.
+_FAST_RECORDS = 40_000
+
+
+@lru_cache(maxsize=16)
+def _trace(workload: str, records_per_cpu: int | None) -> Trace:
+    recipe = preset(workload)
+    if records_per_cpu is None:
+        return recipe.generate()
+    return recipe.generate(records_per_cpu=records_per_cpu)
+
+
+def validation_points(
+    workload: str,
+    protocol: str,
+    cache_bytes: int,
+    cpu_counts: Sequence[int],
+    records_per_cpu: int | None = None,
+) -> list[dict]:
+    """Simulated and predicted performance for one configuration sweep.
+
+    Returns:
+        One dict per processor count with keys ``cpus``,
+        ``simulated_power``, ``predicted_power``, ``relative_error``,
+        and the measured miss rates.
+    """
+    scheme = _SCHEME_BY_PROTOCOL[protocol]
+    trace = _trace(workload, records_per_cpu)
+    config = SimulationConfig(cache_bytes=cache_bytes)
+    machine = Machine(protocol, config)
+    bus = BusSystem()
+    points = []
+    for cpus in cpu_counts:
+        restricted = trace.restricted_to(cpus) if cpus != trace.cpus else trace
+        simulated = machine.run(restricted)
+        # Dragon measurement run reused when the protocol is dragon.
+        measurement = simulated if protocol == "dragon" else None
+        params = measure_workload_params(restricted, config, measurement)
+        predicted = bus.evaluate(scheme, params, cpus)
+        simulated_power = simulated.processing_power
+        predicted_power = predicted.processing_power
+        points.append(
+            {
+                "cpus": cpus,
+                "simulated_power": simulated_power,
+                "predicted_power": predicted_power,
+                "relative_error": (
+                    (predicted_power - simulated_power) / simulated_power
+                    if simulated_power
+                    else 0.0
+                ),
+                "msdat": params.msdat,
+                "mains": params.mains,
+            }
+        )
+    return points
+
+
+def model_vs_simulation(
+    experiment_id: str,
+    title: str,
+    workloads: Sequence[str],
+    protocols: Sequence[str],
+    cache_sizes: Sequence[int],
+    cpu_counts: Sequence[int],
+    records_per_cpu: int | None,
+    error_budget: float = 0.10,
+) -> ExperimentResult:
+    """Generic validation sweep with an error-budget shape check."""
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        xlabel="processors",
+        ylabel="processing power",
+    )
+    rows = []
+    worst = 0.0
+    for workload in workloads:
+        for protocol in protocols:
+            for cache_bytes in cache_sizes:
+                points = validation_points(
+                    workload, protocol, cache_bytes, cpu_counts,
+                    records_per_cpu,
+                )
+                tag = _series_tag(
+                    workload, protocol, cache_bytes,
+                    len(workloads) > 1, len(protocols) > 1,
+                    len(cache_sizes) > 1,
+                )
+                result.series.append(
+                    Series(
+                        f"sim {tag}".strip(),
+                        tuple(float(p["cpus"]) for p in points),
+                        tuple(p["simulated_power"] for p in points),
+                    )
+                )
+                result.series.append(
+                    Series(
+                        f"model {tag}".strip(),
+                        tuple(float(p["cpus"]) for p in points),
+                        tuple(p["predicted_power"] for p in points),
+                    )
+                )
+                for point in points:
+                    worst = max(worst, abs(point["relative_error"]))
+                    rows.append(
+                        (
+                            workload,
+                            protocol,
+                            f"{cache_bytes // 1024}K",
+                            str(point["cpus"]),
+                            f"{point['simulated_power']:.3f}",
+                            f"{point['predicted_power']:.3f}",
+                            f"{100 * point['relative_error']:+.1f}%",
+                        )
+                    )
+    result.tables.append(
+        TableData(
+            title="model vs simulation",
+            headers=(
+                "workload", "protocol", "cache", "cpus",
+                "sim power", "model power", "error",
+            ),
+            rows=tuple(rows),
+        )
+    )
+    result.add_check(
+        "model-tracks-simulation",
+        worst <= error_budget,
+        f"worst relative error {100 * worst:.1f}% "
+        f"(budget {100 * error_budget:.0f}%)",
+    )
+    return result
+
+
+def _series_tag(
+    workload: str,
+    protocol: str,
+    cache_bytes: int,
+    show_workload: bool,
+    show_protocol: bool,
+    show_cache: bool,
+) -> str:
+    parts = []
+    if show_workload:
+        parts.append(workload)
+    if show_protocol:
+        parts.append(protocol)
+    if show_cache:
+        parts.append(f"{cache_bytes // 1024}K")
+    return " ".join(parts)
+
+
+@register(
+    "figure1",
+    "Model vs simulation: Base and Dragon, 64K caches",
+    "Figure 1",
+)
+def figure1(fast: bool = False, **_) -> ExperimentResult:
+    result = model_vs_simulation(
+        "figure1",
+        "Model vs simulation, Base and Dragon schemes, 64K-byte caches",
+        workloads=("pops", "thor", "pero"),
+        protocols=("base", "dragon"),
+        cache_sizes=(65536,),
+        cpu_counts=(1, 2, 3, 4),
+        records_per_cpu=_FAST_RECORDS if fast else None,
+    )
+    # The model must capture the (small) Base-over-Dragon advantage.
+    for workload in ("pops", "thor", "pero"):
+        sim_gap = (
+            result.series_by_label(f"sim {workload} base").y_at(4)
+            - result.series_by_label(f"sim {workload} dragon").y_at(4)
+        )
+        model_gap = (
+            result.series_by_label(f"model {workload} base").y_at(4)
+            - result.series_by_label(f"model {workload} dragon").y_at(4)
+        )
+        result.add_check(
+            f"relative-difference-captured-{workload}",
+            sim_gap >= 0.0 and model_gap >= 0.0,
+            f"{workload}: Base-Dragon gap sim {sim_gap:+.3f}, "
+            f"model {model_gap:+.3f}",
+        )
+    return result
+
+
+@register(
+    "figure2",
+    "Model vs simulation: Dragon at three cache sizes, <=4 CPUs",
+    "Figure 2",
+)
+def figure2(fast: bool = False, **_) -> ExperimentResult:
+    result = model_vs_simulation(
+        "figure2",
+        "Impact of cache size on Dragon, four or fewer processors (pops)",
+        workloads=("pops",),
+        protocols=("dragon",),
+        cache_sizes=(16384, 65536, 262144),
+        cpu_counts=(1, 2, 3, 4),
+        records_per_cpu=_FAST_RECORDS if fast else None,
+    )
+    small = result.series_by_label("sim 16K").y_at(4)
+    large = result.series_by_label("sim 256K").y_at(4)
+    result.add_check(
+        "bigger-caches-help",
+        large > small,
+        f"power at n=4: 16K {small:.3f} < 256K {large:.3f}",
+    )
+    return result
+
+
+@register(
+    "figure3",
+    "Model vs simulation: Dragon at three cache sizes, <=8 CPUs",
+    "Figure 3",
+)
+def figure3(fast: bool = False, **_) -> ExperimentResult:
+    result = model_vs_simulation(
+        "figure3",
+        "Impact of cache size on Dragon, eight or fewer processors (pero8)",
+        workloads=("pero8",),
+        protocols=("dragon",),
+        cache_sizes=(16384, 65536, 262144),
+        cpu_counts=(1, 2, 4, 8),
+        records_per_cpu=_FAST_RECORDS if fast else None,
+        # At 8 processors the synthetic traces' burstiness (broadcast
+        # trains inside critical sections, miss clusters) costs more
+        # contention than the model's Poisson-arrival assumption sees;
+        # the paper's own 8-CPU plot shows gaps of similar magnitude,
+        # though with the opposite sign (its exponential-service bus
+        # model overestimates contention on the ATUM traces).
+        error_budget=0.20,
+    )
+    result.notes.append(
+        "Model-simulation divergence grows with processor count because "
+        "the trace's bus requests are burstier than the contention "
+        "model's arrival assumption; see EXPERIMENTS.md."
+    )
+    small = result.series_by_label("sim 16K").y_at(8)
+    large = result.series_by_label("sim 256K").y_at(8)
+    result.add_check(
+        "bigger-caches-help",
+        large > small,
+        f"power at n=8: 16K {small:.3f} < 256K {large:.3f}",
+    )
+    return result

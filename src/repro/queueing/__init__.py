@@ -1,0 +1,46 @@
+"""Queueing-theory substrate for the coherence performance models.
+
+This package contains the two analytical engines the paper's contention
+models are built on:
+
+* :mod:`repro.queueing.mva` — exact Mean Value Analysis of the
+  machine-repairman model (one server, ``n`` statistically identical
+  customers).  The paper's bus contention model (Section 2.3) is this
+  model with think time ``c - b`` and service time ``b``.
+* :mod:`repro.queueing.delta` — Patel's probabilistic model of
+  unbuffered circuit-switched delta (Banyan/Omega) networks built from
+  2x2 crossbars, plus the closed-loop fixed point that couples the
+  network to stalling processors (Section 6.2).
+* :mod:`repro.queueing.asymptotic` — operational-analysis bounds
+  (saturation point, asymptotic processing power) used to locate the
+  knees of the processing-power curves.
+
+The engines are deliberately independent of cache-coherence concepts;
+they take (think time, service time) style inputs so they can be tested
+against queueing-theory ground truth in isolation.
+"""
+
+from repro.queueing.asymptotic import (
+    asymptotic_throughput,
+    machine_repairman_bounds,
+    saturation_population,
+)
+from repro.queueing.delta import (
+    DeltaNetwork,
+    FixedPointResult,
+    closed_loop_utilization,
+    stage_rates,
+)
+from repro.queueing.mva import MvaResult, solve_machine_repairman
+
+__all__ = [
+    "DeltaNetwork",
+    "FixedPointResult",
+    "MvaResult",
+    "asymptotic_throughput",
+    "closed_loop_utilization",
+    "machine_repairman_bounds",
+    "saturation_population",
+    "solve_machine_repairman",
+    "stage_rates",
+]

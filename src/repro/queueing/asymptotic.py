@@ -1,0 +1,89 @@
+"""Operational-analysis bounds for the machine-repairman model.
+
+These bounds locate the knee of the processing-power curves in the
+paper's Figures 4-10 without solving MVA at every population:
+
+* The bus can complete at most ``1 / S`` transactions per cycle, so
+  system throughput is bounded by ``min(n / (Z + S), 1 / S)``.
+* The two bounds cross at the saturation population
+  ``n* = (Z + S) / S``; beyond ``n*`` adding processors yields almost
+  no extra processing power.
+
+``Z`` is the think time (``c - b`` in the paper) and ``S`` the bus
+service time per transaction (``b``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "asymptotic_throughput",
+    "machine_repairman_bounds",
+    "saturation_population",
+]
+
+
+@dataclass(frozen=True)
+class ThroughputBounds:
+    """Upper and lower bounds on system throughput at population ``n``.
+
+    Attributes:
+        population: number of customers.
+        upper: optimistic bound (no queueing below saturation).
+        lower: pessimistic bound (full serialization of all requests).
+    """
+
+    population: int
+    upper: float
+    lower: float
+
+
+def saturation_population(think_time: float, service_time: float) -> float:
+    """Population at which the server saturates, ``(Z + S) / S``.
+
+    Returns ``inf`` for a zero service time (the server never
+    saturates).
+    """
+    if think_time < 0.0:
+        raise ValueError(f"think_time must be >= 0, got {think_time}")
+    if service_time < 0.0:
+        raise ValueError(f"service_time must be >= 0, got {service_time}")
+    if service_time == 0.0:
+        return float("inf")
+    return (think_time + service_time) / service_time
+
+
+def asymptotic_throughput(service_time: float) -> float:
+    """Limiting system throughput as the population grows, ``1 / S``."""
+    if service_time < 0.0:
+        raise ValueError(f"service_time must be >= 0, got {service_time}")
+    if service_time == 0.0:
+        return float("inf")
+    return 1.0 / service_time
+
+
+def machine_repairman_bounds(
+    population: int, think_time: float, service_time: float
+) -> ThroughputBounds:
+    """Asymptotic throughput bounds at a given population.
+
+    The optimistic bound assumes no queueing until the server
+    saturates: ``X <= min(n / (Z + S), 1 / S)``.  The pessimistic bound
+    assumes every request queues behind all ``n - 1`` others:
+    ``X >= n / (Z + n * S)``.
+    """
+    if population < 0:
+        raise ValueError(f"population must be >= 0, got {population}")
+    if population == 0:
+        return ThroughputBounds(population=0, upper=0.0, lower=0.0)
+    if service_time == 0.0:
+        unqueued = population / think_time if think_time > 0.0 else float("inf")
+        return ThroughputBounds(population=population, upper=unqueued, lower=unqueued)
+
+    upper = min(
+        population / (think_time + service_time),
+        asymptotic_throughput(service_time),
+    )
+    lower = population / (think_time + population * service_time)
+    return ThroughputBounds(population=population, upper=upper, lower=lower)

@@ -1,0 +1,53 @@
+"""Shared-bus timing with fixed per-operation service times.
+
+The simulated bus is a single shared resource: a transaction occupies
+it for a fixed number of cycles (from the machine's cost table, the
+paper's Table 1), and a processor whose transaction finds the bus busy
+waits until it frees.  Grants are in request order (the order the
+interleaved trace presents transactions), which approximates the
+round-robin arbitration of the traced machine.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TimedBus"]
+
+
+class TimedBus:
+    """Cycle bookkeeping for the shared bus.
+
+    Attributes:
+        free_at: earliest cycle at which the bus is idle.
+        busy_cycles: total cycles the bus has been held.
+        transactions: number of transactions granted.
+    """
+
+    def __init__(self) -> None:
+        self.free_at: float = 0.0
+        self.busy_cycles: float = 0.0
+        self.transactions: int = 0
+
+    def transact(self, ready_at: float, hold_cycles: float) -> tuple[float, float]:
+        """Acquire the bus at or after ``ready_at`` for ``hold_cycles``.
+
+        Args:
+            ready_at: cycle at which the requesting processor is ready.
+            hold_cycles: bus service time of the transaction, ``> 0``.
+
+        Returns:
+            ``(grant_cycle, wait_cycles)`` — when the transaction
+            started and how long the processor waited for the grant.
+        """
+        if hold_cycles <= 0.0:
+            raise ValueError(f"hold_cycles must be > 0, got {hold_cycles}")
+        grant = self.free_at if self.free_at > ready_at else ready_at
+        self.free_at = grant + hold_cycles
+        self.busy_cycles += hold_cycles
+        self.transactions += 1
+        return grant, grant - ready_at
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Fraction of ``elapsed_cycles`` the bus was held."""
+        if elapsed_cycles <= 0.0:
+            return 0.0
+        return min(self.busy_cycles / elapsed_cycles, 1.0)

@@ -1,0 +1,362 @@
+"""The multiprocessor machine: caches + bus + protocol + trace replay.
+
+Timing model: each processor has a private clock.  An instruction
+fetch costs one execution cycle; cache operations add the CPU cycles
+of their :class:`~repro.core.operations.Operation` from the machine's
+cost table.  Operations with bus time wait for the bus (adding
+contention cycles) and then hold it for the operation's bus cycles.
+Snoop updates steal one cycle from each holding processor.
+
+References are replayed in trace order, so processor clocks can drift
+relative to one another — the same approximation the paper's simulator
+makes ("the order of references from different processors may be
+slightly distorted"), which it verified to be benign.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.operations import CostTable, Operation
+from repro.sim.bus import TimedBus
+from repro.sim.cache import Cache, CacheGeometry
+from repro.sim.protocols import Protocol, protocol_class
+from repro.trace.records import AccessType, Trace
+
+__all__ = ["CpuStats", "Machine", "SimulationConfig", "SimulationResult"]
+
+_MISS_OPERATIONS = frozenset(
+    {
+        Operation.CLEAN_MISS_MEMORY,
+        Operation.DIRTY_MISS_MEMORY,
+        Operation.CLEAN_MISS_CACHE,
+        Operation.DIRTY_MISS_CACHE,
+    }
+)
+_DIRTY_VICTIM_OPERATIONS = frozenset(
+    {Operation.DIRTY_MISS_MEMORY, Operation.DIRTY_MISS_CACHE}
+)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Machine configuration for one simulation run.
+
+    Attributes:
+        cache_bytes: per-processor cache size (paper: 16K/64K/256K).
+        block_bytes: cache block and bus transfer size (paper: 16).
+        associativity: cache associativity.  Two-way by default: with
+            the synthetic traces' separate code/data/shared regions, a
+            direct-mapped cache suffers conflict misses well above the
+            paper's observed miss-rate range, and the paper does not
+            pin the traced machine's associativity.
+    """
+
+    cache_bytes: int = 65536
+    block_bytes: int = 16
+    associativity: int = 2
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return CacheGeometry(
+            size_bytes=self.cache_bytes,
+            block_bytes=self.block_bytes,
+            associativity=self.associativity,
+        )
+
+
+@dataclass
+class CpuStats:
+    """Per-processor counters accumulated during a run."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    flushes: int = 0
+    clock: float = 0.0
+    wait_cycles: float = 0.0
+    stolen_cycles: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Productive fraction: one cycle per instruction over elapsed."""
+        if self.clock == 0.0:
+            return 0.0
+        return self.instructions / self.clock
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced.
+
+    The derived properties mirror the statistics the paper's simulator
+    reports: miss rates, contention, utilisation, processing power.
+    """
+
+    protocol: str
+    trace_name: str
+    config: SimulationConfig
+    cpus: list[CpuStats] = field(default_factory=list)
+    operation_counts: Counter = field(default_factory=Counter)
+    fetch_misses: int = 0
+    data_misses: int = 0
+    dirty_victim_misses: int = 0
+    shared_loads: int = 0
+    shared_stores: int = 0
+    shared_data_misses: int = 0
+    bus_busy_cycles: float = 0.0
+    bus_transactions: int = 0
+    protocol_stats: object | None = None
+
+    # -- reference mix -----------------------------------------------------
+
+    @property
+    def instructions(self) -> int:
+        return sum(cpu.instructions for cpu in self.cpus)
+
+    @property
+    def data_references(self) -> int:
+        return sum(cpu.loads + cpu.stores for cpu in self.cpus)
+
+    @property
+    def shared_references(self) -> int:
+        return self.shared_loads + self.shared_stores
+
+    # -- miss rates ---------------------------------------------------------
+
+    @property
+    def total_misses(self) -> int:
+        return self.fetch_misses + self.data_misses
+
+    @property
+    def instruction_miss_rate(self) -> float:
+        """``mains``: instruction misses per instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.fetch_misses / self.instructions
+
+    @property
+    def data_miss_rate(self) -> float:
+        """``msdat``: data misses per data reference.
+
+        For the No-Cache protocol shared references bypass the cache,
+        so this is per *cachable* data reference.
+        """
+        cachable = self.data_references
+        if self.protocol == "nocache":
+            cachable -= self.shared_references
+        if cachable <= 0:
+            return 0.0
+        return self.data_misses / cachable
+
+    @property
+    def dirty_victim_fraction(self) -> float:
+        """``md``: fraction of misses replacing a dirty block."""
+        if self.total_misses == 0:
+            return 0.0
+        return self.dirty_victim_misses / self.total_misses
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def elapsed_cycles(self) -> float:
+        return max((cpu.clock for cpu in self.cpus), default=0.0)
+
+    @property
+    def wait_cycles(self) -> float:
+        return sum(cpu.wait_cycles for cpu in self.cpus)
+
+    @property
+    def wait_cycles_per_instruction(self) -> float:
+        """Measured counterpart of the model's ``w``."""
+        if self.instructions == 0:
+            return 0.0
+        return self.wait_cycles / self.instructions
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        """Measured counterpart of the model's ``c + w`` (per CPU mean)."""
+        if self.instructions == 0:
+            return 0.0
+        return sum(cpu.clock for cpu in self.cpus) / self.instructions
+
+    @property
+    def utilization(self) -> float:
+        """Mean per-processor utilisation."""
+        if not self.cpus:
+            return 0.0
+        return sum(cpu.utilization for cpu in self.cpus) / len(self.cpus)
+
+    @property
+    def processing_power(self) -> float:
+        """Sum of per-processor utilisations (the paper's metric)."""
+        return sum(cpu.utilization for cpu in self.cpus)
+
+    @property
+    def bus_utilization(self) -> float:
+        if self.elapsed_cycles == 0.0:
+            return 0.0
+        return min(self.bus_busy_cycles / self.elapsed_cycles, 1.0)
+
+
+class Machine:
+    """A simulated shared-bus multiprocessor.
+
+    Args:
+        protocol: protocol name (``base``, ``dragon``, ``nocache``,
+            ``swflush``) or a :class:`Protocol` subclass.
+        config: cache configuration.
+        costs: operation cost table; defaults to the paper's Table 1.
+    """
+
+    def __init__(
+        self,
+        protocol: str | type[Protocol] = "base",
+        config: SimulationConfig | None = None,
+        costs: CostTable | None = None,
+    ):
+        if isinstance(protocol, str):
+            self.protocol_class = protocol_class(protocol)
+        else:
+            self.protocol_class = protocol
+        self.config = config if config is not None else SimulationConfig()
+        self.costs = costs if costs is not None else CostTable.bus()
+
+    def run(
+        self,
+        trace: Trace,
+        cpus: int | None = None,
+        order: str = "time",
+    ) -> SimulationResult:
+        """Replay a trace and return the accumulated statistics.
+
+        Args:
+            trace: the reference stream to replay.
+            cpus: if given, restrict the trace to its first ``cpus``
+                processors (the validation sweeps use this).
+            order: ``"time"`` (default) merges the per-CPU streams by
+                simulated clock, so bus grants happen in simulated-time
+                order; ``"trace"`` replays records exactly in trace
+                order, which lets drifted-ahead processors capture the
+                bus "from the future" (the distortion the paper
+                discusses in Section 3).  Per-CPU program order is
+                preserved either way.
+        """
+        if order not in ("time", "trace"):
+            raise ValueError(f"order must be 'time' or 'trace', got {order!r}")
+        if cpus is not None and cpus != trace.cpus:
+            trace = trace.restricted_to(cpus)
+
+        geometry = self.config.geometry
+        caches = [Cache(geometry) for _ in range(trace.cpus)]
+        block_shift = geometry.block_shift
+        shared_low = trace.shared_region.start >> block_shift
+        shared_high = (
+            trace.shared_region.stop + geometry.block_bytes - 1
+        ) >> block_shift
+
+        def is_shared_block(block: int) -> bool:
+            return shared_low <= block < shared_high
+
+        protocol = self.protocol_class(caches, is_shared_block)
+        bus = TimedBus()
+        result = SimulationResult(
+            protocol=protocol.name,
+            trace_name=trace.name,
+            config=self.config,
+            cpus=[CpuStats() for _ in range(trace.cpus)],
+        )
+        # Local bindings for the hot loop.
+        cpu_cost = {op: cost.cpu_cycles for op, cost in self.costs.items()}
+        bus_cost = {op: cost.channel_cycles for op, cost in self.costs.items()}
+        stats = result.cpus
+        op_counts = result.operation_counts
+        handles_flush = protocol.handles_flush
+        fetch = AccessType.INST_FETCH
+        store = AccessType.STORE
+        flush = AccessType.FLUSH
+
+        def process(cpu: int, kind: AccessType, address: int) -> None:
+            cpu_stats = stats[cpu]
+            block = address >> block_shift
+            if kind is flush:
+                cpu_stats.flushes += 1
+                if not handles_flush:
+                    return
+                outcome = protocol.flush(cpu, block)
+            else:
+                if kind is fetch:
+                    cpu_stats.instructions += 1
+                    cpu_stats.clock += 1.0
+                else:
+                    shared = is_shared_block(block)
+                    if kind is store:
+                        cpu_stats.stores += 1
+                        if shared:
+                            result.shared_stores += 1
+                    else:
+                        cpu_stats.loads += 1
+                        if shared:
+                            result.shared_loads += 1
+                outcome = protocol.access(cpu, kind, block)
+
+            for operation in outcome.operations:
+                hold = bus_cost[operation]
+                if hold > 0.0:
+                    grant, wait = bus.transact(cpu_stats.clock, hold)
+                    cpu_stats.clock = grant + cpu_cost[operation]
+                    cpu_stats.wait_cycles += wait
+                else:
+                    cpu_stats.clock += cpu_cost[operation]
+                op_counts[operation] += 1
+                if operation in _MISS_OPERATIONS:
+                    if kind is fetch:
+                        result.fetch_misses += 1
+                    else:
+                        result.data_misses += 1
+                        if is_shared_block(block):
+                            result.shared_data_misses += 1
+                    if operation in _DIRTY_VICTIM_OPERATIONS:
+                        result.dirty_victim_misses += 1
+
+            for victim_cpu in outcome.steal_from:
+                stats[victim_cpu].clock += 1.0
+                stats[victim_cpu].stolen_cycles += 1
+
+        if order == "trace" or trace.cpus == 1:
+            for cpu, kind, address in trace.records:
+                process(cpu, kind, address)
+        else:
+            self._replay_time_ordered(trace, stats, process)
+
+        result.bus_busy_cycles = bus.busy_cycles
+        result.bus_transactions = bus.transactions
+        result.protocol_stats = getattr(protocol, "stats", None)
+        return result
+
+    @staticmethod
+    def _replay_time_ordered(trace: Trace, stats, process) -> None:
+        """Feed records to ``process`` in simulated-time order.
+
+        The per-CPU record streams are merged by each processor's
+        current clock (a heap of ``(clock, cpu)``), so the next record
+        handled always belongs to the processor that is earliest in
+        simulated time.  Per-CPU program order is untouched.
+        """
+        streams: list[list] = [[] for _ in range(trace.cpus)]
+        for record in trace.records:
+            streams[record.cpu].append(record)
+        positions = [0] * trace.cpus
+        heap = [
+            (0.0, cpu) for cpu in range(trace.cpus) if streams[cpu]
+        ]
+        heapq.heapify(heap)
+        while heap:
+            _, cpu = heapq.heappop(heap)
+            _, kind, address = streams[cpu][positions[cpu]]
+            positions[cpu] += 1
+            process(cpu, kind, address)
+            if positions[cpu] < len(streams[cpu]):
+                heapq.heappush(heap, (stats[cpu].clock, cpu))

@@ -1,0 +1,74 @@
+"""Measure the model's workload parameters from a trace.
+
+The paper's validation (Section 3) feeds the analytical model with
+parameters measured from the same traces the simulator replays.  This
+module reproduces that flow:
+
+* reference-mix parameters (``ls``, ``shd``, ``wr``) and the
+  run-length parameters (``apl``, ``mdshd``) come straight from the
+  trace (:mod:`repro.trace.stats`);
+* cache-dependent parameters (``msdat``, ``mains``, ``md``) and the
+  snoop parameters (``oclean``, ``opres``, ``nshd``) come from a
+  Dragon simulation at the requested cache configuration — Dragon,
+  because it is the scheme whose state exposes those events, and its
+  miss behaviour matches Base (write-update protocols do not
+  invalidate).
+"""
+
+from __future__ import annotations
+
+from repro.core.params import WorkloadParams
+from repro.sim.machine import Machine, SimulationConfig, SimulationResult
+from repro.sim.protocols.dragon import DragonStats
+from repro.trace.records import Trace
+from repro.trace.stats import collect_stats
+
+__all__ = ["measure_workload_params"]
+
+
+def measure_workload_params(
+    trace: Trace,
+    config: SimulationConfig | None = None,
+    simulation: SimulationResult | None = None,
+) -> WorkloadParams:
+    """Workload parameters of ``trace`` at one cache configuration.
+
+    Args:
+        trace: the trace to characterise.
+        config: cache configuration for the miss-rate measurements.
+        simulation: a previously run *Dragon* simulation of the same
+            trace/config, to avoid simulating twice.  Must carry
+            :class:`~repro.sim.protocols.dragon.DragonStats`.
+
+    Returns:
+        A fully populated :class:`~repro.core.params.WorkloadParams`,
+        with each value clamped to its legal range.
+    """
+    config = config if config is not None else SimulationConfig()
+    if simulation is None:
+        simulation = Machine("dragon", config).run(trace)
+    if not isinstance(simulation.protocol_stats, DragonStats):
+        raise ValueError(
+            "measurement needs a Dragon simulation (protocol_stats "
+            f"missing or wrong type: {type(simulation.protocol_stats).__name__})"
+        )
+
+    trace_stats = collect_stats(trace)
+    dragon = simulation.protocol_stats
+
+    def probability(value: float) -> float:
+        return min(max(value, 0.0), 1.0)
+
+    return WorkloadParams(
+        ls=probability(trace_stats.ls),
+        msdat=probability(simulation.data_miss_rate),
+        mains=probability(simulation.instruction_miss_rate),
+        md=probability(simulation.dirty_victim_fraction),
+        shd=probability(trace_stats.shd),
+        wr=probability(trace_stats.wr),
+        apl=max(trace_stats.apl, 1.0),
+        mdshd=probability(trace_stats.mdshd),
+        oclean=probability(dragon.oclean),
+        opres=probability(dragon.opres),
+        nshd=max(dragon.nshd, 0.0),
+    )

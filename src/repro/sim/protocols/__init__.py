@@ -1,0 +1,71 @@
+"""Coherence protocol engines for the trace-driven simulator.
+
+Each protocol maps one memory reference to the hardware operations it
+triggers (the same :class:`~repro.core.operations.Operation` vocabulary
+the analytical model uses) while keeping every processor's cache state
+up to date.  The machine in :mod:`repro.sim.machine` charges the
+operations' CPU and bus cycles from its cost table, so simulator and
+model share a single system model by construction — exactly the
+validation setup of the paper's Section 3.
+"""
+
+from repro.sim.protocols.interface import AccessOutcome, Protocol
+from repro.sim.protocols.nocoherence import BaseProtocol
+from repro.sim.protocols.directory import DirectoryProtocol
+from repro.sim.protocols.dragon import DragonProtocol
+from repro.sim.protocols.nocache import NoCacheProtocol
+from repro.sim.protocols.swflush import SoftwareFlushProtocol
+from repro.sim.protocols.wti import WriteThroughInvalidateProtocol
+
+__all__ = [
+    "PROTOCOLS",
+    "AccessOutcome",
+    "BaseProtocol",
+    "DirectoryProtocol",
+    "DragonProtocol",
+    "NoCacheProtocol",
+    "Protocol",
+    "SoftwareFlushProtocol",
+    "WriteThroughInvalidateProtocol",
+    "protocol_class",
+]
+
+#: Protocol classes by canonical name.
+PROTOCOLS: dict[str, type[Protocol]] = {
+    BaseProtocol.name: BaseProtocol,
+    DirectoryProtocol.name: DirectoryProtocol,
+    DragonProtocol.name: DragonProtocol,
+    NoCacheProtocol.name: NoCacheProtocol,
+    SoftwareFlushProtocol.name: SoftwareFlushProtocol,
+    WriteThroughInvalidateProtocol.name: WriteThroughInvalidateProtocol,
+}
+
+_ALIASES = {
+    "base": "base",
+    "directory": "directory",
+    "dir": "directory",
+    "full-map": "directory",
+    "no-coherence": "base",
+    "dragon": "dragon",
+    "snoopy": "dragon",
+    "nocache": "nocache",
+    "no-cache": "nocache",
+    "swflush": "swflush",
+    "software-flush": "swflush",
+    "flush": "swflush",
+    "wti": "wti",
+    "write-through": "wti",
+}
+
+
+def protocol_class(name: str) -> type[Protocol]:
+    """Look up a protocol class by name or alias.
+
+    Raises:
+        KeyError: if the name matches no protocol.
+    """
+    try:
+        return PROTOCOLS[_ALIASES[name.strip().lower()]]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise KeyError(f"unknown protocol {name!r}; known: {known}") from None

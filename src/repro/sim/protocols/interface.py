@@ -1,0 +1,93 @@
+"""The protocol interface shared by all coherence engines."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, NamedTuple, Sequence
+
+from repro.core.operations import Operation
+from repro.sim.cache import Cache, LineState
+from repro.trace.records import AccessType
+
+__all__ = ["AccessOutcome", "Protocol"]
+
+
+class AccessOutcome(NamedTuple):
+    """What one memory reference triggered.
+
+    Attributes:
+        operations: hardware operations charged to the issuing
+            processor, in order (each may occupy the bus).
+        steal_from: CPUs that lose one cycle to a snoop update
+            (Dragon write-broadcast recipients).
+    """
+
+    operations: tuple[Operation, ...]
+    steal_from: tuple[int, ...] = ()
+
+
+#: Shared instance for the common case: a cache hit with no bus work.
+NO_ACTION = AccessOutcome(())
+
+
+class Protocol(ABC):
+    """A coherence engine operating over all processors' caches.
+
+    Subclasses implement :meth:`access` (loads, stores, instruction
+    fetches) and optionally :meth:`flush`.  They mutate cache state
+    and return the triggered operations; all timing is the machine's
+    job.
+
+    Args:
+        caches: one :class:`~repro.sim.cache.Cache` per processor.
+        is_shared_block: predicate on *block numbers* marking the
+            shared-data region (used by software schemes and by the
+            measurement counters).
+    """
+
+    #: Canonical protocol name (registry key).
+    name: str = "abstract"
+
+    #: Whether FLUSH trace records are meaningful to this protocol.
+    #: Protocols that don't handle flushes skip those records for free,
+    #: as if the program had been compiled without them.
+    handles_flush: bool = False
+
+    def __init__(
+        self,
+        caches: Sequence[Cache],
+        is_shared_block: Callable[[int], bool],
+    ):
+        self.caches = list(caches)
+        self.is_shared_block = is_shared_block
+
+    @abstractmethod
+    def access(
+        self, cpu: int, kind: AccessType, block: int
+    ) -> AccessOutcome:
+        """Handle a load, store, or instruction fetch.
+
+        Args:
+            cpu: issuing processor index.
+            kind: LOAD, STORE, or INST_FETCH (never FLUSH).
+            block: referenced block number.
+
+        Returns:
+            The triggered hardware operations.
+        """
+
+    def flush(self, cpu: int, block: int) -> AccessOutcome:
+        """Handle an explicit FLUSH instruction.
+
+        The default ignores it (protocols without flush support).
+        """
+        del cpu, block
+        return NO_ACTION
+
+    def holders(self, block: int, excluding: int) -> list[int]:
+        """CPUs other than ``excluding`` whose cache holds ``block``."""
+        return [
+            cpu
+            for cpu, cache in enumerate(self.caches)
+            if cpu != excluding and cache.peek(block) is not LineState.INVALID
+        ]

@@ -1,0 +1,49 @@
+"""The No-Cache scheme: shared data is never cached.
+
+References to the shared region bypass the cache and go straight to
+main memory — loads as read-throughs, stores as write-throughs —
+exactly as on C.mmp or the Elxsi 6400, where shared pages are marked
+non-cachable.  Unshared data and instructions behave as in the Base
+scheme.
+"""
+
+from __future__ import annotations
+
+from repro.core.operations import Operation
+from repro.sim.cache import LineState
+from repro.sim.protocols.interface import NO_ACTION, AccessOutcome, Protocol
+from repro.trace.records import AccessType
+
+__all__ = ["NoCacheProtocol"]
+
+_CLEAN_MISS = AccessOutcome((Operation.CLEAN_MISS_MEMORY,))
+_DIRTY_MISS = AccessOutcome((Operation.DIRTY_MISS_MEMORY,))
+_READ_THROUGH = AccessOutcome((Operation.READ_THROUGH,))
+_WRITE_THROUGH = AccessOutcome((Operation.WRITE_THROUGH,))
+
+
+class NoCacheProtocol(Protocol):
+    """Software coherence by prohibition: shared data is non-cachable."""
+
+    name = "nocache"
+
+    def access(self, cpu: int, kind: AccessType, block: int) -> AccessOutcome:
+        if kind is not AccessType.INST_FETCH and self.is_shared_block(block):
+            if kind is AccessType.STORE:
+                return _WRITE_THROUGH
+            return _READ_THROUGH
+
+        cache = self.caches[cpu]
+        state = cache.lookup(block)
+        if state is not LineState.INVALID:
+            if kind is AccessType.STORE and state is not LineState.DIRTY:
+                cache.set_state(block, LineState.DIRTY)
+            return NO_ACTION
+
+        new_state = (
+            LineState.DIRTY if kind is AccessType.STORE else LineState.CLEAN
+        )
+        victim = cache.insert(block, new_state)
+        if victim is not None and victim[1].is_dirty:
+            return _DIRTY_MISS
+        return _CLEAN_MISS

@@ -1,0 +1,41 @@
+"""The Base scheme: write-back caching with no coherence actions.
+
+Included, as in the paper, to bound the other schemes from above: every
+reference is cached regardless of sharing, and no bus traffic beyond
+ordinary misses is generated.  The result can be incoherent — which is
+exactly why it is only a yardstick.
+"""
+
+from __future__ import annotations
+
+from repro.core.operations import Operation
+from repro.sim.cache import LineState
+from repro.sim.protocols.interface import NO_ACTION, AccessOutcome, Protocol
+from repro.trace.records import AccessType
+
+__all__ = ["BaseProtocol"]
+
+_CLEAN_MISS = AccessOutcome((Operation.CLEAN_MISS_MEMORY,))
+_DIRTY_MISS = AccessOutcome((Operation.DIRTY_MISS_MEMORY,))
+
+
+class BaseProtocol(Protocol):
+    """Plain write-back caches; coherence is nobody's problem."""
+
+    name = "base"
+
+    def access(self, cpu: int, kind: AccessType, block: int) -> AccessOutcome:
+        cache = self.caches[cpu]
+        state = cache.lookup(block)
+        if state is not LineState.INVALID:
+            if kind is AccessType.STORE and state is not LineState.DIRTY:
+                cache.set_state(block, LineState.DIRTY)
+            return NO_ACTION
+
+        new_state = (
+            LineState.DIRTY if kind is AccessType.STORE else LineState.CLEAN
+        )
+        victim = cache.insert(block, new_state)
+        if victim is not None and victim[1].is_dirty:
+            return _DIRTY_MISS
+        return _CLEAN_MISS

@@ -1,0 +1,56 @@
+"""The Software-Flush scheme: cached shared data, explicit flushes.
+
+Shared data is cached like any other data; coherence is the program's
+responsibility, discharged by FLUSH instructions (in our traces,
+FLUSH records emitted at critical-section exits).  A flush invalidates
+the named block in the issuing processor's cache, writing it back
+first if dirty — a dirty flush holds the bus for the block transfer, a
+clean flush costs only the instruction cycle.
+
+Flushing a block that is no longer resident (it may have been evicted
+since it was last touched) still costs the flush instruction's cycle,
+matching the model's accounting of flush-instruction overhead.
+"""
+
+from __future__ import annotations
+
+from repro.core.operations import Operation
+from repro.sim.cache import LineState
+from repro.sim.protocols.interface import NO_ACTION, AccessOutcome, Protocol
+from repro.trace.records import AccessType
+
+__all__ = ["SoftwareFlushProtocol"]
+
+_CLEAN_MISS = AccessOutcome((Operation.CLEAN_MISS_MEMORY,))
+_DIRTY_MISS = AccessOutcome((Operation.DIRTY_MISS_MEMORY,))
+_CLEAN_FLUSH = AccessOutcome((Operation.CLEAN_FLUSH,))
+_DIRTY_FLUSH = AccessOutcome((Operation.DIRTY_FLUSH,))
+
+
+class SoftwareFlushProtocol(Protocol):
+    """Software coherence by explicit cache flushing."""
+
+    name = "swflush"
+    handles_flush = True
+
+    def access(self, cpu: int, kind: AccessType, block: int) -> AccessOutcome:
+        cache = self.caches[cpu]
+        state = cache.lookup(block)
+        if state is not LineState.INVALID:
+            if kind is AccessType.STORE and state is not LineState.DIRTY:
+                cache.set_state(block, LineState.DIRTY)
+            return NO_ACTION
+
+        new_state = (
+            LineState.DIRTY if kind is AccessType.STORE else LineState.CLEAN
+        )
+        victim = cache.insert(block, new_state)
+        if victim is not None and victim[1].is_dirty:
+            return _DIRTY_MISS
+        return _CLEAN_MISS
+
+    def flush(self, cpu: int, block: int) -> AccessOutcome:
+        state = self.caches[cpu].invalidate(block)
+        if state.is_dirty:
+            return _DIRTY_FLUSH
+        return _CLEAN_FLUSH

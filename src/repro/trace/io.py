@@ -1,0 +1,111 @@
+"""Trace serialisation.
+
+Traces are stored in a small line-oriented text format (optionally
+gzip-compressed, selected by a ``.gz`` suffix):
+
+* a header line ``#swcc-trace v1 name=<name> cpus=<n> shared=<lo>:<hi>``
+* one record per line: ``<cpu> <kind-letter> <hex-address>`` with kind
+  letters ``I`` (fetch), ``L`` (load), ``S`` (store), ``F`` (flush).
+
+The format is deliberately trivial so traces can be inspected, diffed,
+and produced by other tools.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.trace.records import AccessType, AddressRange, Trace, TraceRecord
+
+__all__ = ["load_trace", "save_trace"]
+
+_MAGIC = "#swcc-trace v1"
+
+_KIND_TO_LETTER = {
+    AccessType.INST_FETCH: "I",
+    AccessType.LOAD: "L",
+    AccessType.STORE: "S",
+    AccessType.FLUSH: "F",
+}
+_LETTER_TO_KIND = {letter: kind for kind, letter in _KIND_TO_LETTER.items()}
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed."""
+
+
+def _open(path: Path, mode: str) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` (gzip-compressed if ``*.gz``)."""
+    path = Path(path)
+    with _open(path, "w") as stream:
+        stream.write(
+            f"{_MAGIC} name={trace.name} cpus={trace.cpus} "
+            f"shared={trace.shared_region.start:x}:{trace.shared_region.stop:x}\n"
+        )
+        for cpu, kind, address in trace.records:
+            stream.write(f"{cpu} {_KIND_TO_LETTER[kind]} {address:x}\n")
+
+
+def _parse_header(line: str) -> tuple[str, int, AddressRange]:
+    if not line.startswith(_MAGIC):
+        raise TraceFormatError(
+            f"not a swcc trace (missing {_MAGIC!r} header): {line[:40]!r}"
+        )
+    fields = dict(
+        part.split("=", 1) for part in line[len(_MAGIC):].split() if "=" in part
+    )
+    try:
+        name = fields["name"]
+        cpus = int(fields["cpus"])
+        low_text, high_text = fields["shared"].split(":")
+        shared = AddressRange(int(low_text, 16), int(high_text, 16))
+    except (KeyError, ValueError) as error:
+        raise TraceFormatError(f"malformed trace header: {line!r}") from error
+    return name, cpus, shared
+
+
+def _parse_records(stream: IO[str]) -> Iterator[TraceRecord]:
+    for line_number, line in enumerate(stream, start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise TraceFormatError(
+                f"line {line_number}: expected 'cpu kind address', got {line!r}"
+            )
+        cpu_text, kind_letter, address_text = parts
+        try:
+            kind = _LETTER_TO_KIND[kind_letter]
+        except KeyError:
+            raise TraceFormatError(
+                f"line {line_number}: unknown access kind {kind_letter!r}"
+            ) from None
+        try:
+            yield TraceRecord(int(cpu_text), kind, int(address_text, 16))
+        except ValueError as error:
+            raise TraceFormatError(
+                f"line {line_number}: bad cpu or address in {line!r}"
+            ) from error
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises:
+        TraceFormatError: on any malformed header or record line.
+    """
+    path = Path(path)
+    with _open(path, "r") as stream:
+        header = stream.readline().rstrip("\n")
+        name, cpus, shared = _parse_header(header)
+        records = list(_parse_records(stream))
+    return Trace(name=name, cpus=cpus, shared_region=shared, records=records)

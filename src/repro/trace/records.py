@@ -1,0 +1,142 @@
+"""Trace record model.
+
+A trace is an interleaved sequence of per-processor memory references,
+as produced by the ATUM-2 tracing technique the paper used: each record
+carries the issuing CPU, an access type, and a byte address.
+
+Beyond the ATUM access types (instruction fetch, load, store) we add
+``FLUSH``: an explicit cache-flush instruction naming a shared address,
+emitted by the synthetic generator at critical-section exits.  Only the
+Software-Flush protocol acts on FLUSH records; the other protocols
+skip them (the paper's machines without flush support would never see
+such instructions).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, NamedTuple, Sequence
+
+__all__ = ["AccessType", "AddressRange", "Trace", "TraceRecord"]
+
+
+class AccessType(enum.IntEnum):
+    """The kind of one memory reference."""
+
+    INST_FETCH = 0
+    LOAD = 1
+    STORE = 2
+    FLUSH = 3
+
+    @property
+    def is_data(self) -> bool:
+        """True for loads and stores (not fetches or flushes)."""
+        return self in (AccessType.LOAD, AccessType.STORE)
+
+
+class TraceRecord(NamedTuple):
+    """One memory reference: ``(cpu, kind, address)``.
+
+    A NamedTuple keeps records cheap; traces routinely hold millions.
+    """
+
+    cpu: int
+    kind: AccessType
+    address: int
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open byte-address interval ``[start, stop)``."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(
+                f"invalid address range [{self.start}, {self.stop})"
+            )
+
+    def __contains__(self, address: int) -> bool:
+        return self.start <= address < self.stop
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class Trace:
+    """An interleaved multiprocessor address trace.
+
+    Attributes:
+        name: identifying label (e.g. the workload preset name).
+        cpus: number of processors issuing references.
+        shared_region: the byte-address range holding shared data.  The
+            No-Cache protocol treats references in this range as
+            non-cachable, and statistics classify references with it —
+            mirroring the paper, where sharing is identified by address
+            region ("a tag or a bit in the page table").
+        records: the reference stream, in global interleaved order.
+    """
+
+    name: str
+    cpus: int
+    shared_region: AddressRange
+    records: Sequence[TraceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1:
+            raise ValueError(f"cpus must be >= 1, got {self.cpus}")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def is_shared(self, address: int) -> bool:
+        """True if ``address`` lies in the shared data region."""
+        return address in self.shared_region
+
+    def per_cpu_counts(self) -> list[int]:
+        """Number of records issued by each CPU."""
+        counts = [0] * self.cpus
+        for record in self.records:
+            counts[record.cpu] += 1
+        return counts
+
+    def restricted_to(self, cpus: int, name: str | None = None) -> "Trace":
+        """A sub-trace containing only CPUs ``0 .. cpus-1``.
+
+        Used by the validation figures, which run the same workload at
+        1, 2, 3, and 4 processors.
+        """
+        if not 1 <= cpus <= self.cpus:
+            raise ValueError(
+                f"cpus must be in [1, {self.cpus}], got {cpus}"
+            )
+        kept = [record for record in self.records if record.cpu < cpus]
+        return Trace(
+            name=name if name is not None else f"{self.name}[{cpus}cpu]",
+            cpus=cpus,
+            shared_region=self.shared_region,
+            records=kept,
+        )
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[TraceRecord],
+        cpus: int,
+        shared_region: AddressRange,
+        name: str = "trace",
+    ) -> "Trace":
+        """Build a trace, materialising ``records`` into a list."""
+        return cls(
+            name=name,
+            cpus=cpus,
+            shared_region=shared_region,
+            records=list(records),
+        )

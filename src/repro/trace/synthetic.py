@@ -1,0 +1,425 @@
+"""Synthetic multiprocessor address-trace generation.
+
+This module is the substitute for the paper's ATUM-2 traces (POPS,
+THOR, PERO), which are not available.  It generates interleaved
+per-processor reference streams with the structural features the
+paper's workload model measures:
+
+* an instruction stream with loop locality (controls the instruction
+  miss rate ``mains``);
+* private data accessed through a working set inside a large region
+  (controls the data miss rate ``msdat`` and victim dirtiness ``md``);
+* shared data accessed in critical sections over a pool of shared
+  objects: a processor enters a section, makes a burst of references
+  (stores with probability ``wr``) to one object's blocks, then emits
+  FLUSH records for the blocks it touched (controls ``shd``, ``apl``,
+  ``mdshd``);
+* a bursty round-robin scheduler interleaving the per-CPU streams,
+  mimicking trace collection on a real bus-based machine.
+
+Every knob lives in :class:`TraceConfig`; :mod:`repro.trace.workloads`
+provides POPS/THOR/PERO-like presets whose *measured* parameters land
+inside the paper's Table 7 ranges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.trace.records import AccessType, AddressRange, Trace, TraceRecord
+
+__all__ = ["SyntheticWorkload", "TraceConfig", "generate_trace"]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """All knobs of the synthetic trace generator.
+
+    Attributes:
+        cpus: number of processors.
+        records_per_cpu: approximate trace records issued per CPU.
+        block_bytes: cache/transfer block size (16 in the paper).
+        instruction_bytes: instruction size (4: a RISC machine).
+        ls: probability an instruction makes a data reference.
+        code_blocks_per_cpu: size of each CPU's code region, in blocks.
+        loop_blocks_mean: mean loop body length, in blocks.
+        loop_iterations_mean: mean iterations before jumping to a new
+            loop; higher means a lower instruction miss rate.
+        private_blocks_per_cpu: size of each CPU's private data region.
+        private_working_set: number of blocks in the hot working set.
+        private_locality: probability a private reference stays in the
+            working set; higher means a lower data miss rate.
+        private_write_fraction: probability a private reference is a
+            store (drives victim dirtiness ``md``).
+        shd: probability a data reference targets shared data.
+        shared_objects: number of shared objects (e.g. protected
+            structures) in the shared region.
+        object_blocks: blocks per shared object.
+        section_length_mean: mean shared references per critical
+            section; with ``object_blocks`` this sets the achievable
+            ``apl``.
+        shared_write_fraction: probability a shared reference in a
+            writing section is a store (``wr``).
+        readonly_section_fraction: fraction of critical sections that
+            only read (drives ``mdshd`` down).
+        flush_on_exit: emit FLUSH records for touched blocks when a
+            critical section ends (required by Software-Flush runs).
+        scheduler_burst_mean: mean records a CPU issues before the
+            scheduler switches CPUs.
+        seed: master RNG seed; same seed, same trace.
+        layout_cpus: CPU count used to lay out the address space.
+            Keeping it fixed (and >= ``cpus``) makes each CPU's
+            reference stream independent of how many CPUs run, so
+            1/2/4-processor sweeps of one workload use identical
+            per-CPU programs.
+        migration_interval: extension — if non-zero, approximately
+            every this-many records two processors swap their running
+            processes (each process carries its code and data regions
+            with it, so the destination caches are cold for it).  The
+            paper's traces contain no migration; 0 (the default)
+            matches them.
+    """
+
+    cpus: int = 4
+    records_per_cpu: int = 100_000
+    block_bytes: int = 16
+    instruction_bytes: int = 4
+    ls: float = 0.30
+    code_blocks_per_cpu: int = 8192
+    loop_blocks_mean: int = 48
+    loop_iterations_mean: int = 110
+    private_blocks_per_cpu: int = 16384
+    private_working_set: int = 256
+    private_locality: float = 0.986
+    private_write_fraction: float = 0.30
+    shd: float = 0.25
+    shared_objects: int = 64
+    object_blocks: int = 2
+    section_length_mean: int = 16
+    shared_write_fraction: float = 0.30
+    readonly_section_fraction: float = 0.35
+    flush_on_exit: bool = True
+    scheduler_burst_mean: int = 6
+    seed: int = 0
+    layout_cpus: int = 64
+    migration_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1:
+            raise ValueError(f"cpus must be >= 1, got {self.cpus}")
+        if self.layout_cpus < self.cpus:
+            raise ValueError(
+                f"layout_cpus ({self.layout_cpus}) must be >= cpus "
+                f"({self.cpus})"
+            )
+        if self.block_bytes & (self.block_bytes - 1):
+            raise ValueError(
+                f"block_bytes must be a power of two, got {self.block_bytes}"
+            )
+        if self.migration_interval < 0:
+            raise ValueError(
+                f"migration_interval must be >= 0, got "
+                f"{self.migration_interval}"
+            )
+        if self.records_per_cpu < 1:
+            raise ValueError(
+                f"records_per_cpu must be >= 1, got {self.records_per_cpu}"
+            )
+        if self.block_bytes < self.instruction_bytes:
+            raise ValueError("block_bytes must be >= instruction_bytes")
+        if self.block_bytes % self.instruction_bytes:
+            raise ValueError(
+                "block_bytes must be a multiple of instruction_bytes"
+            )
+        for name in (
+            "ls",
+            "private_locality",
+            "private_write_fraction",
+            "shd",
+            "shared_write_fraction",
+            "readonly_section_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in (
+            "code_blocks_per_cpu",
+            "loop_blocks_mean",
+            "loop_iterations_mean",
+            "private_blocks_per_cpu",
+            "private_working_set",
+            "shared_objects",
+            "object_blocks",
+            "section_length_mean",
+            "scheduler_burst_mean",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.private_working_set > self.private_blocks_per_cpu:
+            raise ValueError(
+                "private_working_set cannot exceed private_blocks_per_cpu"
+            )
+
+    # -- address-space layout --------------------------------------------
+
+    @property
+    def code_base(self) -> int:
+        return 0
+
+    @property
+    def code_bytes_per_cpu(self) -> int:
+        return self.code_blocks_per_cpu * self.block_bytes
+
+    @property
+    def private_base(self) -> int:
+        return self.code_base + self.layout_cpus * self.code_bytes_per_cpu
+
+    @property
+    def private_bytes_per_cpu(self) -> int:
+        return self.private_blocks_per_cpu * self.block_bytes
+
+    @property
+    def shared_base(self) -> int:
+        return self.private_base + self.layout_cpus * self.private_bytes_per_cpu
+
+    @property
+    def shared_bytes(self) -> int:
+        return self.shared_objects * self.object_blocks * self.block_bytes
+
+    @property
+    def shared_region(self) -> AddressRange:
+        return AddressRange(self.shared_base, self.shared_base + self.shared_bytes)
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """A named, reusable trace recipe (see :mod:`repro.trace.workloads`)."""
+
+    name: str
+    config: TraceConfig
+    description: str = ""
+
+    def generate(self, seed: int | None = None, **overrides) -> Trace:
+        """Generate the trace, optionally overriding config fields."""
+        config = self.config
+        if seed is not None:
+            overrides = dict(overrides, seed=seed)
+        if overrides:
+            config = replace(config, **overrides)
+        return generate_trace(config, name=self.name)
+
+
+class _CpuProcess:
+    """The reference stream of one processor, generated lazily."""
+
+    def __init__(self, cpu: int, config: TraceConfig, rng: random.Random):
+        self.cpu = cpu
+        self.config = config
+        self.rng = rng
+        self.pending: list[TraceRecord] = []
+        # Instruction stream state.
+        self.code_base = config.code_base + cpu * config.code_bytes_per_cpu
+        self.loop_start_block = 0
+        self.loop_blocks = 1
+        self.loop_remaining_iterations = 0
+        self.instruction_index = 0
+        self._new_loop()
+        # Private data state.
+        self.private_base = config.private_base + cpu * config.private_bytes_per_cpu
+        self.working_set = list(range(config.private_working_set))
+        # Critical-section state.
+        self.section_remaining = 0
+        self.section_object = 0
+        self.section_writes = False
+        self.section_touched: set[int] = set()
+        gap = self._section_gap_mean()
+        self.enter_probability = 0.0 if gap is None else 1.0 / gap
+
+    def _section_gap_mean(self) -> float | None:
+        """Mean non-shared data references between critical sections.
+
+        Chosen so that the long-run fraction of shared data references
+        equals ``shd``.  None when ``shd`` is 0 (never enter a
+        section).
+        """
+        config = self.config
+        if config.shd == 0.0:
+            return None
+        if config.shd >= 1.0:
+            return 1e-9  # effectively always in a section
+        return config.section_length_mean * (1.0 - config.shd) / config.shd
+
+    # -- instruction stream ------------------------------------------------
+
+    def _new_loop(self) -> None:
+        config, rng = self.config, self.rng
+        self.loop_blocks = min(
+            1 + _geometric(rng, config.loop_blocks_mean),
+            config.code_blocks_per_cpu,
+        )
+        self.loop_start_block = rng.randrange(
+            config.code_blocks_per_cpu - self.loop_blocks + 1
+        )
+        self.loop_remaining_iterations = 1 + _geometric(
+            rng, config.loop_iterations_mean
+        )
+        self.instruction_index = 0
+
+    def _next_fetch(self) -> TraceRecord:
+        config = self.config
+        instructions_per_loop = (
+            self.loop_blocks * config.block_bytes // config.instruction_bytes
+        )
+        address = (
+            self.code_base
+            + self.loop_start_block * config.block_bytes
+            + self.instruction_index * config.instruction_bytes
+        )
+        self.instruction_index += 1
+        if self.instruction_index >= instructions_per_loop:
+            self.loop_remaining_iterations -= 1
+            self.instruction_index = 0
+            if self.loop_remaining_iterations <= 0:
+                self._new_loop()
+        return TraceRecord(self.cpu, AccessType.INST_FETCH, address)
+
+    # -- data streams --------------------------------------------------
+
+    def _private_reference(self) -> TraceRecord:
+        config, rng = self.config, self.rng
+        if rng.random() < config.private_locality:
+            block = rng.choice(self.working_set)
+        else:
+            block = rng.randrange(config.private_blocks_per_cpu)
+            # Rotate the newcomer into the working set.
+            victim = rng.randrange(len(self.working_set))
+            self.working_set[victim] = block
+        offset = rng.randrange(config.block_bytes // 4) * 4
+        address = self.private_base + block * config.block_bytes + offset
+        kind = (
+            AccessType.STORE
+            if rng.random() < config.private_write_fraction
+            else AccessType.LOAD
+        )
+        return TraceRecord(self.cpu, kind, address)
+
+    def _enter_section(self) -> None:
+        config, rng = self.config, self.rng
+        self.section_object = rng.randrange(config.shared_objects)
+        self.section_remaining = 1 + _geometric(rng, config.section_length_mean)
+        self.section_writes = rng.random() >= config.readonly_section_fraction
+        self.section_touched = set()
+
+    def _shared_reference(self) -> TraceRecord:
+        config, rng = self.config, self.rng
+        block_in_object = rng.randrange(config.object_blocks)
+        block = self.section_object * config.object_blocks + block_in_object
+        self.section_touched.add(block)
+        offset = rng.randrange(config.block_bytes // 4) * 4
+        address = config.shared_base + block * config.block_bytes + offset
+        write = (
+            self.section_writes
+            and rng.random() < config.shared_write_fraction
+        )
+        kind = AccessType.STORE if write else AccessType.LOAD
+        self.section_remaining -= 1
+        if self.section_remaining <= 0:
+            self._exit_section()
+        return TraceRecord(self.cpu, kind, address)
+
+    def _exit_section(self) -> None:
+        if self.config.flush_on_exit:
+            for block in sorted(self.section_touched):
+                address = self.config.shared_base + block * self.config.block_bytes
+                self.pending.append(
+                    TraceRecord(self.cpu, AccessType.FLUSH, address)
+                )
+        self.section_touched = set()
+
+    # -- record stream ---------------------------------------------------
+
+    def next_record(self) -> TraceRecord:
+        """The next reference of this CPU, in program order."""
+        if self.pending:
+            return self.pending.pop(0)
+
+        record = self._next_fetch()
+        if self.rng.random() < self.config.ls:
+            if self.section_remaining > 0:
+                self.pending.append(self._shared_reference())
+            elif self.rng.random() < self.enter_probability:
+                self._enter_section()
+                self.pending.append(self._shared_reference())
+            else:
+                self.pending.append(self._private_reference())
+        return record
+
+
+def _geometric(rng: random.Random, mean: float) -> int:
+    """A geometric variate with the given mean, in ``{0, 1, 2, ...}``."""
+    if mean <= 0.0:
+        return 0
+    # P(success) = 1 / (mean + 1) gives E[failures before success] = mean.
+    probability = 1.0 / (mean + 1.0)
+    count = 0
+    while rng.random() >= probability:
+        count += 1
+        if count > 1_000_000:  # pragma: no cover - RNG pathology guard
+            break
+    return count
+
+
+def generate_trace(config: TraceConfig, name: str = "synthetic") -> Trace:
+    """Generate an interleaved multiprocessor trace.
+
+    Per-CPU streams are deterministic functions of ``config.seed`` and
+    the CPU index, so restricting a 4-CPU config to fewer CPUs leaves
+    each remaining CPU's program unchanged — the property the paper's
+    validation sweeps (1..4 processors of the same workload) rely on.
+
+    Args:
+        config: the generator knobs.
+        name: label stored on the returned :class:`Trace`.
+    """
+    scheduler_rng = random.Random((config.seed << 8) ^ 0x5C0DE)
+    processes = [
+        _CpuProcess(cpu, config, random.Random((config.seed << 16) | cpu))
+        for cpu in range(config.cpus)
+    ]
+    # assignment[host cpu] -> process index; identity without migration.
+    assignment = list(range(config.cpus))
+    remaining = [config.records_per_cpu] * config.cpus
+    active = list(range(config.cpus))
+    records: list[TraceRecord] = []
+    until_migration = config.migration_interval
+
+    while active:
+        cpu = scheduler_rng.choice(active)
+        burst = 1 + _geometric(scheduler_rng, config.scheduler_burst_mean - 1)
+        process = processes[assignment[cpu]]
+        emitted = min(burst, remaining[cpu])
+        for _ in range(emitted):
+            record = process.next_record()
+            if record.cpu != cpu:
+                record = record._replace(cpu=cpu)
+            records.append(record)
+        remaining[cpu] -= emitted
+        if remaining[cpu] <= 0:
+            active.remove(cpu)
+        if config.migration_interval and len(active) >= 2:
+            until_migration -= emitted
+            if until_migration <= 0:
+                first, second = scheduler_rng.sample(active, 2)
+                assignment[first], assignment[second] = (
+                    assignment[second],
+                    assignment[first],
+                )
+                until_migration = config.migration_interval
+
+    return Trace(
+        name=name,
+        cpus=config.cpus,
+        shared_region=config.shared_region,
+        records=records,
+    )

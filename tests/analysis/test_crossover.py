@@ -1,0 +1,93 @@
+"""Unit tests for crossover search."""
+
+import pytest
+
+from repro.analysis import required_apl, required_parameter, scheme_crossover
+from repro.core import (
+    BASE,
+    DRAGON,
+    NO_CACHE,
+    SOFTWARE_FLUSH,
+    BusSystem,
+    WorkloadParams,
+)
+
+
+class TestRequiredParameter:
+    def test_finds_threshold_of_step_function(self):
+        threshold = required_parameter(lambda x: x >= 3.7, 0.0, 10.0)
+        assert threshold == pytest.approx(3.7, abs=1e-6)
+
+    def test_falling_predicate(self):
+        threshold = required_parameter(
+            lambda x: x <= 2.5, 0.0, 10.0, rising=False
+        )
+        assert threshold == pytest.approx(2.5, abs=1e-6)
+
+    def test_never_satisfied(self):
+        assert required_parameter(lambda x: False, 0.0, 1.0) is None
+
+    def test_always_satisfied_returns_bracket_edge(self):
+        assert required_parameter(lambda x: True, 2.0, 5.0) == 2.0
+
+    def test_geometric_search(self):
+        threshold = required_parameter(
+            lambda x: x >= 100.0, 1.0, 10_000.0, geometric=True
+        )
+        assert threshold == pytest.approx(100.0, rel=1e-6)
+
+    def test_geometric_needs_positive_bracket(self):
+        with pytest.raises(ValueError, match="positive"):
+            required_parameter(lambda x: True, 0.0, 1.0, geometric=True)
+
+    def test_empty_bracket(self):
+        with pytest.raises(ValueError, match="bracket"):
+            required_parameter(lambda x: True, 2.0, 1.0)
+
+
+class TestRequiredApl:
+    def test_threshold_actually_reaches_target(self):
+        bus = BusSystem()
+        threshold = required_apl(shd=0.25, processors=16, target_fraction=0.9)
+        assert threshold is not None
+        params = WorkloadParams.middle(shd=0.25)
+        dragon = bus.evaluate(DRAGON, params, 16).processing_power
+        at_threshold = bus.evaluate(
+            SOFTWARE_FLUSH, params.replace(apl=threshold), 16
+        ).processing_power
+        just_below = bus.evaluate(
+            SOFTWARE_FLUSH, params.replace(apl=threshold * 0.9), 16
+        ).processing_power
+        assert at_threshold >= 0.9 * dragon - 1e-6
+        assert just_below < 0.9 * dragon
+
+    def test_more_sharing_needs_more_apl(self):
+        light = required_apl(shd=0.08, processors=16)
+        heavy = required_apl(shd=0.42, processors=16)
+        assert light is not None and heavy is not None
+        assert heavy > light
+
+    def test_unreachable_target(self):
+        # No apl can double Dragon's processing power: even infinite
+        # apl leaves Software-Flush below the ideal line.
+        threshold = required_apl(
+            shd=0.42, processors=16, target_fraction=2.0, reference=DRAGON
+        )
+        assert threshold is None
+
+
+class TestSchemeCrossover:
+    def test_flush_vs_nocache_apl_crossing(self):
+        """Below some apl, No-Cache beats Software-Flush (Figure 7)."""
+        crossing = scheme_crossover(
+            NO_CACHE, SOFTWARE_FLUSH, "apl", 1.0, 100.0, processors=16
+        )
+        assert crossing is not None
+        assert 1.0 < crossing < 10.0
+
+    def test_no_crossing_returns_none(self):
+        # Base beats No-Cache at every sharing level.
+        crossing = scheme_crossover(
+            BASE, NO_CACHE, "shd", 0.01, 0.42, processors=16
+        )
+        assert crossing is None

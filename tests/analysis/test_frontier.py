@@ -1,0 +1,98 @@
+"""Unit tests for the viability frontier."""
+
+import pytest
+
+from repro.analysis import viability_frontier
+from repro.analysis.frontier import FrontierCell
+
+
+class TestViabilityFrontier:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return viability_frontier(
+            shd_values=(0.05, 0.25, 0.42),
+            apl_values=(1, 8, 64),
+            processors=16,
+            tolerance=0.15,
+        )
+
+    def test_shape(self, grid):
+        assert len(grid) == 3
+        assert all(len(row) == 3 for row in grid)
+
+    def test_cells_carry_coordinates(self, grid):
+        assert grid[1][2].shd == 0.25
+        assert grid[1][2].apl == 64.0
+
+    def test_more_apl_never_hurts_flush(self, grid):
+        for row in grid:
+            for left, right in zip(row, row[1:]):
+                assert right.flush_power >= left.flush_power - 1e-9
+
+    def test_more_sharing_never_helps_software(self, grid):
+        for column in range(3):
+            for upper, lower in zip(grid, grid[1:]):
+                assert (
+                    lower[column].flush_power
+                    <= upper[column].flush_power + 1e-9
+                )
+                assert (
+                    lower[column].nocache_power
+                    <= upper[column].nocache_power + 1e-9
+                )
+
+    def test_favourable_corner_is_viable(self, grid):
+        best = grid[0][-1]  # low sharing, high apl
+        assert best.flush_viable
+
+    def test_hostile_corner_is_not(self, grid):
+        worst = grid[-1][0]  # high sharing, apl = 1
+        assert not worst.flush_viable
+        assert not worst.nocache_viable
+        assert worst.label == "."
+
+    def test_labels(self):
+        cell = FrontierCell(
+            shd=0.1, apl=8.0, reference_power=10.0,
+            flush_power=9.5, nocache_power=9.4,
+            flush_viable=True, nocache_viable=True,
+        )
+        assert cell.label == "B"
+        only_flush = FrontierCell(
+            shd=0.1, apl=8.0, reference_power=10.0,
+            flush_power=9.5, nocache_power=5.0,
+            flush_viable=True, nocache_viable=False,
+        )
+        assert only_flush.label == "F"
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            viability_frontier((0.1,), (8,), tolerance=1.0)
+
+
+class TestErrorSummary:
+    def test_statistics(self):
+        from repro.analysis import error_summary
+
+        summary = error_summary([11.0, 9.0], [10.0, 10.0])
+        assert summary.count == 2
+        assert summary.mean_absolute == pytest.approx(0.1)
+        assert summary.max_absolute == pytest.approx(0.1)
+        assert summary.bias == pytest.approx(0.0)
+        assert summary.root_mean_square == pytest.approx(0.1)
+
+    def test_bias_sign(self):
+        from repro.analysis import error_summary
+
+        optimistic = error_summary([12.0], [10.0])
+        assert optimistic.bias > 0
+
+    def test_validation_errors(self):
+        from repro.analysis import error_summary
+
+        with pytest.raises(ValueError, match="length"):
+            error_summary([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="zero"):
+            error_summary([], [])
+        with pytest.raises(ValueError, match="relative"):
+            error_summary([1.0], [0.0])

@@ -1,0 +1,132 @@
+"""Unit tests for the bus system model (eq. 3 and Section 5)."""
+
+import pytest
+
+from repro.core import (
+    ALL_SCHEMES,
+    BASE,
+    DRAGON,
+    NO_CACHE,
+    SOFTWARE_FLUSH,
+    BusSystem,
+    WorkloadParams,
+)
+
+MIDDLE = WorkloadParams.middle()
+
+
+@pytest.fixture(scope="module")
+def bus():
+    return BusSystem()
+
+
+class TestEvaluate:
+    def test_single_processor_no_contention(self, bus):
+        prediction = bus.evaluate(BASE, MIDDLE, processors=1)
+        assert prediction.waiting_cycles == pytest.approx(0.0)
+        assert prediction.utilization == pytest.approx(
+            1.0 / prediction.cost.cpu_cycles
+        )
+
+    def test_utilization_formula(self, bus):
+        prediction = bus.evaluate(DRAGON, MIDDLE, processors=8)
+        assert prediction.utilization == pytest.approx(
+            1.0 / (prediction.cost.cpu_cycles + prediction.waiting_cycles)
+        )
+        assert prediction.processing_power == pytest.approx(
+            8 * prediction.utilization
+        )
+
+    def test_processing_power_below_ideal(self, bus):
+        for scheme in ALL_SCHEMES:
+            for processors in (1, 4, 16):
+                prediction = bus.evaluate(scheme, MIDDLE, processors)
+                assert 0.0 < prediction.processing_power < processors + 1e-9
+
+    def test_waiting_grows_with_processors(self, bus):
+        waits = [
+            bus.evaluate(NO_CACHE, MIDDLE, n).waiting_cycles
+            for n in (1, 2, 4, 8, 16)
+        ]
+        for earlier, later in zip(waits, waits[1:]):
+            assert later > earlier
+
+    def test_bus_utilization_bounded(self, bus):
+        prediction = bus.evaluate(NO_CACHE, MIDDLE, processors=32)
+        assert 0.0 < prediction.bus_utilization <= 1.0
+
+    def test_overhead_fraction(self, bus):
+        prediction = bus.evaluate(BASE, MIDDLE, processors=2)
+        assert prediction.overhead_fraction == pytest.approx(
+            1.0 - prediction.utilization
+        )
+
+    def test_time_per_instruction(self, bus):
+        prediction = bus.evaluate(SOFTWARE_FLUSH, MIDDLE, processors=4)
+        assert prediction.time_per_instruction == pytest.approx(
+            prediction.cost.cpu_cycles + prediction.waiting_cycles
+        )
+
+    def test_rejects_zero_processors(self, bus):
+        with pytest.raises(ValueError):
+            bus.evaluate(BASE, MIDDLE, processors=0)
+
+
+class TestSweepAndCompare:
+    def test_sweep_returns_one_per_count(self, bus):
+        predictions = bus.sweep(BASE, MIDDLE, (1, 2, 3))
+        assert [p.processors for p in predictions] == [1, 2, 3]
+
+    def test_compare_keys(self, bus):
+        comparison = bus.compare(ALL_SCHEMES, MIDDLE, processors=4)
+        assert set(comparison) == {
+            "Base", "No-Cache", "Software-Flush", "Dragon",
+        }
+
+    def test_paper_ordering_at_middle_parameters(self, bus):
+        comparison = bus.compare(ALL_SCHEMES, MIDDLE, processors=16)
+        assert (
+            comparison["Base"].processing_power
+            > comparison["Dragon"].processing_power
+            > comparison["Software-Flush"].processing_power
+            > comparison["No-Cache"].processing_power
+        )
+
+
+class TestSaturation:
+    def test_saturation_limits_large_systems(self, bus):
+        limit = bus.saturation_processing_power(NO_CACHE, MIDDLE)
+        prediction = bus.evaluate(NO_CACHE, MIDDLE, processors=256)
+        assert prediction.processing_power == pytest.approx(limit, rel=1e-2)
+        assert prediction.processing_power <= limit + 1e-9
+
+    def test_saturation_is_inverse_bus_demand(self, bus):
+        from repro.core import CostTable, instruction_cost
+
+        cost = instruction_cost(DRAGON, MIDDLE, CostTable.bus())
+        assert bus.saturation_processing_power(DRAGON, MIDDLE) == pytest.approx(
+            1.0 / cost.channel_cycles
+        )
+
+    def test_no_bus_traffic_is_unbounded(self, bus):
+        quiet = WorkloadParams.middle(
+            msdat=0.0, mains=0.0, shd=0.0
+        )
+        assert bus.saturation_processing_power(BASE, quiet) == float("inf")
+
+    def test_quiet_workload_evaluates_without_contention(self, bus):
+        quiet = WorkloadParams.middle(msdat=0.0, mains=0.0, shd=0.0)
+        prediction = bus.evaluate(BASE, quiet, processors=64)
+        assert prediction.waiting_cycles == 0.0
+        assert prediction.processing_power == pytest.approx(64.0)
+
+
+class TestCustomMachine:
+    def test_custom_cost_table_changes_results(self):
+        from repro.core.operations import derive_bus_costs
+
+        fast_memory = BusSystem(derive_bus_costs(memory_latency=0))
+        default = BusSystem()
+        fast = fast_memory.evaluate(BASE, MIDDLE, 8).processing_power
+        slow = default.evaluate(BASE, MIDDLE, 8).processing_power
+        assert fast > slow

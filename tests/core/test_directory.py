@@ -1,0 +1,74 @@
+"""Unit tests for the directory-scheme extension model."""
+
+import pytest
+
+from repro.core import (
+    BASE,
+    DIRECTORY,
+    SOFTWARE_FLUSH,
+    BusSystem,
+    NetworkSystem,
+    Operation,
+    WorkloadParams,
+    scheme_by_name,
+)
+
+MIDDLE = WorkloadParams.middle()
+
+
+class TestDirectoryModel:
+    def test_frequencies(self):
+        frequencies = DIRECTORY.operation_frequencies(MIDDLE)
+        run_rate = MIDDLE.ls * MIDDLE.shd / MIDDLE.apl
+        expected_misses = (
+            MIDDLE.ls * MIDDLE.msdat * (1 - MIDDLE.shd)
+            + MIDDLE.mains
+            + run_rate
+        )
+        total = (
+            frequencies[Operation.CLEAN_MISS_MEMORY]
+            + frequencies[Operation.DIRTY_MISS_MEMORY]
+        )
+        assert total == pytest.approx(expected_misses)
+        assert frequencies[Operation.INVALIDATE] == pytest.approx(
+            run_rate * MIDDLE.mdshd * MIDDLE.opres
+        )
+
+    def test_no_flush_instructions(self):
+        frequencies = DIRECTORY.operation_frequencies(MIDDLE)
+        assert Operation.CLEAN_FLUSH not in frequencies
+        assert Operation.DIRTY_FLUSH not in frequencies
+
+    def test_runs_on_networks(self):
+        assert not DIRECTORY.requires_broadcast
+        prediction = NetworkSystem(8).evaluate(DIRECTORY, MIDDLE)
+        assert prediction.processing_power > 0
+
+    def test_lookup_by_name(self):
+        assert scheme_by_name("directory") is DIRECTORY
+        assert scheme_by_name("dir") is DIRECTORY
+
+    def test_cheaper_than_flush_when_runs_are_short(self):
+        """With apl=1 the flush scheme pays flush + miss per reference;
+        the directory pays a miss and (sometimes) an invalidation."""
+        bus = BusSystem()
+        params = MIDDLE.replace(apl=1.0)
+        directory = bus.evaluate(DIRECTORY, params, 16).processing_power
+        flush = bus.evaluate(SOFTWARE_FLUSH, params, 16).processing_power
+        assert directory > flush
+
+    def test_approaches_base_as_sharing_vanishes(self):
+        params = MIDDLE.replace(shd=0.0)
+        bus = BusSystem()
+        directory = bus.evaluate(DIRECTORY, params, 8).processing_power
+        base = bus.evaluate(BASE, params, 8).processing_power
+        assert directory == pytest.approx(base, rel=0.02)
+
+    def test_paper_remark_flush_low_approximates_directory(self):
+        """Section 6.3: Software-Flush at the low range approximates
+        hardware directory schemes on a large network."""
+        network = NetworkSystem(8)
+        low = WorkloadParams.low()
+        flush = network.evaluate(SOFTWARE_FLUSH, low).processing_power
+        directory = network.evaluate(DIRECTORY, low).processing_power
+        assert flush == pytest.approx(directory, rel=0.10)

@@ -1,0 +1,73 @@
+"""Unit tests for equations 1-2 (per-instruction cost)."""
+
+import pytest
+
+from repro.core import (
+    BASE,
+    DRAGON,
+    CostTable,
+    InstructionCost,
+    WorkloadParams,
+    instruction_cost,
+)
+from repro.core.operations import derive_network_costs
+
+
+class TestInstructionCost:
+    def test_hand_computed_base_scheme(self):
+        params = WorkloadParams.middle()
+        cost = instruction_cost(BASE, params, CostTable.bus())
+        miss_rate = params.ls * params.msdat + params.mains
+        expected_cpu = (
+            1.0
+            + miss_rate * (1 - params.md) * 10
+            + miss_rate * params.md * 14
+        )
+        expected_bus = (
+            miss_rate * (1 - params.md) * 7 + miss_rate * params.md * 11
+        )
+        assert cost.cpu_cycles == pytest.approx(expected_cpu)
+        assert cost.channel_cycles == pytest.approx(expected_bus)
+
+    def test_think_time_and_rate(self):
+        cost = InstructionCost(cpu_cycles=1.5, channel_cycles=0.5)
+        assert cost.think_time == pytest.approx(1.0)
+        assert cost.transaction_rate == pytest.approx(1.0)
+        assert cost.uncontended_utilization == pytest.approx(1 / 1.5)
+
+    def test_degenerate_all_channel(self):
+        cost = InstructionCost(cpu_cycles=2.0, channel_cycles=2.0)
+        assert cost.transaction_rate == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstructionCost(cpu_cycles=0.0, channel_cycles=0.0)
+        with pytest.raises(ValueError):
+            InstructionCost(cpu_cycles=1.0, channel_cycles=1.5)
+        with pytest.raises(ValueError):
+            InstructionCost(cpu_cycles=1.0, channel_cycles=-0.1)
+
+    def test_dragon_on_network_table_raises(self):
+        params = WorkloadParams.middle()
+        with pytest.raises(KeyError):
+            instruction_cost(DRAGON, params, derive_network_costs(4))
+
+    def test_zero_frequency_operations_do_not_need_costs(self):
+        """Dragon with opres=0 and oclean=1 emits no snoop operations,
+        so even the network table (which lacks them) suffices."""
+        params = WorkloadParams.middle(opres=0.0, oclean=1.0)
+        cost = instruction_cost(DRAGON, params, derive_network_costs(4))
+        assert cost.cpu_cycles > 1.0
+
+    def test_cost_grows_with_miss_rate(self):
+        costs = CostTable.bus()
+        low = instruction_cost(BASE, WorkloadParams.middle(msdat=0.004), costs)
+        high = instruction_cost(BASE, WorkloadParams.middle(msdat=0.024), costs)
+        assert high.cpu_cycles > low.cpu_cycles
+        assert high.channel_cycles > low.channel_cycles
+
+    def test_network_cost_grows_with_stages(self):
+        params = WorkloadParams.middle()
+        small = instruction_cost(BASE, params, derive_network_costs(2))
+        large = instruction_cost(BASE, params, derive_network_costs(10))
+        assert large.cpu_cycles > small.cpu_cycles

@@ -1,0 +1,149 @@
+"""Unit tests for the network system models (Section 6)."""
+
+import pytest
+
+from repro.core import (
+    BASE,
+    DRAGON,
+    NO_CACHE,
+    SOFTWARE_FLUSH,
+    BufferedNetworkSystem,
+    NetworkSystem,
+    UnsupportedSchemeError,
+    WorkloadParams,
+)
+
+MIDDLE = WorkloadParams.middle()
+
+
+class TestNetworkSystem:
+    def test_processors_is_two_to_the_stages(self):
+        assert NetworkSystem(8).processors == 256
+        assert NetworkSystem(1).processors == 2
+
+    def test_rejects_dragon(self):
+        with pytest.raises(UnsupportedSchemeError, match="Dragon"):
+            NetworkSystem(4).evaluate(DRAGON, MIDDLE)
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            NetworkSystem(0)
+
+    def test_fixed_point_consistency(self):
+        prediction = NetworkSystem(8).evaluate(SOFTWARE_FLUSH, MIDDLE)
+        # U = m_n / (m t): accepted throughput balances demand.
+        assert prediction.accepted_rate == pytest.approx(
+            prediction.thinking_fraction * prediction.request_rate, abs=1e-6
+        )
+        assert prediction.offered_rate == pytest.approx(
+            1.0 - prediction.thinking_fraction, abs=1e-9
+        )
+
+    def test_time_per_instruction_definition(self):
+        prediction = NetworkSystem(6).evaluate(BASE, MIDDLE)
+        assert prediction.time_per_instruction == pytest.approx(
+            prediction.cost.think_time / prediction.thinking_fraction
+        )
+        assert prediction.utilization == pytest.approx(
+            1.0 / prediction.time_per_instruction
+        )
+
+    def test_relative_utilization_bounded(self):
+        for scheme in (BASE, SOFTWARE_FLUSH, NO_CACHE):
+            prediction = NetworkSystem(8).evaluate(scheme, MIDDLE)
+            assert 0.0 < prediction.relative_utilization <= 1.0
+
+    def test_contention_nonnegative(self):
+        prediction = NetworkSystem(8).evaluate(NO_CACHE, MIDDLE)
+        assert prediction.contention_cycles >= 0.0
+
+    def test_quiet_workload_has_no_network_time(self):
+        quiet = WorkloadParams.middle(msdat=0.0, mains=0.0, shd=0.0)
+        prediction = NetworkSystem(4).evaluate(BASE, quiet)
+        assert prediction.request_rate == 0.0
+        assert prediction.utilization == pytest.approx(1.0)
+        assert prediction.processing_power == pytest.approx(16.0)
+
+    def test_software_schemes_scale(self):
+        """Section 6.3: both software schemes scale with processors."""
+        for scheme in (SOFTWARE_FLUSH, NO_CACHE):
+            powers = [
+                NetworkSystem(stages).evaluate(scheme, MIDDLE).processing_power
+                for stages in (2, 4, 6, 8)
+            ]
+            for earlier, later in zip(powers, powers[1:]):
+                assert later > earlier, scheme.name
+
+    def test_flush_beats_nocache_on_network(self):
+        """Section 6.3: fewer, longer requests win on circuit switching."""
+        network = NetworkSystem(8)
+        flush = network.evaluate(SOFTWARE_FLUSH, MIDDLE)
+        nocache = network.evaluate(NO_CACHE, MIDDLE)
+        assert flush.processing_power > nocache.processing_power
+
+    def test_sweep_schemes(self):
+        results = NetworkSystem(4).sweep_schemes((BASE, NO_CACHE), MIDDLE)
+        assert set(results) == {"Base", "No-Cache"}
+
+
+class TestMessageLoad:
+    def test_basic_point(self):
+        network = NetworkSystem(8)
+        prediction = network.evaluate_message_load(
+            message_words=4.0, transaction_rate=0.03
+        )
+        assert prediction.request_rate == pytest.approx(0.03 * 20.0)
+        assert 0.0 < prediction.thinking_fraction < 1.0
+
+    def test_utilization_halved_near_sixty_percent(self):
+        """The paper's Figure 11 example: 3% miss rate, 4-word
+        messages on a 256-processor network halves utilisation."""
+        network = NetworkSystem(8)
+        light = network.evaluate_message_load(4.0, 0.001)
+        heavy = network.evaluate_message_load(4.0, 0.03)
+        ratio = heavy.thinking_fraction / light.thinking_fraction
+        assert 0.35 <= ratio <= 0.60
+
+    def test_rejects_bad_arguments(self):
+        network = NetworkSystem(2)
+        with pytest.raises(ValueError):
+            network.evaluate_message_load(0.0, 0.1)
+        with pytest.raises(ValueError):
+            network.evaluate_message_load(4.0, 0.0)
+
+
+class TestBufferedNetworkSystem:
+    def test_rejects_dragon(self):
+        with pytest.raises(UnsupportedSchemeError):
+            BufferedNetworkSystem(4).evaluate(DRAGON, MIDDLE)
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            BufferedNetworkSystem(0)
+
+    def test_beats_circuit_switching(self):
+        """No path-setup serialisation, so packet switching is never
+        slower under this model."""
+        for scheme in (BASE, SOFTWARE_FLUSH, NO_CACHE):
+            circuit = NetworkSystem(8).evaluate(scheme, MIDDLE)
+            packet = BufferedNetworkSystem(8).evaluate(scheme, MIDDLE)
+            assert packet.processing_power >= 0.95 * circuit.processing_power
+
+    def test_favours_nocache_relatively(self):
+        """Section 6.3: packet switching is more favourable to No-Cache."""
+        circuit = NetworkSystem(8)
+        packet = BufferedNetworkSystem(8)
+        gain_nocache = (
+            packet.evaluate(NO_CACHE, MIDDLE).processing_power
+            / circuit.evaluate(NO_CACHE, MIDDLE).processing_power
+        )
+        gain_flush = (
+            packet.evaluate(SOFTWARE_FLUSH, MIDDLE).processing_power
+            / circuit.evaluate(SOFTWARE_FLUSH, MIDDLE).processing_power
+        )
+        assert gain_nocache > gain_flush
+
+    def test_quiet_workload(self):
+        quiet = WorkloadParams.middle(msdat=0.0, mains=0.0, shd=0.0)
+        prediction = BufferedNetworkSystem(4).evaluate(BASE, quiet)
+        assert prediction.utilization == pytest.approx(1.0)

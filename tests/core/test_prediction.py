@@ -1,0 +1,78 @@
+"""Unit tests for the prediction result dataclasses."""
+
+import pytest
+
+from repro.core import (
+    BASE,
+    NO_CACHE,
+    SOFTWARE_FLUSH,
+    BusSystem,
+    NetworkSystem,
+    WorkloadParams,
+)
+
+MIDDLE = WorkloadParams.middle()
+
+
+class TestBusPrediction:
+    @pytest.fixture(scope="class")
+    def prediction(self):
+        return BusSystem().evaluate(SOFTWARE_FLUSH, MIDDLE, 8)
+
+    def test_identities(self, prediction):
+        assert prediction.time_per_instruction == pytest.approx(
+            prediction.cost.cpu_cycles + prediction.waiting_cycles
+        )
+        assert prediction.utilization == pytest.approx(
+            1.0 / prediction.time_per_instruction
+        )
+        assert prediction.processing_power == pytest.approx(
+            prediction.processors * prediction.utilization
+        )
+        assert prediction.overhead_fraction == pytest.approx(
+            1.0 - prediction.utilization
+        )
+
+    def test_metadata(self, prediction):
+        assert prediction.scheme == "Software-Flush"
+        assert prediction.params == MIDDLE
+        assert prediction.processors == 8
+
+    def test_frozen(self, prediction):
+        with pytest.raises(AttributeError):
+            prediction.utilization = 1.0  # type: ignore[misc]
+
+
+class TestNetworkPrediction:
+    @pytest.fixture(scope="class")
+    def prediction(self):
+        return NetworkSystem(6).evaluate(NO_CACHE, MIDDLE)
+
+    def test_identities(self, prediction):
+        assert prediction.utilization == pytest.approx(
+            1.0 / prediction.time_per_instruction
+        )
+        assert prediction.processing_power == pytest.approx(
+            prediction.processors * prediction.utilization
+        )
+        assert prediction.contention_cycles == pytest.approx(
+            prediction.time_per_instruction - prediction.cost.cpu_cycles
+        )
+        assert prediction.relative_utilization == pytest.approx(
+            prediction.cost.cpu_cycles / prediction.time_per_instruction
+        )
+
+    def test_acceptance_probability_bounds(self, prediction):
+        assert 0.0 < prediction.acceptance_probability <= 1.0
+
+    def test_quiet_workload_edge_values(self):
+        quiet = WorkloadParams.middle(msdat=0.0, mains=0.0, shd=0.0)
+        prediction = NetworkSystem(3).evaluate(BASE, quiet)
+        assert prediction.acceptance_probability == 1.0
+        assert prediction.contention_cycles == 0.0
+        assert prediction.relative_utilization == pytest.approx(1.0)
+
+    def test_metadata(self, prediction):
+        assert prediction.stages == 6
+        assert prediction.processors == 64
+        assert prediction.scheme == "No-Cache"

@@ -1,0 +1,201 @@
+"""Unit tests for the workload models (Tables 3-6)."""
+
+import pytest
+
+from repro.core import (
+    ALL_SCHEMES,
+    BASE,
+    DRAGON,
+    NO_CACHE,
+    SOFTWARE_FLUSH,
+    Operation,
+    WorkloadParams,
+    scheme_by_name,
+)
+
+MIDDLE = WorkloadParams.middle()
+
+
+class TestBaseScheme:
+    def test_table3_formulas(self):
+        frequencies = BASE.operation_frequencies(MIDDLE)
+        miss_rate = MIDDLE.ls * MIDDLE.msdat + MIDDLE.mains
+        assert frequencies[Operation.INSTRUCTION] == 1.0
+        assert frequencies[Operation.CLEAN_MISS_MEMORY] == pytest.approx(
+            miss_rate * (1 - MIDDLE.md)
+        )
+        assert frequencies[Operation.DIRTY_MISS_MEMORY] == pytest.approx(
+            miss_rate * MIDDLE.md
+        )
+
+    def test_no_sharing_operations(self):
+        frequencies = BASE.operation_frequencies(MIDDLE)
+        assert Operation.READ_THROUGH not in frequencies
+        assert Operation.WRITE_BROADCAST not in frequencies
+
+    def test_insensitive_to_sharing_parameters(self):
+        varied = MIDDLE.replace(shd=0.9, wr=0.9, apl=1.0, nshd=7.0)
+        assert BASE.operation_frequencies(varied) == BASE.operation_frequencies(
+            MIDDLE
+        )
+
+
+class TestNoCacheScheme:
+    def test_table4_formulas(self):
+        frequencies = NO_CACHE.operation_frequencies(MIDDLE)
+        unshared_misses = (
+            MIDDLE.ls * MIDDLE.msdat * (1 - MIDDLE.shd) + MIDDLE.mains
+        )
+        assert frequencies[Operation.CLEAN_MISS_MEMORY] == pytest.approx(
+            unshared_misses * (1 - MIDDLE.md)
+        )
+        assert frequencies[Operation.READ_THROUGH] == pytest.approx(
+            MIDDLE.ls * MIDDLE.shd * (1 - MIDDLE.wr)
+        )
+        assert frequencies[Operation.WRITE_THROUGH] == pytest.approx(
+            MIDDLE.ls * MIDDLE.shd * MIDDLE.wr
+        )
+
+    def test_reduces_to_base_without_sharing(self):
+        params = MIDDLE.replace(shd=0.0)
+        no_cache = NO_CACHE.operation_frequencies(params)
+        base = BASE.operation_frequencies(params)
+        assert no_cache[Operation.CLEAN_MISS_MEMORY] == pytest.approx(
+            base[Operation.CLEAN_MISS_MEMORY]
+        )
+        assert no_cache[Operation.READ_THROUGH] == 0.0
+        assert no_cache[Operation.WRITE_THROUGH] == 0.0
+
+
+class TestSoftwareFlushScheme:
+    def test_flush_frequencies(self):
+        frequencies = SOFTWARE_FLUSH.operation_frequencies(MIDDLE)
+        flush_rate = MIDDLE.ls * MIDDLE.shd / MIDDLE.apl
+        assert frequencies[Operation.CLEAN_FLUSH] == pytest.approx(
+            flush_rate * (1 - MIDDLE.mdshd)
+        )
+        assert frequencies[Operation.DIRTY_FLUSH] == pytest.approx(
+            flush_rate * MIDDLE.mdshd
+        )
+
+    def test_includes_refetch_miss_per_flush(self):
+        """Effect 2: each flush costs one extra data miss."""
+        frequencies = SOFTWARE_FLUSH.operation_frequencies(MIDDLE)
+        flush_rate = MIDDLE.ls * MIDDLE.shd / MIDDLE.apl
+        expected_misses = (
+            MIDDLE.ls * MIDDLE.msdat * (1 - MIDDLE.shd)
+            + MIDDLE.mains * (1 + flush_rate)
+            + flush_rate
+        )
+        total_misses = (
+            frequencies[Operation.CLEAN_MISS_MEMORY]
+            + frequencies[Operation.DIRTY_MISS_MEMORY]
+        )
+        assert total_misses == pytest.approx(expected_misses)
+
+    def test_apl_one_is_heavier_than_nocache(self):
+        """Section 5.3: at apl=1 both CPU and bus demand exceed No-Cache."""
+        from repro.core import CostTable, instruction_cost
+
+        params = MIDDLE.replace(apl=1.0)
+        costs = CostTable.bus()
+        flush_cost = instruction_cost(SOFTWARE_FLUSH, params, costs)
+        nocache_cost = instruction_cost(NO_CACHE, params, costs)
+        assert flush_cost.cpu_cycles > nocache_cost.cpu_cycles
+        assert flush_cost.channel_cycles > nocache_cost.channel_cycles
+
+    def test_infinite_apl_approaches_base(self):
+        params = MIDDLE.replace(apl=1e9)
+        flush = SOFTWARE_FLUSH.operation_frequencies(params)
+        assert flush[Operation.CLEAN_FLUSH] == pytest.approx(0.0, abs=1e-9)
+        # Only the unshared-miss reduction separates it from Base.
+        assert flush[Operation.CLEAN_MISS_MEMORY] < BASE.operation_frequencies(
+            params
+        )[Operation.CLEAN_MISS_MEMORY]
+
+
+class TestDragonScheme:
+    def test_table6_formulas(self):
+        frequencies = DRAGON.operation_frequencies(MIDDLE)
+        data_miss = MIDDLE.ls * MIDDLE.msdat
+        from_cache = MIDDLE.shd * (1 - MIDDLE.oclean)
+        assert frequencies[Operation.CLEAN_MISS_CACHE] == pytest.approx(
+            data_miss * from_cache * (1 - MIDDLE.md)
+        )
+        assert frequencies[Operation.WRITE_BROADCAST] == pytest.approx(
+            MIDDLE.ls * MIDDLE.shd * MIDDLE.wr * MIDDLE.opres
+        )
+        assert frequencies[Operation.CYCLE_STEAL] == pytest.approx(
+            frequencies[Operation.WRITE_BROADCAST] * MIDDLE.nshd
+        )
+
+    def test_total_miss_rate_matches_base(self):
+        """Dragon redistributes misses between memory and caches but
+        does not change the total (write-update never invalidates)."""
+        assert DRAGON.miss_rate(MIDDLE) == pytest.approx(BASE.miss_rate(MIDDLE))
+
+    def test_oclean_one_means_all_misses_from_memory(self):
+        params = MIDDLE.replace(oclean=1.0)
+        frequencies = DRAGON.operation_frequencies(params)
+        assert frequencies[Operation.CLEAN_MISS_CACHE] == 0.0
+        assert frequencies[Operation.DIRTY_MISS_CACHE] == 0.0
+
+
+class TestSchemeRegistry:
+    def test_all_schemes_order(self):
+        assert [scheme.name for scheme in ALL_SCHEMES] == [
+            "Base", "No-Cache", "Software-Flush", "Dragon",
+        ]
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("base", BASE),
+            ("No-Cache", NO_CACHE),
+            ("nocache", NO_CACHE),
+            ("flush", SOFTWARE_FLUSH),
+            ("software-flush", SOFTWARE_FLUSH),
+            ("DRAGON", DRAGON),
+            (" dragon ", DRAGON),
+        ],
+    )
+    def test_lookup(self, alias, expected):
+        assert scheme_by_name(alias) is expected
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError, match="known schemes"):
+            scheme_by_name("mesi")
+
+    def test_only_dragon_needs_broadcast(self):
+        assert DRAGON.requires_broadcast
+        assert not BASE.requires_broadcast
+        assert not NO_CACHE.requires_broadcast
+        assert not SOFTWARE_FLUSH.requires_broadcast
+
+
+class TestCrossSchemeIdentities:
+    def test_all_schemes_identical_without_data_references(self):
+        """Section 5.1: if ls = 0 the schemes are identical."""
+        params = MIDDLE.replace(ls=0.0)
+        reference = BASE.operation_frequencies(params)
+        for scheme in ALL_SCHEMES:
+            frequencies = scheme.operation_frequencies(params)
+            nonzero = {
+                op: freq for op, freq in frequencies.items() if freq > 0.0
+            }
+            expected = {
+                op: freq for op, freq in reference.items() if freq > 0.0
+            }
+            assert nonzero == pytest.approx(expected), scheme.name
+
+    def test_frequencies_are_nonnegative(self):
+        for scheme in ALL_SCHEMES:
+            for level in ("low", "middle", "high"):
+                params = WorkloadParams.at_level(level)
+                for op, freq in scheme.operation_frequencies(params).items():
+                    assert freq >= 0.0, (scheme.name, op)
+
+    def test_every_scheme_executes_instructions(self):
+        for scheme in ALL_SCHEMES:
+            frequencies = scheme.operation_frequencies(MIDDLE)
+            assert frequencies[Operation.INSTRUCTION] == 1.0

@@ -1,0 +1,87 @@
+"""Unit tests for the sensitivity analysis (Table 8)."""
+
+import pytest
+
+from repro.core import (
+    BASE,
+    DRAGON,
+    NO_CACHE,
+    SOFTWARE_FLUSH,
+    sensitivity_table,
+)
+from repro.core.sensitivity import sensitivity_entry
+
+
+class TestSensitivityEntry:
+    def test_percent_change_definition(self):
+        entry = sensitivity_entry(BASE, "msdat", processors=1)
+        expected = 100.0 * (entry.high_time - entry.low_time) / entry.low_time
+        assert entry.percent_change == pytest.approx(expected)
+
+    def test_irrelevant_parameter_is_zero(self):
+        entry = sensitivity_entry(BASE, "shd", processors=16)
+        assert entry.percent_change == pytest.approx(0.0)
+
+    def test_apl_uses_inverse_direction(self):
+        """Low→high follows Table 7's 1/apl row, so Software-Flush
+        execution time *increases*."""
+        entry = sensitivity_entry(SOFTWARE_FLUSH, "apl", processors=16)
+        assert entry.low_time < entry.middle_time < entry.high_time
+        assert entry.percent_change > 100.0
+
+    def test_unknown_parameter(self):
+        with pytest.raises(KeyError, match="known"):
+            sensitivity_entry(BASE, "bandwidth")
+
+    def test_scheme_and_parameter_recorded(self):
+        entry = sensitivity_entry(DRAGON, "opres", processors=4)
+        assert entry.scheme == "Dragon"
+        assert entry.parameter == "opres"
+
+
+class TestSensitivityTable:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return {
+            scheme.name: sensitivity_table(scheme, processors=16)
+            for scheme in (BASE, NO_CACHE, SOFTWARE_FLUSH, DRAGON)
+        }
+
+    def test_covers_all_parameters(self, tables):
+        from repro.core import PARAMETER_RANGES
+
+        for table in tables.values():
+            assert set(table) == set(PARAMETER_RANGES)
+
+    def test_section4_software_flush_ordering(self, tables):
+        """'apl has a huge effect... impact of shd is almost as great,
+        and ls is significant as well.  Miss rate has a noticeably
+        smaller effect.'"""
+        flush = {p: e.percent_change for p, e in tables["Software-Flush"].items()}
+        assert flush["apl"] > flush["shd"] > flush["ls"] > flush["msdat"]
+
+    def test_section4_nocache_is_flush_without_apl(self, tables):
+        nocache = {p: e.percent_change for p, e in tables["No-Cache"].items()}
+        assert nocache["apl"] == 0.0
+        assert nocache["shd"] > nocache["ls"] > nocache["msdat"]
+
+    def test_section4_dragon_hit_rate_dominates(self, tables):
+        dragon = {p: e.percent_change for p, e in tables["Dragon"].items()}
+        assert dragon["msdat"] > dragon["shd"]
+
+    def test_wr_is_second_order_everywhere(self, tables):
+        for name, table in tables.items():
+            assert abs(table["wr"].percent_change) < 30.0, name
+
+    def test_subset_request(self):
+        table = sensitivity_table(BASE, parameters=("ls", "msdat"))
+        assert set(table) == {"ls", "msdat"}
+
+    def test_contention_amplifies_sensitivity(self):
+        """At higher processor counts the same parameter swing costs
+        more, because contention compounds the extra bus traffic."""
+        alone = sensitivity_table(SOFTWARE_FLUSH, processors=1)
+        crowd = sensitivity_table(SOFTWARE_FLUSH, processors=16)
+        assert (
+            crowd["shd"].percent_change > alone["shd"].percent_change
+        )

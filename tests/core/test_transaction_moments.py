@@ -1,0 +1,101 @@
+"""Unit tests for transaction moments and the measured service model."""
+
+import pytest
+
+from repro.core import (
+    BASE,
+    DRAGON,
+    NO_CACHE,
+    CostTable,
+    BusSystem,
+    WorkloadParams,
+)
+from repro.core.model import transaction_moments
+
+MIDDLE = WorkloadParams.middle()
+COSTS = CostTable.bus()
+
+
+class TestTransactionMoments:
+    def test_base_scheme_mixture_by_hand(self):
+        """Base has two transaction types: clean miss (7 cycles) and
+        dirty miss (11 cycles), split by md."""
+        moments = transaction_moments(BASE, MIDDLE, COSTS)
+        miss_rate = MIDDLE.ls * MIDDLE.msdat + MIDDLE.mains
+        assert moments.rate == pytest.approx(miss_rate)
+        expected_mean = (1 - MIDDLE.md) * 7 + MIDDLE.md * 11
+        expected_square = (1 - MIDDLE.md) * 49 + MIDDLE.md * 121
+        assert moments.mean_service == pytest.approx(expected_mean)
+        assert moments.second_moment == pytest.approx(expected_square)
+
+    def test_mean_consistent_with_instruction_cost(self):
+        from repro.core import instruction_cost
+
+        for scheme in (BASE, DRAGON, NO_CACHE):
+            moments = transaction_moments(scheme, MIDDLE, COSTS)
+            cost = instruction_cost(scheme, MIDDLE, COSTS)
+            assert moments.rate * moments.mean_service == pytest.approx(
+                cost.channel_cycles
+            )
+
+    def test_cv2_zero_for_single_operation_type(self):
+        """With md = 0, Base's transactions are all clean misses."""
+        params = MIDDLE.replace(md=0.0)
+        moments = transaction_moments(BASE, params, COSTS)
+        assert moments.cv2 == pytest.approx(0.0)
+        assert moments.variance == pytest.approx(0.0)
+
+    def test_quiet_workload_has_no_transactions(self):
+        quiet = WorkloadParams.middle(msdat=0.0, mains=0.0, shd=0.0)
+        moments = transaction_moments(BASE, quiet, COSTS)
+        assert moments.rate == 0.0
+        assert moments.cv2 == 0.0
+
+    def test_dragon_mixture_spans_broadcasts_and_misses(self):
+        """Broadcasts (1 cycle) plus misses (7-11) give real variance."""
+        moments = transaction_moments(DRAGON, MIDDLE, COSTS)
+        assert 1.0 < moments.mean_service < 11.0
+        assert moments.cv2 > 0.5
+
+
+class TestMeasuredServiceModel:
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError, match="service_model"):
+            BusSystem(service_model="gaussian")
+
+    def test_no_contention_limit_identical(self):
+        exponential = BusSystem(service_model="exponential")
+        measured = BusSystem(service_model="measured")
+        for scheme in (BASE, DRAGON):
+            first = exponential.evaluate(scheme, MIDDLE, 1)
+            second = measured.evaluate(scheme, MIDDLE, 1)
+            assert first.utilization == pytest.approx(second.utilization)
+
+    def test_models_agree_to_first_order(self):
+        """The two queueing treatments share mean demand, so they can
+        only differ through waiting: a few percent at 16 CPUs."""
+        exponential = BusSystem(service_model="exponential")
+        measured = BusSystem(service_model="measured")
+        for scheme in (BASE, DRAGON, NO_CACHE):
+            first = exponential.evaluate(scheme, MIDDLE, 16)
+            second = measured.evaluate(scheme, MIDDLE, 16)
+            assert second.processing_power == pytest.approx(
+                first.processing_power, rel=0.10
+            )
+
+    def test_low_variance_mixture_waits_less(self):
+        """With md=0 every Base transaction is exactly 7 cycles
+        (CV^2 = 0), so the measured model predicts less contention
+        than the exponential one."""
+        params = MIDDLE.replace(md=0.0, msdat=0.04)
+        exponential = BusSystem(service_model="exponential")
+        measured = BusSystem(service_model="measured")
+        exp_wait = exponential.evaluate(BASE, params, 16).waiting_cycles
+        det_wait = measured.evaluate(BASE, params, 16).waiting_cycles
+        assert det_wait < exp_wait
+
+    def test_quiet_workload(self):
+        quiet = WorkloadParams.middle(msdat=0.0, mains=0.0, shd=0.0)
+        measured = BusSystem(service_model="measured")
+        prediction = measured.evaluate(BASE, quiet, 32)
+        assert prediction.waiting_cycles == 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for the figure-generator helper functions."""
+
+import pytest
+
+from repro.experiments.bus_figures import (
+    apl_effect,
+    power_vs_apl,
+    scheme_comparison,
+)
+from repro.experiments.network_figures import (
+    bus_versus_network,
+    network_utilization_map,
+)
+
+
+class TestSchemeComparison:
+    def test_custom_processor_range(self):
+        result = scheme_comparison("middle", processors=(2, 4, 8))
+        ideal = result.series_by_label("ideal")
+        assert ideal.x == (2.0, 4.0, 8.0)
+        assert ideal.y == (2.0, 4.0, 8.0)
+
+    def test_level_selects_figure_id(self):
+        assert scheme_comparison("low").experiment_id == "figure4"
+        assert scheme_comparison("middle").experiment_id == "figure5"
+        assert scheme_comparison("high").experiment_id == "figure6"
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError, match="level"):
+            scheme_comparison("extreme")
+
+
+class TestAplEffect:
+    def test_custom_apl_values(self):
+        result = apl_effect(apl_values=(1.0, 50.0), processors=(4, 8))
+        labels = {series.label for series in result.series}
+        assert "Flush apl=1" in labels
+        assert "Flush apl=50" in labels
+        flush = result.series_by_label("Flush apl=50")
+        assert flush.x == (4.0, 8.0)
+
+    def test_checks_reference_last_apl(self):
+        result = apl_effect(apl_values=(1.0, 200.0))
+        names = [check.name for check in result.checks]
+        assert "high-apl-approaches-dragon" in names
+        assert result.all_checks_pass
+
+
+class TestPowerVsApl:
+    def test_custom_processor_set(self):
+        result = power_vs_apl(
+            "low", "custom-id", apl_values=(1, 4, 25, 100),
+            processors=(2, 32),
+        )
+        assert result.experiment_id == "custom-id"
+        assert {series.label for series in result.series} == {"n=2", "n=32"}
+
+    def test_power_increases_with_apl(self):
+        result = power_vs_apl("middle", "x", processors=(16,))
+        curve = result.series_by_label("n=16")
+        for earlier, later in zip(curve.y, curve.y[1:]):
+            assert later >= earlier
+
+
+class TestNetworkFigures:
+    def test_bus_versus_network_custom_sizes(self):
+        result = bus_versus_network(
+            bus_processors=(1, 2, 4, 8, 16),
+            network_stages=(1, 2, 3, 4),
+        )
+        network = result.series_by_label("net Base")
+        assert network.x == (2.0, 4.0, 8.0, 16.0)
+        assert result.all_checks_pass
+
+    def test_figure11_custom_message_sizes(self):
+        result = network_utilization_map(
+            stages=6,
+            message_sizes=(2, 8),
+            request_rates=(0.1, 0.3, 0.6, 0.9),
+        )
+        labels = {series.label for series in result.series}
+        assert "size=2w" in labels
+        assert "size=8w" in labels
+        small = result.series_by_label("size=2w")
+        large = result.series_by_label("size=8w")
+        # At the same unit-request rate, utilisation is essentially
+        # message-size independent under the unit-request abstraction,
+        # but larger messages on a smaller machine keep the same shape.
+        assert len(small.y) == len(large.y) == 4
+
+    def test_figure11_utilization_decreasing_in_rate(self):
+        result = network_utilization_map(
+            message_sizes=(4,),
+            request_rates=tuple(i / 10 for i in range(1, 10)),
+        )
+        curve = result.series_by_label("size=4w")
+        for earlier, later in zip(curve.y, curve.y[1:]):
+            assert later < earlier

@@ -1,0 +1,103 @@
+"""Integration tests running the analytical experiments.
+
+These use only the analytical model (fast); the trace-driven
+validation figures are covered in tests/integration.
+"""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+ANALYTICAL_EXPERIMENTS = [
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "table1",
+    "table7",
+    "table8",
+    "table9",
+    "ablation-packet-switching",
+    "ablation-dragon-small-terms",
+    "extension-directory-vs-flush",
+]
+
+TRACE_DRIVEN_EXTENSIONS = [
+    "ablation-why-dragon",
+    "extension-block-size",
+    "extension-flush-policies",
+    "extension-network-validation",
+    "extension-update-vs-invalidate",
+    "extension-migration",
+    "ablation-service-model",
+]
+
+
+@pytest.mark.parametrize("experiment_id", ANALYTICAL_EXPERIMENTS)
+def test_experiment_checks_pass(experiment_id):
+    result = get_experiment(experiment_id).run()
+    failed = [check for check in result.checks if not check.passed]
+    assert not failed, [f"{c.name}: {c.detail}" for c in failed]
+
+
+@pytest.mark.parametrize("experiment_id", TRACE_DRIVEN_EXTENSIONS)
+def test_trace_driven_extension_checks_pass(experiment_id):
+    result = get_experiment(experiment_id).run(fast=True)
+    failed = [check for check in result.checks if not check.passed]
+    assert not failed, [f"{c.name}: {c.detail}" for c in failed]
+
+
+@pytest.mark.parametrize("experiment_id", ANALYTICAL_EXPERIMENTS)
+def test_experiment_renders(experiment_id):
+    result = get_experiment(experiment_id).run()
+    text = result.render()
+    assert result.experiment_id in text
+    assert result.checks, "every experiment must assert something"
+
+
+class TestFigureContents:
+    def test_figure5_has_all_schemes_and_ideal(self):
+        result = get_experiment("figure5").run()
+        labels = {series.label for series in result.series}
+        assert labels == {
+            "ideal", "Base", "No-Cache", "Software-Flush", "Dragon",
+        }
+
+    def test_figure7_includes_reference_schemes(self):
+        result = get_experiment("figure7").run()
+        labels = {series.label for series in result.series}
+        assert "Dragon" in labels
+        assert "No-Cache" in labels
+        assert any(label.startswith("Flush apl=") for label in labels)
+
+    def test_figure10_network_series_at_powers_of_two(self):
+        result = get_experiment("figure10").run()
+        network = result.series_by_label("net Base")
+        assert network.x == (2.0, 4.0, 8.0, 16.0, 32.0)
+
+    def test_figure11_has_nine_scheme_points(self):
+        result = get_experiment("figure11").run()
+        labels = {series.label for series in result.series}
+        markers = {
+            f"{code}{level}" for code in "BSN" for level in "lmh"
+        }
+        assert markers <= labels
+
+    def test_table8_rows_cover_all_parameters(self):
+        result = get_experiment("table8").run()
+        table = result.tables[0]
+        parameters = {row[0] for row in table.rows}
+        assert "1/apl" in parameters
+        assert len(table.rows) == 11
+
+    def test_figure_power_monotone_in_processors(self):
+        result = get_experiment("figure4").run()
+        for series in result.series:
+            if series.label == "ideal":
+                continue
+            for earlier, later in zip(series.y, series.y[1:]):
+                assert later >= earlier - 1e-9, series.label

@@ -1,0 +1,61 @@
+"""Unit tests for the experiment registry."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    register,
+)
+
+
+class TestRegistryContents:
+    def test_all_paper_artifacts_registered(self):
+        expected = {f"figure{i}" for i in range(1, 12)} | {
+            "table1", "table7", "table8", "table9",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_extensions_are_marked(self):
+        ablations = [
+            key for key in EXPERIMENTS if key.startswith("ablation")
+        ]
+        assert len(ablations) >= 3
+        for key in ablations:
+            assert "Extension" in EXPERIMENTS[key].title
+
+    def test_list_is_sorted(self):
+        ids = [e.experiment_id for e in list_experiments()]
+        assert ids == sorted(ids)
+
+
+class TestLookup:
+    def test_get(self):
+        assert get_experiment("figure5").paper_ref == "Figure 5"
+        assert get_experiment(" FIGURE5 ").experiment_id == "figure5"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="known"):
+            get_experiment("figure99")
+
+
+class TestRegister:
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            @register("figure5", "dup", "Figure 5")
+            def duplicate(**_):
+                return ExperimentResult(experiment_id="x", title="x")
+
+    def test_runner_forwarding(self):
+        @register("test-tmp-experiment", "tmp", "none")
+        def runner(flavour="plain", **_):
+            result = ExperimentResult(experiment_id="tmp", title=flavour)
+            return result
+
+        try:
+            experiment = get_experiment("test-tmp-experiment")
+            assert experiment.run(flavour="spicy").title == "spicy"
+        finally:
+            del EXPERIMENTS["test-tmp-experiment"]

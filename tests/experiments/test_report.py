@@ -1,0 +1,62 @@
+"""Unit tests for ASCII chart and table rendering."""
+
+from repro.experiments.report import ascii_chart, series_table
+from repro.experiments.result import Series
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart([]) == "(no data)"
+
+    def test_contains_axis_labels(self):
+        chart = ascii_chart(
+            [Series("s", (0.0, 10.0), (0.0, 5.0))],
+            xlabel="processors",
+            ylabel="power",
+        )
+        assert "processors" in chart
+        assert "power" in chart
+        assert "s" in chart  # legend
+
+    def test_marker_placement_extremes(self):
+        chart = ascii_chart(
+            [Series("s", (0.0, 1.0), (0.0, 1.0))], width=20, height=5
+        )
+        lines = chart.splitlines()
+        # Top row holds the max point, bottom plot row the min point
+        # (no ylabel header line was requested).
+        assert "o" in lines[0]
+        assert "o" in lines[4]
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_chart(
+            [
+                Series("a", (0.0, 1.0), (0.0, 1.0)),
+                Series("b", (0.0, 1.0), (1.0, 0.0)),
+            ]
+        )
+        assert "o a" in chart
+        assert "x b" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart([Series("flat", (1.0, 2.0), (3.0, 3.0))])
+        assert "flat" in chart
+
+
+class TestSeriesTable:
+    def test_union_of_x_values(self):
+        table = series_table(
+            [
+                Series("a", (1.0, 2.0), (10.0, 20.0)),
+                Series("b", (2.0, 3.0), (200.0, 300.0)),
+            ],
+            xlabel="n",
+        )
+        assert table.headers == ("n", "a", "b")
+        assert table.rows[0] == ("1", "10", "-")
+        assert table.rows[1] == ("2", "20", "200")
+        assert table.rows[2] == ("3", "-", "300")
+
+    def test_default_xlabel(self):
+        table = series_table([Series("a", (1.0,), (1.0,))])
+        assert table.headers[0] == "x"

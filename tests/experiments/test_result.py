@@ -1,0 +1,89 @@
+"""Unit tests for experiment result containers and rendering."""
+
+import pytest
+
+from repro.experiments import Check, ExperimentResult, Series, TableData
+
+
+class TestSeries:
+    def test_from_points(self):
+        series = Series.from_points("s", [(1, 2), (3, 4)])
+        assert series.x == (1, 3)
+        assert series.y == (2, 4)
+
+    def test_empty_points(self):
+        series = Series.from_points("empty", [])
+        assert series.x == ()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            Series("bad", (1, 2), (3,))
+
+    def test_y_at(self):
+        series = Series("s", (1.0, 2.0), (10.0, 20.0))
+        assert series.y_at(2.0) == 20.0
+        with pytest.raises(KeyError, match="no point"):
+            series.y_at(5.0)
+
+
+class TestTableData:
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError, match="row width"):
+            TableData("t", ("a", "b"), (("1",),))
+
+    def test_render_aligns_columns(self):
+        table = TableData(
+            "demo", ("name", "value"), (("x", "1"), ("longer", "22"))
+        )
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len({len(line) for line in lines[2:]}) == 1
+
+    def test_render_empty_table(self):
+        table = TableData("empty", ("a",), ())
+        assert "empty" in table.render()
+
+
+class TestExperimentResult:
+    def _result(self):
+        result = ExperimentResult(
+            experiment_id="demo", title="Demo", xlabel="x", ylabel="y"
+        )
+        result.series.append(Series("one", (1.0, 2.0), (1.0, 4.0)))
+        return result
+
+    def test_series_lookup(self):
+        result = self._result()
+        assert result.series_by_label("one").y == (1.0, 4.0)
+        with pytest.raises(KeyError, match="one"):
+            result.series_by_label("two")
+
+    def test_checks(self):
+        result = self._result()
+        result.add_check("good", True, "fine")
+        assert result.all_checks_pass
+        result.add_check("bad", False, "broken")
+        assert not result.all_checks_pass
+        assert result.checks[-1] == Check("bad", False, "broken")
+
+    def test_render_contains_everything(self):
+        result = self._result()
+        result.add_check("good", True, "fine")
+        result.notes.append("remember this")
+        result.tables.append(TableData("tbl", ("h",), (("v",),)))
+        text = result.render()
+        assert "demo" in text
+        assert "[PASS] good" in text
+        assert "remember this" in text
+        assert "tbl" in text
+
+    def test_render_failed_check(self):
+        result = self._result()
+        result.add_check("bad", False, "broken")
+        assert "[FAIL] bad" in result.render()
+
+    def test_render_without_series(self):
+        result = ExperimentResult(experiment_id="t", title="T")
+        assert "T" in result.render()

@@ -1,0 +1,89 @@
+"""Unit tests for the validation experiment helpers."""
+
+import pytest
+
+from repro.experiments.validation import (
+    _series_tag,
+    model_vs_simulation,
+    validation_points,
+)
+
+
+class TestSeriesTag:
+    def test_hides_constant_dimensions(self):
+        assert _series_tag("pops", "dragon", 65536, False, False, False) == ""
+        assert _series_tag("pops", "dragon", 65536, True, False, False) == "pops"
+        assert (
+            _series_tag("pops", "dragon", 16384, False, False, True) == "16K"
+        )
+        assert (
+            _series_tag("pops", "dragon", 16384, True, True, True)
+            == "pops dragon 16K"
+        )
+
+
+class TestValidationPoints:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return validation_points(
+            "pops", "base", 65536, (1, 2), records_per_cpu=6_000
+        )
+
+    def test_shape(self, points):
+        assert [point["cpus"] for point in points] == [1, 2]
+        for point in points:
+            assert set(point) >= {
+                "cpus", "simulated_power", "predicted_power",
+                "relative_error", "msdat", "mains",
+            }
+
+    def test_single_cpu_agreement_is_tight(self, points):
+        assert abs(points[0]["relative_error"]) < 0.03
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError):
+            validation_points("pops", "swflush", 65536, (1,), 2_000)
+
+    def test_trace_caching_reuses_generation(self):
+        """Two calls with identical workload/records settings reuse
+        the cached trace (the second call must be much faster)."""
+        import time
+
+        validation_points("thor", "base", 16384, (1,), 5_000)
+        start = time.perf_counter()
+        validation_points("thor", "base", 32768, (1,), 5_000)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0  # generation alone would exceed this
+
+
+class TestModelVsSimulation:
+    def test_result_structure(self):
+        result = model_vs_simulation(
+            "test-sweep",
+            "structure test",
+            workloads=("pops",),
+            protocols=("base",),
+            cache_sizes=(65536,),
+            cpu_counts=(1, 2),
+            records_per_cpu=6_000,
+            error_budget=0.5,
+        )
+        labels = {series.label for series in result.series}
+        assert labels == {"sim", "model"}
+        assert result.tables[0].headers[0] == "workload"
+        assert len(result.tables[0].rows) == 2
+        assert result.checks[0].name == "model-tracks-simulation"
+        assert result.all_checks_pass
+
+    def test_error_budget_enforced(self):
+        result = model_vs_simulation(
+            "test-sweep-tight",
+            "budget test",
+            workloads=("pops",),
+            protocols=("dragon",),
+            cache_sizes=(65536,),
+            cpu_counts=(4,),
+            records_per_cpu=6_000,
+            error_budget=1e-6,  # nothing real passes this
+        )
+        assert not result.all_checks_pass

@@ -1,0 +1,110 @@
+"""Golden regression numbers for the analytical model.
+
+These pin the headline values recorded in EXPERIMENTS.md.  They are
+not paper numbers (the paper's absolute values depend on its traces);
+they are *this reproduction's* numbers, frozen so that refactoring the
+model, the cost tables, or the solvers cannot silently change results.
+Tolerances are tight (0.5%) but not exact, to stay robust to benign
+floating-point reordering.
+"""
+
+import pytest
+
+from repro.core import (
+    ALL_SCHEMES,
+    BASE,
+    DRAGON,
+    NO_CACHE,
+    SOFTWARE_FLUSH,
+    BusSystem,
+    NetworkSystem,
+    WorkloadParams,
+    sensitivity_table,
+)
+
+GOLDEN_BUS_POWER_N16_MIDDLE = {
+    "Base": 13.960,
+    "Dragon": 12.657,
+    "Software-Flush": 7.784,
+    "No-Cache": 3.503,
+}
+
+GOLDEN_NETWORK_UTILIZATION_256 = {
+    # (scheme, level) -> thinking fraction U (the paper's network U).
+    ("Base", "middle"): 0.8413,
+    ("Software-Flush", "middle"): 0.5868,
+    ("No-Cache", "middle"): 0.2022,
+    ("Software-Flush", "low"): 0.9347,
+    ("No-Cache", "high"): 0.1047,
+}
+
+
+class TestGoldenBusNumbers:
+    @pytest.mark.parametrize(
+        "scheme", ALL_SCHEMES, ids=lambda scheme: scheme.name
+    )
+    def test_figure5_power_at_16(self, scheme):
+        prediction = BusSystem().evaluate(
+            scheme, WorkloadParams.middle(), 16
+        )
+        assert prediction.processing_power == pytest.approx(
+            GOLDEN_BUS_POWER_N16_MIDDLE[scheme.name], rel=5e-3
+        )
+
+    def test_figure7_extremes(self):
+        bus = BusSystem()
+        middle = WorkloadParams.middle()
+        worst = bus.evaluate(SOFTWARE_FLUSH, middle.replace(apl=1.0), 16)
+        best = bus.evaluate(SOFTWARE_FLUSH, middle.replace(apl=100.0), 16)
+        assert worst.processing_power == pytest.approx(1.424, rel=5e-3)
+        assert best.processing_power == pytest.approx(14.06, rel=5e-3)
+
+    def test_uncontended_cost_middle(self):
+        from repro.core import CostTable, instruction_cost
+
+        costs = CostTable.bus()
+        expected = {
+            "Base": (1.0691, 0.0499),
+            "No-Cache": (1.3765, 0.2855),
+            "Software-Flush": (1.1852, 0.1277),
+            "Dragon": (1.1134, 0.0646),
+        }
+        for scheme in (BASE, NO_CACHE, SOFTWARE_FLUSH, DRAGON):
+            cost = instruction_cost(scheme, WorkloadParams.middle(), costs)
+            cpu, bus_cycles = expected[scheme.name]
+            assert cost.cpu_cycles == pytest.approx(cpu, abs=5e-4)
+            assert cost.channel_cycles == pytest.approx(bus_cycles, abs=5e-4)
+
+    def test_table8_headline_sensitivities(self):
+        flush = sensitivity_table(SOFTWARE_FLUSH, processors=16)
+        assert flush["apl"].percent_change == pytest.approx(779.2, rel=1e-2)
+        assert flush["shd"].percent_change == pytest.approx(115.3, rel=1e-2)
+        nocache = sensitivity_table(NO_CACHE, processors=16)
+        assert nocache["shd"].percent_change == pytest.approx(253.5, rel=1e-2)
+
+
+class TestGoldenNetworkNumbers:
+    @pytest.mark.parametrize(
+        "scheme_name,level",
+        sorted(GOLDEN_NETWORK_UTILIZATION_256),
+    )
+    def test_thinking_fraction(self, scheme_name, level):
+        from repro.core import scheme_by_name
+
+        network = NetworkSystem(8)
+        prediction = network.evaluate(
+            scheme_by_name(scheme_name), WorkloadParams.at_level(level)
+        )
+        assert prediction.thinking_fraction == pytest.approx(
+            GOLDEN_NETWORK_UTILIZATION_256[scheme_name, level], rel=5e-3
+        )
+
+    def test_saturation_limits(self):
+        bus = BusSystem()
+        middle = WorkloadParams.middle()
+        assert bus.saturation_processing_power(
+            SOFTWARE_FLUSH, middle
+        ) == pytest.approx(7.837, rel=5e-3)
+        assert bus.saturation_processing_power(
+            NO_CACHE, middle
+        ) == pytest.approx(3.504, rel=5e-3)

@@ -1,0 +1,101 @@
+"""Integration tests: simulator operation counts vs workload model.
+
+The simulator and the analytical model share one system model (Table 1
+costs) but arrive at operation *frequencies* independently — the model
+from Table 3-6 formulas over measured parameters, the simulator by
+actually replaying the trace.  These tests require the two frequency
+views to agree, which is a much sharper consistency check than
+comparing end-to-end processing power.
+"""
+
+import pytest
+
+from repro.core import Operation, SOFTWARE_FLUSH, NO_CACHE
+from repro.sim import Machine, SimulationConfig, measure_workload_params
+from repro.trace import collect_stats, preset
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return preset("thor").generate(records_per_cpu=25_000)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig()
+
+
+class TestNoCacheFrequencies:
+    def test_through_operation_rates_match_model(self, trace, config):
+        """Read/write-through frequencies are ls*shd*(1-wr) and
+        ls*shd*wr by Table 4; the simulator must reproduce them."""
+        params = measure_workload_params(trace, config)
+        result = Machine("nocache", config).run(trace)
+        instructions = result.instructions
+        read_through = (
+            result.operation_counts[Operation.READ_THROUGH] / instructions
+        )
+        write_through = (
+            result.operation_counts[Operation.WRITE_THROUGH] / instructions
+        )
+        model = NO_CACHE.operation_frequencies(params)
+        assert read_through == pytest.approx(
+            model[Operation.READ_THROUGH], rel=0.05
+        )
+        assert write_through == pytest.approx(
+            model[Operation.WRITE_THROUGH], rel=0.05
+        )
+
+
+class TestSoftwareFlushFrequencies:
+    def test_flush_rate_matches_trace_structure(self, trace, config):
+        """The simulator's flushes per instruction should approximate
+        the model's ls*shd/apl when apl is estimated from the trace's
+        critical-section structure (flushes per shared reference)."""
+        stats = collect_stats(trace)
+        result = Machine("swflush", config).run(trace)
+        simulated_flush_rate = (
+            result.operation_counts[Operation.CLEAN_FLUSH]
+            + result.operation_counts[Operation.DIRTY_FLUSH]
+        ) / result.instructions
+        # apl implied by the generator: shared references per flush.
+        implied_apl = stats.shared_references / stats.flushes
+        model_rate = stats.ls * stats.shd / implied_apl
+        assert simulated_flush_rate == pytest.approx(model_rate, rel=0.05)
+
+    def test_dirty_flush_fraction_tracks_section_writes(self, trace, config):
+        result = Machine("swflush", config).run(trace)
+        dirty = result.operation_counts[Operation.DIRTY_FLUSH]
+        clean = result.operation_counts[Operation.CLEAN_FLUSH]
+        fraction = dirty / (dirty + clean)
+        # thor has writing sections (readonly fraction 0.25), so a
+        # substantial share of flushes must be dirty - but not all.
+        assert 0.2 < fraction < 0.95
+
+
+class TestMissAccounting:
+    def test_operation_counts_match_miss_counters(self, trace, config):
+        result = Machine("dragon", config).run(trace)
+        miss_operations = (
+            result.operation_counts[Operation.CLEAN_MISS_MEMORY]
+            + result.operation_counts[Operation.DIRTY_MISS_MEMORY]
+            + result.operation_counts[Operation.CLEAN_MISS_CACHE]
+            + result.operation_counts[Operation.DIRTY_MISS_CACHE]
+        )
+        assert miss_operations == result.total_misses
+
+    def test_steals_equal_broadcast_holders(self, trace, config):
+        result = Machine("dragon", config).run(trace)
+        stolen = sum(cpu.stolen_cycles for cpu in result.cpus)
+        assert stolen == result.protocol_stats.broadcast_holders
+
+    def test_bus_cycles_equal_operation_costs(self, trace, config):
+        from repro.core import CostTable
+
+        costs = CostTable.bus()
+        result = Machine("dragon", config).run(trace)
+        expected = sum(
+            count * costs[operation].channel_cycles
+            for operation, count in result.operation_counts.items()
+        )
+        assert result.bus_busy_cycles == pytest.approx(expected)

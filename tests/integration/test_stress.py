@@ -1,0 +1,139 @@
+"""Stress and adversarial-input tests for the simulator stack.
+
+Failure-injection style coverage: pathological traces that violate the
+generator's usual structure must still produce well-formed, sane
+results from every protocol.
+"""
+
+import pytest
+
+from repro.sim import Machine, SimulationConfig
+from repro.sim.protocols import PROTOCOLS
+from repro.trace.records import AccessType, AddressRange, Trace, TraceRecord
+
+L, S, I, F = (
+    AccessType.LOAD,
+    AccessType.STORE,
+    AccessType.INST_FETCH,
+    AccessType.FLUSH,
+)
+
+SHARED = AddressRange(0x100000, 0x110000)
+TINY = SimulationConfig(cache_bytes=512, block_bytes=16, associativity=1)
+
+
+def run_all_protocols(trace):
+    return {
+        name: Machine(name, TINY).run(trace) for name in sorted(PROTOCOLS)
+    }
+
+
+class TestPathologicalTraces:
+    def test_all_cpus_hammer_one_shared_block(self):
+        """Worst-case ping-pong: every CPU writes one block in turn."""
+        records = [
+            TraceRecord(cpu % 4, S if cpu % 2 else L, SHARED.start)
+            for cpu in range(4_000)
+        ]
+        # Interleave fetches so utilisation is well-defined.
+        interleaved = []
+        for index, record in enumerate(records):
+            interleaved.append(
+                TraceRecord(record.cpu, I, (index % 64) * 4)
+            )
+            interleaved.append(record)
+        trace = Trace("pingpong", 4, SHARED, interleaved)
+        for name, result in run_all_protocols(trace).items():
+            assert result.instructions == 4_000, name
+            assert 0.0 < result.utilization <= 1.0, name
+            assert result.elapsed_cycles > 0, name
+
+    def test_single_set_thrashing(self):
+        """All blocks map to one set of a direct-mapped cache."""
+        sets = TINY.geometry.sets
+        records = []
+        for index in range(3_000):
+            block = (index % 5) * sets  # five blocks, one set
+            records.append(TraceRecord(0, I, block * 16))
+        trace = Trace("thrash", 1, SHARED, records)
+        result = Machine("base", TINY).run(trace)
+        # With 5 blocks rotating through a 1-way set, every access
+        # misses after the first pass.
+        assert result.instruction_miss_rate > 0.9
+
+    def test_flush_storm(self):
+        """More flushes than references must not corrupt accounting."""
+        records = []
+        for index in range(500):
+            records.append(TraceRecord(0, I, index * 4))
+            records.append(TraceRecord(0, S, SHARED.start))
+            for _ in range(3):
+                records.append(TraceRecord(0, F, SHARED.start))
+        trace = Trace("flushstorm", 1, SHARED, records)
+        result = Machine("swflush", TINY).run(trace)
+        assert result.cpus[0].flushes == 1_500
+        from repro.core import Operation
+
+        dirty = result.operation_counts[Operation.DIRTY_FLUSH]
+        clean = result.operation_counts[Operation.CLEAN_FLUSH]
+        assert dirty + clean == 1_500
+        # Only the first flush of each burst can be dirty.
+        assert dirty == 500
+
+    def test_flush_of_unshared_addresses(self):
+        """FLUSH records outside the shared region are still honoured
+        by the protocol (the region only matters to No-Cache)."""
+        records = [
+            TraceRecord(0, S, 0x40),
+            TraceRecord(0, F, 0x40),
+        ]
+        trace = Trace("oddflush", 1, SHARED, records)
+        result = Machine("swflush", TINY).run(trace)
+        from repro.core import Operation
+
+        assert result.operation_counts[Operation.DIRTY_FLUSH] == 1
+
+    def test_empty_and_single_record_traces(self):
+        for records in ([], [TraceRecord(0, I, 0)]):
+            trace = Trace("tiny", 2, SHARED, records)
+            for name in sorted(PROTOCOLS):
+                result = Machine(name, TINY).run(trace)
+                assert result.elapsed_cycles >= 0.0, name
+
+    def test_huge_addresses(self):
+        """64-bit addresses must not break block arithmetic."""
+        top = 2**60
+        records = [
+            TraceRecord(0, I, top),
+            TraceRecord(0, L, top + 16),
+            TraceRecord(0, S, top + 32),
+        ]
+        trace = Trace("big", 1, AddressRange(top, top + 4096), records)
+        result = Machine("dragon", TINY).run(trace)
+        assert result.total_misses == 3
+
+    def test_all_protocols_agree_on_reference_counts(self):
+        from repro.trace import TraceConfig, generate_trace
+
+        trace = generate_trace(
+            TraceConfig(cpus=3, records_per_cpu=4_000, seed=33)
+        )
+        results = run_all_protocols(trace)
+        references = {
+            name: (result.instructions, result.data_references)
+            for name, result in results.items()
+        }
+        assert len(set(references.values())) == 1, references
+
+    def test_coherence_protocols_cost_at_least_base(self):
+        from repro.trace import TraceConfig, generate_trace
+
+        trace = generate_trace(
+            TraceConfig(cpus=4, records_per_cpu=6_000, seed=34)
+        )
+        results = run_all_protocols(trace)
+        base_power = results["base"].processing_power
+        for name, result in results.items():
+            if name == "base":
+                continue
+            assert result.processing_power <= base_power + 0.02, name

@@ -1,0 +1,97 @@
+"""Integration tests: the full validation path of paper Section 3.
+
+Generate a synthetic trace, simulate it, measure its workload
+parameters, feed them to the analytical model, and require agreement —
+the reproduction of the paper's central validation claim, on traces
+small enough for the test suite.
+"""
+
+import pytest
+
+from repro.core import BASE, DRAGON, BusSystem
+from repro.experiments.validation import validation_points
+from repro.sim import Machine, SimulationConfig, measure_workload_params
+from repro.trace import preset
+
+
+@pytest.fixture(scope="module")
+def pops_trace():
+    return preset("pops").generate(records_per_cpu=25_000)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig()
+
+
+class TestModelTracksSimulation:
+    def test_exact_agreement_single_processor(self, pops_trace, config):
+        """At one processor there is no contention, so model and
+        simulator share every cost by construction: agreement should
+        be essentially exact."""
+        solo = pops_trace.restricted_to(1)
+        for protocol, scheme in (("base", BASE), ("dragon", DRAGON)):
+            simulated = Machine(protocol, config).run(solo)
+            measurement = simulated if protocol == "dragon" else None
+            params = measure_workload_params(solo, config, measurement)
+            predicted = BusSystem().evaluate(scheme, params, 1)
+            assert predicted.processing_power == pytest.approx(
+                simulated.processing_power, rel=0.02
+            )
+
+    def test_agreement_at_four_processors(self, pops_trace, config):
+        for protocol, scheme in (("base", BASE), ("dragon", DRAGON)):
+            simulated = Machine(protocol, config).run(pops_trace)
+            measurement = simulated if protocol == "dragon" else None
+            params = measure_workload_params(pops_trace, config, measurement)
+            predicted = BusSystem().evaluate(scheme, params, 4)
+            assert predicted.processing_power == pytest.approx(
+                simulated.processing_power, rel=0.10
+            )
+
+    def test_base_bounds_dragon_in_simulation(self, pops_trace, config):
+        base = Machine("base", config).run(pops_trace)
+        dragon = Machine("dragon", config).run(pops_trace)
+        assert base.processing_power >= dragon.processing_power
+
+    def test_software_schemes_cost_more_in_simulation(
+        self, pops_trace, config
+    ):
+        dragon = Machine("dragon", config).run(pops_trace)
+        nocache = Machine("nocache", config).run(pops_trace)
+        swflush = Machine("swflush", config).run(pops_trace)
+        assert dragon.processing_power > swflush.processing_power
+        assert swflush.processing_power > nocache.processing_power
+
+
+class TestValidationPoints:
+    def test_point_structure(self):
+        points = validation_points(
+            "thor", "dragon", 65536, (1, 2), records_per_cpu=8_000
+        )
+        assert [p["cpus"] for p in points] == [1, 2]
+        for point in points:
+            assert point["simulated_power"] > 0
+            assert point["predicted_power"] > 0
+            assert abs(point["relative_error"]) < 0.25
+
+    def test_cache_size_ordering_in_miss_rates(self):
+        small = validation_points(
+            "pops", "dragon", 16384, (2,), records_per_cpu=8_000
+        )[0]
+        large = validation_points(
+            "pops", "dragon", 262144, (2,), records_per_cpu=8_000
+        )[0]
+        assert large["msdat"] < small["msdat"]
+
+
+class TestFullExperimentsFast:
+    @pytest.mark.parametrize(
+        "experiment_id", ["figure1", "figure2", "figure3", "ablation-replay-order"]
+    )
+    def test_trace_driven_experiments_pass_fast(self, experiment_id):
+        from repro.experiments import get_experiment
+
+        result = get_experiment(experiment_id).run(fast=True)
+        failed = [check for check in result.checks if not check.passed]
+        assert not failed, [f"{c.name}: {c.detail}" for c in failed]

@@ -1,0 +1,79 @@
+"""Property-based equivalence: vectorised evaluator vs scalar model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ALL_SCHEMES,
+    BusSystem,
+    NetworkSystem,
+    WorkloadParams,
+)
+from repro.core.batch import (
+    ParameterGrid,
+    bus_power_grid,
+    network_power_grid,
+)
+
+probability = st.floats(min_value=0.0, max_value=1.0)
+
+random_params = st.builds(
+    WorkloadParams,
+    ls=probability,
+    msdat=st.floats(min_value=0.0, max_value=0.1),
+    mains=st.floats(min_value=0.0, max_value=0.02),
+    md=probability,
+    shd=probability,
+    wr=probability,
+    apl=st.floats(min_value=1.0, max_value=200.0),
+    mdshd=probability,
+    oclean=probability,
+    opres=probability,
+    nshd=st.floats(min_value=0.0, max_value=15.0),
+)
+
+
+class TestBatchScalarEquivalence:
+    @settings(max_examples=40)
+    @given(random_params, st.integers(min_value=1, max_value=32))
+    def test_bus_power_equivalence(self, params, processors):
+        grid = ParameterGrid.from_params(params)
+        bus = BusSystem()
+        for scheme in ALL_SCHEMES:
+            vectorised = float(bus_power_grid(scheme, grid, processors))
+            scalar = bus.evaluate(scheme, params, processors)
+            assert vectorised == pytest.approx(
+                scalar.processing_power, rel=1e-9
+            ), scheme.name
+
+    @settings(max_examples=30)
+    @given(random_params, st.integers(min_value=1, max_value=8))
+    def test_network_power_equivalence(self, params, stages):
+        grid = ParameterGrid.from_params(params)
+        network = NetworkSystem(stages)
+        for scheme in ALL_SCHEMES:
+            if scheme.requires_broadcast:
+                continue
+            vectorised = float(network_power_grid(scheme, grid, stages))
+            scalar = network.evaluate(scheme, params)
+            assert vectorised == pytest.approx(
+                scalar.processing_power, rel=1e-4
+            ), scheme.name
+
+    @settings(max_examples=20)
+    @given(random_params)
+    def test_grid_layout_independence(self, params):
+        """A value computed inside a 2-D grid equals the same value
+        computed alone."""
+        shd_axis = np.array([0.1, params.shd, 0.9])
+        apl_axis = np.array([[1.0], [params.apl]])
+        grid = ParameterGrid.from_params(params, shd=shd_axis, apl=apl_axis)
+        power = bus_power_grid(ALL_SCHEMES[2], grid, processors=4)
+        alone = float(
+            bus_power_grid(
+                ALL_SCHEMES[2], ParameterGrid.from_params(params), 4
+            )
+        )
+        assert power[1, 1] == pytest.approx(alone, rel=1e-12)

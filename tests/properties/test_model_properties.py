@@ -1,0 +1,138 @@
+"""Property-based tests for the analytical model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ALL_SCHEMES,
+    BASE,
+    DRAGON,
+    NO_CACHE,
+    SOFTWARE_FLUSH,
+    BusSystem,
+    CostTable,
+    NetworkSystem,
+    PARAMETER_RANGES,
+    WorkloadParams,
+    instruction_cost,
+)
+
+_BUS = BusSystem()
+_COSTS = CostTable.bus()
+
+
+def table7_params():
+    """Workload parameters drawn from Table 7's observed ranges."""
+    fields = {}
+    for name, parameter_range in PARAMETER_RANGES.items():
+        low, high = sorted((parameter_range.low, parameter_range.high))
+        fields[name] = st.floats(
+            min_value=low, max_value=high,
+            allow_nan=False, allow_infinity=False,
+        )
+    return st.builds(WorkloadParams, **fields)
+
+
+def wide_params():
+    """Parameters over their full legal ranges (beyond Table 7)."""
+    probability = st.floats(min_value=0.0, max_value=1.0)
+    return st.builds(
+        WorkloadParams,
+        ls=probability,
+        msdat=st.floats(min_value=0.0, max_value=0.2),
+        mains=st.floats(min_value=0.0, max_value=0.05),
+        md=probability,
+        shd=probability,
+        wr=probability,
+        apl=st.floats(min_value=1.0, max_value=1000.0),
+        mdshd=probability,
+        oclean=probability,
+        opres=probability,
+        nshd=st.floats(min_value=0.0, max_value=63.0),
+    )
+
+
+processor_counts = st.integers(min_value=1, max_value=64)
+
+
+class TestInstructionCostProperties:
+    @settings(max_examples=80)
+    @given(wide_params())
+    def test_cost_structure(self, params):
+        for scheme in ALL_SCHEMES:
+            cost = instruction_cost(scheme, params, _COSTS)
+            assert cost.cpu_cycles >= 1.0  # instruction execution
+            assert 0.0 <= cost.channel_cycles <= cost.cpu_cycles
+
+    @settings(max_examples=80)
+    @given(table7_params())
+    def test_base_is_cheapest_in_table7_ranges(self, params):
+        """Section 5.1: Base performs best (as long as ls > 0)."""
+        base_cost = instruction_cost(BASE, params, _COSTS)
+        for scheme in (NO_CACHE, SOFTWARE_FLUSH, DRAGON):
+            cost = instruction_cost(scheme, params, _COSTS)
+            assert cost.cpu_cycles >= base_cost.cpu_cycles - 1e-9, scheme.name
+
+    @settings(max_examples=80)
+    @given(wide_params())
+    def test_flush_cost_decreases_with_apl(self, params):
+        lower = instruction_cost(
+            SOFTWARE_FLUSH, params.replace(apl=params.apl + 1.0), _COSTS
+        )
+        higher = instruction_cost(SOFTWARE_FLUSH, params, _COSTS)
+        assert lower.cpu_cycles <= higher.cpu_cycles + 1e-12
+
+
+class TestBusProperties:
+    @settings(max_examples=60)
+    @given(table7_params(), processor_counts)
+    def test_prediction_sane(self, params, processors):
+        for scheme in ALL_SCHEMES:
+            prediction = _BUS.evaluate(scheme, params, processors)
+            assert 0.0 < prediction.utilization <= 1.0
+            assert prediction.waiting_cycles >= -1e-12
+            assert (
+                0.0 < prediction.processing_power <= processors + 1e-9
+            )
+            assert 0.0 <= prediction.bus_utilization <= 1.0 + 1e-9
+
+    @settings(max_examples=60)
+    @given(table7_params(), processor_counts)
+    def test_power_monotone_in_processors(self, params, processors):
+        for scheme in ALL_SCHEMES:
+            smaller = _BUS.evaluate(scheme, params, processors)
+            larger = _BUS.evaluate(scheme, params, processors + 1)
+            assert (
+                larger.processing_power >= smaller.processing_power - 1e-9
+            )
+
+    @settings(max_examples=60)
+    @given(table7_params(), processor_counts)
+    def test_power_bounded_by_saturation(self, params, processors):
+        for scheme in ALL_SCHEMES:
+            prediction = _BUS.evaluate(scheme, params, processors)
+            limit = _BUS.saturation_processing_power(scheme, params)
+            assert prediction.processing_power <= limit + 1e-9
+
+
+class TestNetworkProperties:
+    @settings(max_examples=40)
+    @given(table7_params(), st.integers(min_value=1, max_value=10))
+    def test_prediction_sane(self, params, stages):
+        network = NetworkSystem(stages)
+        for scheme in (BASE, NO_CACHE, SOFTWARE_FLUSH):
+            prediction = network.evaluate(scheme, params)
+            assert 0.0 < prediction.utilization <= 1.0
+            assert 0.0 < prediction.thinking_fraction <= 1.0
+            assert prediction.processing_power <= network.processors
+
+    @settings(max_examples=40)
+    @given(table7_params())
+    def test_contention_only_hurts(self, params):
+        network = NetworkSystem(8)
+        for scheme in (BASE, NO_CACHE, SOFTWARE_FLUSH):
+            prediction = network.evaluate(scheme, params)
+            assert (
+                prediction.utilization
+                <= prediction.cost.uncontended_utilization + 1e-9
+            )

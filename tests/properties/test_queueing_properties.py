@@ -1,0 +1,111 @@
+"""Property-based tests for the queueing substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import (
+    DeltaNetwork,
+    closed_loop_utilization,
+    machine_repairman_bounds,
+    solve_machine_repairman,
+    stage_rates,
+)
+
+populations = st.integers(min_value=1, max_value=64)
+times = st.floats(
+    min_value=0.01, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+loads = st.floats(min_value=0.0, max_value=1.0)
+stages_strategy = st.integers(min_value=0, max_value=12)
+rates = st.floats(min_value=1e-4, max_value=20.0)
+
+
+class TestMvaProperties:
+    @given(populations, times, times)
+    def test_response_at_least_service(self, population, think, service):
+        result = solve_machine_repairman(population, think, service)
+        assert result.response_time >= service - 1e-9
+
+    @given(populations, times, times)
+    def test_throughput_within_operational_bounds(
+        self, population, think, service
+    ):
+        result = solve_machine_repairman(population, think, service)
+        bounds = machine_repairman_bounds(population, think, service)
+        assert bounds.lower - 1e-9 <= result.throughput
+        assert result.throughput <= bounds.upper + 1e-9
+
+    @given(populations, times, times)
+    def test_throughput_increases_with_population(
+        self, population, think, service
+    ):
+        smaller = solve_machine_repairman(population, think, service)
+        larger = solve_machine_repairman(population + 1, think, service)
+        assert larger.throughput >= smaller.throughput - 1e-12
+
+    @given(populations, times, times)
+    def test_waiting_increases_with_population(
+        self, population, think, service
+    ):
+        smaller = solve_machine_repairman(population, think, service)
+        larger = solve_machine_repairman(population + 1, think, service)
+        assert larger.waiting_time >= smaller.waiting_time - 1e-9
+
+    @given(populations, times, times)
+    def test_population_conservation(self, population, think, service):
+        result = solve_machine_repairman(population, think, service)
+        in_system = result.queue_length + result.throughput * think
+        assert math.isclose(in_system, population, rel_tol=1e-9)
+
+    @given(populations, times, times)
+    def test_server_utilization_in_unit_interval(
+        self, population, think, service
+    ):
+        result = solve_machine_repairman(population, think, service)
+        assert -1e-12 <= result.server_utilization <= 1.0 + 1e-9
+
+
+class TestDeltaProperties:
+    @given(loads, stages_strategy)
+    def test_rates_stay_in_unit_interval(self, offered, stages):
+        for rate in stage_rates(offered, stages):
+            assert 0.0 <= rate <= 1.0
+
+    @given(loads, stages_strategy)
+    def test_rates_nonincreasing_through_stages(self, offered, stages):
+        rates_list = stage_rates(offered, stages)
+        for earlier, later in zip(rates_list, rates_list[1:]):
+            assert later <= earlier + 1e-12
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_accepted_rate_monotone_in_offered(self, a, b, stages):
+        network = DeltaNetwork(stages=stages)
+        low, high = sorted((a, b))
+        assert network.accepted_rate(low) <= network.accepted_rate(high) + 1e-12
+
+    @settings(max_examples=60)
+    @given(rates, st.integers(min_value=0, max_value=10))
+    def test_fixed_point_balances_flow(self, request_rate, stages):
+        network = DeltaNetwork(stages=stages)
+        result = closed_loop_utilization(network, request_rate)
+        assert 0.0 <= result.thinking_fraction <= 1.0
+        assert math.isclose(
+            result.accepted_rate,
+            result.thinking_fraction * request_rate,
+            rel_tol=1e-5,
+            abs_tol=1e-6,
+        )
+
+    @settings(max_examples=60)
+    @given(rates, st.integers(min_value=0, max_value=10))
+    def test_thinking_fraction_bounded_by_ideal(self, request_rate, stages):
+        """Contention can only hurt: U <= 1 / (1 + r)."""
+        network = DeltaNetwork(stages=stages)
+        result = closed_loop_utilization(network, request_rate)
+        assert result.thinking_fraction <= 1.0 / (1.0 + request_rate) + 1e-6

@@ -1,0 +1,142 @@
+"""Property-based tests for the cache and coherence protocols."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Cache, CacheGeometry, DragonProtocol, LineState
+from repro.sim.protocols import PROTOCOLS
+from repro.trace.records import AccessType
+
+GEOMETRY = CacheGeometry(size_bytes=256, block_bytes=16, associativity=2)
+
+blocks = st.integers(min_value=0, max_value=40)
+states = st.sampled_from(
+    [LineState.CLEAN, LineState.DIRTY, LineState.SHARED_CLEAN,
+     LineState.SHARED_DIRTY]
+)
+cache_ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "lookup", "invalidate"]),
+              blocks, states),
+    max_size=200,
+)
+
+
+class TestCacheInvariants:
+    @settings(max_examples=100)
+    @given(cache_ops)
+    def test_capacity_and_set_discipline(self, operations):
+        cache = Cache(GEOMETRY)
+        for name, block, state in operations:
+            if name == "insert":
+                cache.insert(block, state)
+            elif name == "lookup":
+                cache.lookup(block)
+            else:
+                cache.invalidate(block)
+            assert cache.occupancy() <= GEOMETRY.blocks
+            for resident, resident_state in cache.resident_blocks():
+                assert resident_state is not LineState.INVALID
+        # Every resident block must be findable through its own set.
+        for resident, resident_state in cache.resident_blocks():
+            assert cache.peek(resident) is resident_state
+
+    @settings(max_examples=100)
+    @given(cache_ops, blocks, states)
+    def test_inserted_block_is_resident(self, operations, block, state):
+        cache = Cache(GEOMETRY)
+        for name, op_block, op_state in operations:
+            if name == "insert":
+                cache.insert(op_block, op_state)
+        cache.insert(block, state)
+        assert cache.peek(block) is state
+
+    @settings(max_examples=100)
+    @given(cache_ops)
+    def test_eviction_never_returns_resident_block(self, operations):
+        cache = Cache(GEOMETRY)
+        for name, block, state in operations:
+            if name != "insert":
+                continue
+            victim = cache.insert(block, state)
+            if victim is not None:
+                assert victim[0] not in cache
+
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),                   # cpu
+        st.sampled_from([AccessType.LOAD, AccessType.STORE]),    # kind
+        st.integers(min_value=0, max_value=30),                  # block
+    ),
+    max_size=300,
+)
+
+
+def _shared(block: int) -> bool:
+    return block >= 8
+
+
+class TestDragonInvariants:
+    @settings(max_examples=100)
+    @given(accesses)
+    def test_single_owner_per_block(self, sequence):
+        caches = [Cache(GEOMETRY) for _ in range(3)]
+        dragon = DragonProtocol(caches, _shared)
+        for cpu, kind, block in sequence:
+            dragon.access(cpu, kind, block)
+            owners = [
+                index for index, cache in enumerate(caches)
+                if cache.peek(block).is_owner
+            ]
+            assert len(owners) <= 1, (block, owners)
+
+    @settings(max_examples=100)
+    @given(accesses)
+    def test_exclusive_states_imply_exclusivity_unless_evicted(self, sequence):
+        """After any access, a block in CLEAN or DIRTY in one cache is
+        not resident in any other cache (evictions can only *remove*
+        copies, which preserves the property)."""
+        caches = [Cache(GEOMETRY) for _ in range(3)]
+        dragon = DragonProtocol(caches, _shared)
+        for cpu, kind, block in sequence:
+            dragon.access(cpu, kind, block)
+        for index, cache in enumerate(caches):
+            for block, state in cache.resident_blocks():
+                if state in (LineState.CLEAN, LineState.DIRTY):
+                    for other_index, other in enumerate(caches):
+                        if other_index != index:
+                            assert block not in other, (block, state)
+
+    @settings(max_examples=60)
+    @given(accesses)
+    def test_stats_counters_consistent(self, sequence):
+        caches = [Cache(GEOMETRY) for _ in range(3)]
+        dragon = DragonProtocol(caches, _shared)
+        for cpu, kind, block in sequence:
+            dragon.access(cpu, kind, block)
+        stats = dragon.stats
+        assert 0 <= stats.shared_misses_dirty_elsewhere <= stats.shared_misses
+        assert (
+            0
+            <= stats.shared_write_hits_present_elsewhere
+            <= stats.shared_write_hits
+        )
+        assert 0.0 <= stats.oclean <= 1.0
+        assert 0.0 <= stats.opres <= 1.0
+        assert stats.nshd >= 0.0
+
+
+class TestAllProtocolsTerminate:
+    @settings(max_examples=40)
+    @given(accesses, st.sampled_from(sorted(PROTOCOLS)))
+    def test_any_sequence_runs_and_reports_operations(
+        self, sequence, protocol_name
+    ):
+        caches = [Cache(GEOMETRY) for _ in range(3)]
+        protocol = PROTOCOLS[protocol_name](caches, _shared)
+        for cpu, kind, block in sequence:
+            outcome = protocol.access(cpu, kind, block)
+            assert isinstance(outcome.operations, tuple)
+            for victim in outcome.steal_from:
+                assert 0 <= victim < 3
+                assert victim != cpu

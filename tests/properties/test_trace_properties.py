@@ -1,0 +1,74 @@
+"""Property-based tests for the trace substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import AccessType, TraceConfig, collect_stats, generate_trace
+
+configs = st.builds(
+    TraceConfig,
+    cpus=st.integers(min_value=1, max_value=4),
+    records_per_cpu=st.integers(min_value=50, max_value=1_500),
+    ls=st.floats(min_value=0.0, max_value=0.6),
+    shd=st.floats(min_value=0.0, max_value=0.6),
+    shared_write_fraction=st.floats(min_value=0.0, max_value=0.8),
+    readonly_section_fraction=st.floats(min_value=0.0, max_value=1.0),
+    section_length_mean=st.integers(min_value=1, max_value=30),
+    shared_objects=st.integers(min_value=1, max_value=32),
+    object_blocks=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+
+
+class TestGeneratorInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(configs)
+    def test_record_budget_and_cpu_ids(self, config):
+        trace = generate_trace(config)
+        counts = trace.per_cpu_counts()
+        assert len(counts) == config.cpus
+        assert all(count == config.records_per_cpu for count in counts)
+        assert all(0 <= record.cpu < config.cpus for record in trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(configs)
+    def test_shared_references_stay_in_shared_region(self, config):
+        trace = generate_trace(config)
+        for cpu, kind, address in trace:
+            if kind is AccessType.FLUSH:
+                assert trace.is_shared(address)
+            elif kind is AccessType.INST_FETCH:
+                assert not trace.is_shared(address)
+
+    @settings(max_examples=40, deadline=None)
+    @given(configs)
+    def test_determinism(self, config):
+        assert (
+            generate_trace(config).records == generate_trace(config).records
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(configs)
+    def test_stats_are_consistent(self, config):
+        trace = generate_trace(config)
+        stats = collect_stats(trace)
+        assert stats.instructions + stats.flushes + stats.data_references == len(
+            trace
+        )
+        assert 0.0 <= stats.shd <= 1.0
+        assert 0.0 <= stats.wr <= 1.0
+        assert stats.apl >= 1.0
+        assert 0.0 <= stats.mdshd <= 1.0
+        assert sum(stats.run_lengths) == stats.shared_references
+
+    @settings(max_examples=20, deadline=None)
+    @given(configs, st.integers(min_value=1, max_value=4))
+    def test_restriction_preserves_per_cpu_programs(self, config, keep):
+        if keep > config.cpus:
+            keep = config.cpus
+        trace = generate_trace(config)
+        restricted = trace.restricted_to(keep)
+        for cpu in range(keep):
+            original = [r for r in trace if r.cpu == cpu]
+            kept = [r for r in restricted if r.cpu == cpu]
+            assert original == kept

@@ -1,0 +1,69 @@
+"""Unit tests for the operational-analysis bounds."""
+
+import pytest
+
+from repro.queueing import (
+    asymptotic_throughput,
+    machine_repairman_bounds,
+    saturation_population,
+    solve_machine_repairman,
+)
+
+
+class TestSaturationPopulation:
+    def test_formula(self):
+        assert saturation_population(9.0, 1.0) == pytest.approx(10.0)
+
+    def test_zero_service_never_saturates(self):
+        assert saturation_population(5.0, 0.0) == float("inf")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            saturation_population(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            saturation_population(1.0, -1.0)
+
+
+class TestAsymptoticThroughput:
+    def test_formula(self):
+        assert asymptotic_throughput(0.25) == pytest.approx(4.0)
+
+    def test_zero_service(self):
+        assert asymptotic_throughput(0.0) == float("inf")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            asymptotic_throughput(-0.5)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("population", [1, 2, 5, 10, 50])
+    def test_bounds_contain_exact_mva(self, population):
+        think, service = 7.0, 1.3
+        bounds = machine_repairman_bounds(population, think, service)
+        exact = solve_machine_repairman(population, think, service)
+        assert bounds.lower <= exact.throughput + 1e-12
+        assert exact.throughput <= bounds.upper + 1e-12
+
+    def test_bounds_tight_for_single_customer(self):
+        bounds = machine_repairman_bounds(1, 4.0, 1.0)
+        exact = solve_machine_repairman(1, 4.0, 1.0)
+        assert bounds.upper == pytest.approx(exact.throughput)
+        assert bounds.lower == pytest.approx(exact.throughput)
+
+    def test_upper_bound_caps_at_server_speed(self):
+        bounds = machine_repairman_bounds(1000, 1.0, 1.0)
+        assert bounds.upper == pytest.approx(1.0)
+
+    def test_zero_population(self):
+        bounds = machine_repairman_bounds(0, 1.0, 1.0)
+        assert bounds.upper == 0.0
+        assert bounds.lower == 0.0
+
+    def test_zero_service_bounds_coincide(self):
+        bounds = machine_repairman_bounds(3, 2.0, 0.0)
+        assert bounds.upper == bounds.lower == pytest.approx(1.5)
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ValueError):
+            machine_repairman_bounds(-2, 1.0, 1.0)

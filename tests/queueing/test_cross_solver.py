@@ -1,0 +1,77 @@
+"""Cross-solver consistency tests for the queueing substrate."""
+
+import pytest
+
+from repro.queueing import (
+    machine_repairman_bounds,
+    saturation_population,
+    solve_machine_repairman,
+)
+from repro.queueing.mva import solve_machine_repairman_general
+
+
+class TestBoundsHoldForGeneralService:
+    """The operational bounds are distribution-free, so the general
+    solver must respect them for every CV^2."""
+
+    @pytest.mark.parametrize("cv2", [0.0, 0.3, 1.0, 2.5])
+    @pytest.mark.parametrize("population", [1, 4, 12, 48])
+    def test_throughput_in_bounds(self, cv2, population):
+        think, service = 6.0, 1.2
+        result = solve_machine_repairman_general(
+            population, think, service, cv2
+        )
+        bounds = machine_repairman_bounds(population, think, service)
+        # The residual-life approximation can exceed the exponential
+        # solution's waiting but never the deterministic lower bound
+        # on throughput by more than numerical noise.
+        assert result.throughput <= bounds.upper + 1e-9
+        assert result.throughput >= bounds.lower * 0.999
+
+
+class TestSaturationConsistency:
+    def test_saturation_population_marks_the_knee(self):
+        """Below n*, throughput is near-linear in n; far above n*,
+        adding a customer adds almost nothing."""
+        think, service = 9.0, 1.0
+        knee = saturation_population(think, service)
+        assert knee == pytest.approx(10.0)
+        below = solve_machine_repairman(5, think, service)
+        also_below = solve_machine_repairman(6, think, service)
+        gain_below = also_below.throughput - below.throughput
+        above = solve_machine_repairman(30, think, service)
+        also_above = solve_machine_repairman(31, think, service)
+        gain_above = also_above.throughput - above.throughput
+        assert gain_below > 10 * gain_above
+
+    def test_bus_saturation_matches_queueing_limit(self):
+        """BusSystem's saturation power is the queueing asymptote in
+        instruction units."""
+        from repro.core import BusSystem, NO_CACHE, WorkloadParams
+        from repro.queueing import asymptotic_throughput
+        from repro.core import CostTable, instruction_cost
+
+        params = WorkloadParams.middle()
+        cost = instruction_cost(NO_CACHE, params, CostTable.bus())
+        assert BusSystem().saturation_processing_power(
+            NO_CACHE, params
+        ) == pytest.approx(asymptotic_throughput(cost.channel_cycles))
+
+
+class TestExtremeRegimes:
+    def test_tiny_service_behaves_linearly(self):
+        result = solve_machine_repairman(32, 100.0, 1e-6)
+        assert result.throughput == pytest.approx(32 / 100.0, rel=1e-3)
+
+    def test_huge_population_saturates_cleanly(self):
+        result = solve_machine_repairman(10_000, 1.0, 1.0)
+        assert result.throughput == pytest.approx(1.0, rel=1e-6)
+        assert result.queue_length == pytest.approx(
+            10_000 - result.throughput * 1.0, rel=1e-6
+        )
+
+    def test_zero_think_time(self):
+        """Pure contention: all customers always at the server."""
+        result = solve_machine_repairman(8, 0.0, 2.0)
+        assert result.throughput == pytest.approx(0.5)
+        assert result.queue_length == pytest.approx(8.0)

@@ -1,0 +1,131 @@
+"""Unit tests for Patel's delta-network model and the closed loop."""
+
+import pytest
+
+from repro.queueing import (
+    DeltaNetwork,
+    closed_loop_utilization,
+    stage_rates,
+)
+
+
+class TestStageRates:
+    def test_single_stage_formula(self):
+        # m1 = 1 - (1 - m0/2)^2 for 2x2 switches.
+        rates = stage_rates(0.5, stages=1)
+        assert rates == [0.5, pytest.approx(1.0 - 0.75**2)]
+
+    def test_zero_offered_load_stays_zero(self):
+        assert stage_rates(0.0, stages=6) == [0.0] * 7
+
+    def test_full_offered_load_decays(self):
+        rates = stage_rates(1.0, stages=3)
+        assert rates[0] == 1.0
+        assert rates[1] == pytest.approx(0.75)
+        assert rates[2] == pytest.approx(1.0 - (1.0 - 0.375) ** 2)
+
+    def test_rates_are_monotonically_nonincreasing(self):
+        rates = stage_rates(0.9, stages=10)
+        for earlier, later in zip(rates, rates[1:]):
+            assert later <= earlier
+
+    def test_larger_switches_win_at_equal_port_count(self):
+        # 256 ports each: 8 stages of 2x2 vs 4 stages of 4x4.  Fewer
+        # stages mean fewer collision opportunities end to end.
+        two_by_two = stage_rates(0.8, stages=8, switch_size=2)[-1]
+        four_by_four = stage_rates(0.8, stages=4, switch_size=4)[-1]
+        assert four_by_four > two_by_two
+
+    @pytest.mark.parametrize("offered", [-0.1, 1.1])
+    def test_rejects_bad_offered_load(self, offered):
+        with pytest.raises(ValueError):
+            stage_rates(offered, stages=2)
+
+    def test_rejects_negative_stages(self):
+        with pytest.raises(ValueError):
+            stage_rates(0.5, stages=-1)
+
+    def test_rejects_tiny_switch(self):
+        with pytest.raises(ValueError):
+            stage_rates(0.5, stages=1, switch_size=1)
+
+
+class TestDeltaNetwork:
+    def test_ports(self):
+        assert DeltaNetwork(stages=8).ports == 256
+        assert DeltaNetwork(stages=4, switch_size=4).ports == 256
+
+    def test_acceptance_probability_bounds(self):
+        network = DeltaNetwork(stages=6)
+        for offered in (0.1, 0.4, 0.7, 1.0):
+            acceptance = network.acceptance_probability(offered)
+            assert 0.0 < acceptance <= 1.0
+
+    def test_acceptance_at_zero_load_is_one(self):
+        assert DeltaNetwork(stages=3).acceptance_probability(0.0) == 1.0
+
+    def test_accepted_rate_matches_stage_rates(self):
+        network = DeltaNetwork(stages=5)
+        assert network.accepted_rate(0.6) == stage_rates(0.6, 5)[-1]
+
+    def test_rejects_invalid_shape(self):
+        with pytest.raises(ValueError):
+            DeltaNetwork(stages=-1)
+        with pytest.raises(ValueError):
+            DeltaNetwork(stages=2, switch_size=0)
+
+
+class TestClosedLoopUtilization:
+    def test_zero_request_rate_is_fully_thinking(self):
+        result = closed_loop_utilization(DeltaNetwork(stages=4), 0.0)
+        assert result.thinking_fraction == 1.0
+        assert result.offered_rate == 0.0
+
+    def test_fixed_point_equations_hold(self):
+        network = DeltaNetwork(stages=8)
+        result = closed_loop_utilization(network, request_rate=0.6)
+        # m0 = 1 - U and mn = U * r, to solver tolerance.
+        assert result.offered_rate == pytest.approx(
+            1.0 - result.thinking_fraction, abs=1e-9
+        )
+        assert result.accepted_rate == pytest.approx(
+            result.thinking_fraction * 0.6, abs=1e-6
+        )
+
+    def test_zero_stage_limit_matches_no_contention(self):
+        # With no switches, m_n == m_0, so U = 1 / (1 + r).
+        result = closed_loop_utilization(DeltaNetwork(stages=0), 0.5)
+        assert result.thinking_fraction == pytest.approx(1.0 / 1.5, abs=1e-9)
+
+    def test_utilization_decreases_with_load(self):
+        network = DeltaNetwork(stages=8)
+        values = [
+            closed_loop_utilization(network, rate).thinking_fraction
+            for rate in (0.1, 0.3, 0.6, 1.0, 2.0)
+        ]
+        for earlier, later in zip(values, values[1:]):
+            assert later < earlier
+
+    def test_utilization_decreases_with_stages(self):
+        values = [
+            closed_loop_utilization(
+                DeltaNetwork(stages=stages), 0.5
+            ).thinking_fraction
+            for stages in (1, 4, 8, 10)
+        ]
+        for earlier, later in zip(values, values[1:]):
+            assert later < earlier
+
+    def test_heavy_demand_still_solves(self):
+        result = closed_loop_utilization(DeltaNetwork(stages=8), 5.0)
+        assert 0.0 < result.thinking_fraction < 0.2
+        assert result.offered_rate <= 1.0
+
+    def test_slowdown_at_least_one(self):
+        for rate in (0.05, 0.5, 2.0):
+            result = closed_loop_utilization(DeltaNetwork(stages=8), rate)
+            assert result.slowdown >= 1.0 - 1e-9
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            closed_loop_utilization(DeltaNetwork(stages=2), -0.5)

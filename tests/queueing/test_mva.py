@@ -1,0 +1,118 @@
+"""Unit tests for the machine-repairman MVA solver."""
+
+import math
+
+import pytest
+
+from repro.queueing import MvaResult, solve_machine_repairman
+
+
+def closed_form_throughput(population: int, think: float, service: float) -> float:
+    """Birth-death closed form for the M/M/1//N (machine-repairman) model.
+
+    With think rate ``lambda = 1/Z`` and service rate ``mu = 1/S``, the
+    stationary distribution over the number of customers at the server
+    is proportional to ``(N! / (N-k)!) * (lambda/mu)^k``; throughput is
+    ``mu * (1 - p0_at_server_idle)``.
+    """
+    rho = service / think
+    weights = [
+        math.factorial(population) / math.factorial(population - k) * rho**k
+        for k in range(population + 1)
+    ]
+    total = sum(weights)
+    probability_idle = weights[0] / total
+    return (1.0 - probability_idle) / service
+
+
+class TestSolveMachineRepairman:
+    def test_single_customer_sees_no_queueing(self):
+        result = solve_machine_repairman(1, think_time=10.0, service_time=2.0)
+        assert result.response_time == pytest.approx(2.0)
+        assert result.waiting_time == pytest.approx(0.0)
+        assert result.throughput == pytest.approx(1.0 / 12.0)
+
+    @pytest.mark.parametrize("population", [1, 2, 3, 5, 8, 16, 40])
+    def test_matches_birth_death_closed_form(self, population):
+        think, service = 9.0, 1.5
+        result = solve_machine_repairman(population, think, service)
+        expected = closed_form_throughput(population, think, service)
+        assert result.throughput == pytest.approx(expected, rel=1e-12)
+
+    def test_little_law_holds_at_solution(self):
+        result = solve_machine_repairman(12, think_time=5.0, service_time=1.0)
+        assert result.queue_length == pytest.approx(
+            result.throughput * result.response_time
+        )
+
+    def test_population_conservation(self):
+        population = 10
+        result = solve_machine_repairman(population, 4.0, 1.0)
+        thinking_customers = result.throughput * result.think_time
+        assert thinking_customers + result.queue_length == pytest.approx(
+            population
+        )
+
+    def test_zero_population(self):
+        result = solve_machine_repairman(0, 5.0, 1.0)
+        assert result.throughput == 0.0
+        assert result.queue_length == 0.0
+
+    def test_zero_service_time_never_queues(self):
+        result = solve_machine_repairman(7, think_time=2.0, service_time=0.0)
+        assert result.waiting_time == 0.0
+        assert result.throughput == pytest.approx(7 / 2.0)
+
+    def test_saturation_throughput_bound(self):
+        service = 2.0
+        result = solve_machine_repairman(500, think_time=1.0, service_time=service)
+        assert result.throughput == pytest.approx(1.0 / service, rel=1e-3)
+
+    def test_server_utilization_below_one(self):
+        result = solve_machine_repairman(100, 1.0, 1.0)
+        assert 0.99 < result.server_utilization <= 1.0
+
+    def test_customer_utilization(self):
+        result = solve_machine_repairman(1, think_time=6.0, service_time=2.0)
+        assert result.customer_utilization == pytest.approx(0.75)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population": -1, "think_time": 1.0, "service_time": 1.0},
+            {"population": 2, "think_time": -0.1, "service_time": 1.0},
+            {"population": 2, "think_time": 1.0, "service_time": -2.0},
+        ],
+    )
+    def test_rejects_invalid_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            solve_machine_repairman(**kwargs)
+
+    def test_result_is_frozen(self):
+        result = solve_machine_repairman(2, 1.0, 1.0)
+        with pytest.raises(AttributeError):
+            result.throughput = 0.0  # type: ignore[misc]
+
+
+class TestMvaResult:
+    def test_waiting_time_definition(self):
+        result = MvaResult(
+            population=3,
+            think_time=4.0,
+            service_time=1.0,
+            response_time=2.5,
+            throughput=0.4,
+            queue_length=1.0,
+        )
+        assert result.waiting_time == pytest.approx(1.5)
+
+    def test_customer_utilization_zero_cycle(self):
+        result = MvaResult(
+            population=1,
+            think_time=0.0,
+            service_time=0.0,
+            response_time=0.0,
+            throughput=0.0,
+            queue_length=0.0,
+        )
+        assert result.customer_utilization == 0.0

@@ -1,0 +1,81 @@
+"""Unit tests for the general-service AMVA extension solver."""
+
+import pytest
+
+from repro.queueing.mva import (
+    solve_machine_repairman,
+    solve_machine_repairman_general,
+)
+
+
+class TestGeneralServiceSolver:
+    @pytest.mark.parametrize("population", [1, 2, 5, 16, 40])
+    def test_cv2_one_reduces_to_exponential(self, population):
+        """With CV^2 = 1 the residual-life correction is exact MVA."""
+        exact = solve_machine_repairman(population, 7.0, 1.3)
+        general = solve_machine_repairman_general(
+            population, 7.0, 1.3, service_cv2=1.0
+        )
+        assert general.response_time == pytest.approx(exact.response_time)
+        assert general.throughput == pytest.approx(exact.throughput)
+
+    def test_deterministic_service_waits_less(self):
+        exponential = solve_machine_repairman_general(
+            10, 5.0, 1.0, service_cv2=1.0
+        )
+        deterministic = solve_machine_repairman_general(
+            10, 5.0, 1.0, service_cv2=0.0
+        )
+        assert deterministic.waiting_time < exponential.waiting_time
+
+    def test_waiting_monotone_in_variance(self):
+        # Below saturation (n* = 11 here) the saturation clamp is
+        # inactive and variance strictly increases waiting.
+        waits = [
+            solve_machine_repairman_general(
+                6, 10.0, 1.0, service_cv2=cv2
+            ).waiting_time
+            for cv2 in (0.0, 0.5, 1.0, 2.0, 4.0)
+        ]
+        for earlier, later in zip(waits, waits[1:]):
+            assert later > earlier
+
+    def test_saturation_clamp_enforces_hard_bound(self):
+        """Deep in saturation, low-variance service cannot push
+        throughput past the server speed 1/S."""
+        from repro.queueing import machine_repairman_bounds
+
+        for cv2 in (0.0, 0.3, 1.0):
+            result = solve_machine_repairman_general(12, 4.0, 1.0, cv2)
+            bounds = machine_repairman_bounds(12, 4.0, 1.0)
+            assert result.throughput <= bounds.upper + 1e-12
+
+    def test_single_customer_never_waits(self):
+        for cv2 in (0.0, 1.0, 3.0):
+            result = solve_machine_repairman_general(1, 5.0, 2.0, cv2)
+            assert result.waiting_time == pytest.approx(0.0)
+
+    def test_zero_population_and_zero_service(self):
+        assert solve_machine_repairman_general(0, 1.0, 1.0, 0.0).throughput == 0.0
+        result = solve_machine_repairman_general(4, 2.0, 0.0, 0.0)
+        assert result.waiting_time == 0.0
+
+    def test_saturation_limit_unchanged(self):
+        """Variance affects waiting, not the server's top speed."""
+        result = solve_machine_repairman_general(500, 1.0, 2.0, 0.0)
+        assert result.throughput == pytest.approx(0.5, rel=1e-2)
+
+    def test_rejects_negative_cv2(self):
+        with pytest.raises(ValueError, match="cv2"):
+            solve_machine_repairman_general(2, 1.0, 1.0, service_cv2=-0.5)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            solve_machine_repairman_general(2, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            solve_machine_repairman_general(2, 1.0, -1.0)
+
+    def test_population_conservation(self):
+        result = solve_machine_repairman_general(8, 3.0, 1.0, 0.3)
+        in_system = result.queue_length + result.throughput * 3.0
+        assert in_system == pytest.approx(8.0, rel=1e-9)

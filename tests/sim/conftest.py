@@ -1,0 +1,20 @@
+"""Shared fixtures for protocol tests.
+
+Protocols are tested directly against tiny caches and hand-picked
+block numbers; the shared region is blocks 100-199.
+"""
+
+import pytest
+
+from repro.sim import Cache, CacheGeometry
+
+
+def is_shared_block(block: int) -> bool:
+    return 100 <= block < 200
+
+
+@pytest.fixture()
+def caches():
+    """Three small 2-way caches (8 sets, 16 lines each)."""
+    geometry = CacheGeometry(size_bytes=256, block_bytes=16, associativity=2)
+    return [Cache(geometry) for _ in range(3)]

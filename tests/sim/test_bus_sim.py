@@ -1,0 +1,48 @@
+"""Unit tests for the simulated shared bus."""
+
+import pytest
+
+from repro.sim import TimedBus
+
+
+class TestTimedBus:
+    def test_idle_bus_grants_immediately(self):
+        bus = TimedBus()
+        grant, wait = bus.transact(ready_at=10.0, hold_cycles=7.0)
+        assert grant == 10.0
+        assert wait == 0.0
+        assert bus.free_at == 17.0
+
+    def test_busy_bus_queues(self):
+        bus = TimedBus()
+        bus.transact(0.0, 7.0)
+        grant, wait = bus.transact(3.0, 4.0)
+        assert grant == 7.0
+        assert wait == 4.0
+        assert bus.free_at == 11.0
+
+    def test_late_requester_is_not_delayed(self):
+        bus = TimedBus()
+        bus.transact(0.0, 5.0)
+        grant, wait = bus.transact(100.0, 1.0)
+        assert grant == 100.0
+        assert wait == 0.0
+
+    def test_busy_accounting(self):
+        bus = TimedBus()
+        bus.transact(0.0, 7.0)
+        bus.transact(0.0, 11.0)
+        assert bus.busy_cycles == 18.0
+        assert bus.transactions == 2
+
+    def test_utilization(self):
+        bus = TimedBus()
+        bus.transact(0.0, 5.0)
+        assert bus.utilization(10.0) == pytest.approx(0.5)
+        assert bus.utilization(0.0) == 0.0
+        assert bus.utilization(2.0) == 1.0  # clamped
+
+    def test_rejects_nonpositive_hold(self):
+        bus = TimedBus()
+        with pytest.raises(ValueError):
+            bus.transact(0.0, 0.0)

@@ -1,0 +1,135 @@
+"""Unit tests for the flit-level omega network simulator."""
+
+import pytest
+
+from repro.sim.netsim import OmegaNetworkSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return OmegaNetworkSimulator(stages=3, seed=11)
+
+
+class TestConstruction:
+    def test_processor_count(self):
+        assert OmegaNetworkSimulator(5).processors == 32
+
+    def test_rejects_bad_stages(self):
+        with pytest.raises(ValueError):
+            OmegaNetworkSimulator(0)
+
+
+class TestRunValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"think_mean": 0.0, "message_words": 1, "cycles": 10},
+            {"think_mean": 5.0, "message_words": 0, "cycles": 10},
+            {"think_mean": 5.0, "message_words": 1, "cycles": 0},
+            {"think_mean": 5.0, "message_words": 1, "cycles": 10,
+             "mode": "wormhole"},
+        ],
+    )
+    def test_rejects_bad_arguments(self, simulator, kwargs):
+        with pytest.raises(ValueError):
+            simulator.run(**kwargs)
+
+
+class TestConservation:
+    def test_cycle_accounting(self, simulator):
+        result = simulator.run(10.0, 4, cycles=2_000)
+        total = result.thinking_cycles + result.requesting_cycles
+        assert total == result.processors * result.cycles
+
+    def test_accepted_never_exceeds_offered_in_unit_mode(self, simulator):
+        result = simulator.run(6.0, 4, cycles=2_000, mode="unit")
+        assert result.accepted_requests <= result.offered_requests
+        assert 0.0 < result.acceptance_probability <= 1.0
+
+    def test_circuit_mode_delivers_words_without_rearbitration(self, simulator):
+        """Held-path word transfers count as accepted but not offered,
+        so acceptance per setup attempt exceeds one by design."""
+        result = simulator.run(6.0, 4, cycles=2_000, mode="circuit")
+        assert result.accepted_requests > result.offered_requests
+
+    def test_accepted_bounded_by_memory_ports(self, simulator):
+        result = simulator.run(2.0, 8, cycles=2_000)
+        assert result.accepted_requests <= result.processors * result.cycles
+
+    def test_determinism(self, simulator):
+        first = simulator.run(8.0, 4, cycles=1_000)
+        second = simulator.run(8.0, 4, cycles=1_000)
+        assert first == second
+
+
+class TestAgainstModel:
+    def test_unit_mode_matches_fixed_point(self):
+        simulator = OmegaNetworkSimulator(stages=4, seed=5)
+        for think_mean, words in ((20.0, 4), (10.0, 2)):
+            predicted = simulator.predicted(think_mean, words)
+            measured = simulator.run(
+                think_mean, words, cycles=10_000, mode="unit"
+            )
+            assert measured.thinking_fraction == pytest.approx(
+                predicted.thinking_fraction, rel=0.05
+            )
+
+    def test_circuit_mode_at_least_as_efficient(self):
+        simulator = OmegaNetworkSimulator(stages=4, seed=5)
+        predicted = simulator.predicted(10.0, 4)
+        measured = simulator.run(10.0, 4, cycles=10_000, mode="circuit")
+        assert (
+            measured.thinking_fraction
+            >= predicted.thinking_fraction - 0.02
+        )
+
+    def test_light_load_is_nearly_ideal(self, simulator):
+        result = simulator.run(200.0, 1, cycles=20_000)
+        # Ideal thinking fraction is z / (z + t) = 200 / 201.
+        assert result.thinking_fraction == pytest.approx(
+            200.0 / 201.0, abs=0.01
+        )
+
+    def test_more_load_less_thinking(self, simulator):
+        light = simulator.run(40.0, 4, cycles=5_000)
+        heavy = simulator.run(5.0, 4, cycles=5_000)
+        assert heavy.thinking_fraction < light.thinking_fraction
+
+
+class TestRoutingCorrectness:
+    def test_unique_outputs_per_stage(self):
+        """No two winners may share a switch output at any stage."""
+        import random
+
+        simulator = OmegaNetworkSimulator(stages=4, seed=1)
+        rng = random.Random(2)
+        destinations = [rng.randrange(16) for _ in range(16)]
+        held = [{} for _ in range(4)]
+        winners = simulator._route(
+            list(range(16)), destinations, rng, held, "unit"
+        )
+        for stage in range(4):
+            outputs = [path[stage] for _, path in winners]
+            assert len(outputs) == len(set(outputs))
+
+    def test_single_request_always_wins(self):
+        import random
+
+        simulator = OmegaNetworkSimulator(stages=3, seed=1)
+        rng = random.Random(3)
+        held = [{} for _ in range(3)]
+        winners = simulator._route([5], [0] * 8, rng, held, "unit")
+        assert [proc for proc, _ in winners] == [5]
+
+    def test_conflicting_requests_lose_exactly_one_survivor_per_output(self):
+        import random
+
+        simulator = OmegaNetworkSimulator(stages=3, seed=1)
+        rng = random.Random(4)
+        held = [{} for _ in range(3)]
+        # All eight processors target destination 0: exactly one can
+        # reach it.
+        winners = simulator._route(
+            list(range(8)), [0] * 8, rng, held, "unit"
+        )
+        assert len(winners) == 1

@@ -1,0 +1,73 @@
+"""Unit tests for the Base (no-coherence) protocol."""
+
+from repro.core import Operation
+from repro.sim import BaseProtocol, LineState
+from repro.trace.records import AccessType
+
+from tests.sim.conftest import is_shared_block
+
+L, S, I = AccessType.LOAD, AccessType.STORE, AccessType.INST_FETCH
+
+
+class TestBaseProtocol:
+    def test_cold_miss_is_clean(self, caches):
+        protocol = BaseProtocol(caches, is_shared_block)
+        outcome = protocol.access(0, L, 5)
+        assert outcome.operations == (Operation.CLEAN_MISS_MEMORY,)
+        assert caches[0].peek(5) is LineState.CLEAN
+
+    def test_hit_is_free(self, caches):
+        protocol = BaseProtocol(caches, is_shared_block)
+        protocol.access(0, L, 5)
+        outcome = protocol.access(0, L, 5)
+        assert outcome.operations == ()
+
+    def test_store_dirties_line(self, caches):
+        protocol = BaseProtocol(caches, is_shared_block)
+        protocol.access(0, L, 5)
+        protocol.access(0, S, 5)
+        assert caches[0].peek(5) is LineState.DIRTY
+
+    def test_store_miss_fills_dirty(self, caches):
+        protocol = BaseProtocol(caches, is_shared_block)
+        outcome = protocol.access(0, S, 5)
+        assert outcome.operations == (Operation.CLEAN_MISS_MEMORY,)
+        assert caches[0].peek(5) is LineState.DIRTY
+
+    def test_dirty_victim_triggers_dirty_miss(self, caches):
+        protocol = BaseProtocol(caches, is_shared_block)
+        # 8 sets: blocks 0, 8, 16 collide in set 0 of a 2-way cache.
+        protocol.access(0, S, 0)
+        protocol.access(0, L, 8)
+        outcome = protocol.access(0, L, 16)
+        assert outcome.operations == (Operation.DIRTY_MISS_MEMORY,)
+        assert 0 not in caches[0]
+
+    def test_clean_victim_triggers_clean_miss(self, caches):
+        protocol = BaseProtocol(caches, is_shared_block)
+        protocol.access(0, L, 0)
+        protocol.access(0, L, 8)
+        outcome = protocol.access(0, L, 16)
+        assert outcome.operations == (Operation.CLEAN_MISS_MEMORY,)
+
+    def test_ignores_other_caches(self, caches):
+        protocol = BaseProtocol(caches, is_shared_block)
+        protocol.access(0, S, 150)  # shared block, dirty in cache 0
+        outcome = protocol.access(1, L, 150)
+        # Base fetches from memory regardless; no snoop operations.
+        assert outcome.operations == (Operation.CLEAN_MISS_MEMORY,)
+        assert outcome.steal_from == ()
+
+    def test_flush_is_ignored(self, caches):
+        protocol = BaseProtocol(caches, is_shared_block)
+        protocol.access(0, S, 150)
+        outcome = protocol.flush(0, 150)
+        assert outcome.operations == ()
+        assert caches[0].peek(150) is LineState.DIRTY
+        assert not protocol.handles_flush
+
+    def test_instruction_fetch_behaves_like_load(self, caches):
+        protocol = BaseProtocol(caches, is_shared_block)
+        outcome = protocol.access(0, I, 40)
+        assert outcome.operations == (Operation.CLEAN_MISS_MEMORY,)
+        assert caches[0].peek(40) is LineState.CLEAN

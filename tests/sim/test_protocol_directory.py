@@ -1,0 +1,106 @@
+"""Unit tests for the directory (write-invalidate) protocol."""
+
+import pytest
+
+from repro.core import Operation
+from repro.sim import LineState
+from repro.sim.protocols.directory import DirectoryProtocol
+from repro.trace.records import AccessType
+
+from tests.sim.conftest import is_shared_block
+
+L, S = AccessType.LOAD, AccessType.STORE
+
+
+@pytest.fixture()
+def directory(caches):
+    return DirectoryProtocol(caches, is_shared_block)
+
+
+class TestReads:
+    def test_cold_read(self, directory, caches):
+        outcome = directory.access(0, L, 150)
+        assert outcome.operations == (Operation.CLEAN_MISS_MEMORY,)
+        assert caches[0].peek(150) is LineState.CLEAN
+
+    def test_read_downgrades_dirty_owner(self, directory, caches):
+        directory.access(0, S, 150)
+        assert caches[0].peek(150) is LineState.DIRTY
+        directory.access(1, L, 150)
+        assert caches[0].peek(150) is LineState.CLEAN
+        assert caches[1].peek(150) is LineState.CLEAN
+
+
+class TestWrites:
+    def test_write_hit_with_holders_invalidates(self, directory, caches):
+        directory.access(0, L, 150)
+        directory.access(1, L, 150)
+        outcome = directory.access(0, S, 150)
+        assert outcome.operations == (Operation.INVALIDATE,)
+        assert caches[0].peek(150) is LineState.DIRTY
+        assert 150 not in caches[1]
+
+    def test_write_hit_alone_is_free(self, directory, caches):
+        directory.access(0, L, 150)
+        outcome = directory.access(0, S, 150)
+        assert outcome.operations == ()
+        assert caches[0].peek(150) is LineState.DIRTY
+
+    def test_write_miss_with_holders(self, directory, caches):
+        directory.access(0, L, 150)
+        outcome = directory.access(1, S, 150)
+        assert outcome.operations == (
+            Operation.CLEAN_MISS_MEMORY,
+            Operation.INVALIDATE,
+        )
+        assert 150 not in caches[0]
+        assert caches[1].peek(150) is LineState.DIRTY
+
+    def test_dirty_copy_unique_after_any_write(self, directory, caches):
+        sequence = [(0, L), (1, L), (2, S), (0, S), (1, S)]
+        for cpu, kind in sequence:
+            directory.access(cpu, kind, 150)
+            holders = [
+                index for index, cache in enumerate(caches)
+                if 150 in cache
+            ]
+            dirty = [
+                index for index in holders
+                if caches[index].peek(150).is_dirty
+            ]
+            if dirty:
+                assert holders == dirty
+                assert len(dirty) == 1
+
+
+class TestStats:
+    def test_invalidation_counters(self, directory):
+        directory.access(0, L, 150)
+        directory.access(1, L, 150)
+        directory.access(2, S, 150)  # invalidates two copies
+        stats = directory.stats
+        assert stats.invalidation_rounds == 1
+        assert stats.copies_invalidated == 2
+        assert stats.copies_per_round == pytest.approx(2.0)
+
+    def test_coherence_miss_attribution(self, directory):
+        directory.access(0, L, 150)
+        directory.access(1, S, 150)  # invalidates cpu0's copy
+        directory.access(0, L, 150)  # cpu0 re-fetch: coherence miss
+        assert directory.stats.coherence_misses == 1
+
+    def test_capacity_misses_not_counted_as_coherence(self, directory):
+        directory.access(0, L, 5)
+        directory.access(0, L, 13)
+        directory.access(0, L, 21)  # evicts block 5 (set pressure)
+        directory.access(0, L, 5)
+        assert directory.stats.coherence_misses == 0
+
+    def test_no_rounds_without_sharing_conflicts(self, directory):
+        directory.access(0, S, 150)
+        directory.access(0, S, 150)
+        assert directory.stats.invalidation_rounds == 0
+
+    def test_flush_ignored(self, directory):
+        assert directory.flush(0, 150).operations == ()
+        assert not directory.handles_flush

@@ -1,0 +1,154 @@
+"""Unit tests for the Dragon write-update protocol."""
+
+import pytest
+
+from repro.core import Operation
+from repro.sim import DragonProtocol, LineState
+from repro.trace.records import AccessType
+
+from tests.sim.conftest import is_shared_block
+
+L, S = AccessType.LOAD, AccessType.STORE
+
+
+@pytest.fixture()
+def dragon(caches):
+    return DragonProtocol(caches, is_shared_block)
+
+
+def owners(caches, block):
+    return [
+        cpu for cpu, cache in enumerate(caches)
+        if cache.peek(block).is_owner
+    ]
+
+
+class TestMisses:
+    def test_cold_read_fills_exclusive_clean(self, dragon, caches):
+        outcome = dragon.access(0, L, 150)
+        assert outcome.operations == (Operation.CLEAN_MISS_MEMORY,)
+        assert caches[0].peek(150) is LineState.CLEAN
+
+    def test_cold_write_fills_dirty(self, dragon, caches):
+        dragon.access(0, S, 150)
+        assert caches[0].peek(150) is LineState.DIRTY
+
+    def test_second_reader_shares_and_demotes_holder(self, dragon, caches):
+        dragon.access(0, L, 150)
+        outcome = dragon.access(1, L, 150)
+        # Holder was clean: memory supplies the block.
+        assert outcome.operations == (Operation.CLEAN_MISS_MEMORY,)
+        assert caches[0].peek(150) is LineState.SHARED_CLEAN
+        assert caches[1].peek(150) is LineState.SHARED_CLEAN
+
+    def test_dirty_holder_supplies_block(self, dragon, caches):
+        dragon.access(0, S, 150)
+        outcome = dragon.access(1, L, 150)
+        assert outcome.operations == (Operation.CLEAN_MISS_CACHE,)
+        assert caches[0].peek(150) is LineState.SHARED_DIRTY
+        assert caches[1].peek(150) is LineState.SHARED_CLEAN
+
+    def test_dirty_victim_classified(self, dragon, caches):
+        # Fill set 0 of cache 0 with dirty blocks, then force eviction.
+        dragon.access(0, S, 0)
+        dragon.access(0, S, 8)
+        outcome = dragon.access(0, L, 16)
+        assert outcome.operations == (Operation.DIRTY_MISS_MEMORY,)
+
+
+class TestWriteBroadcast:
+    def test_write_hit_with_other_holders_broadcasts(self, dragon, caches):
+        dragon.access(0, L, 150)
+        dragon.access(1, L, 150)
+        outcome = dragon.access(0, S, 150)
+        assert outcome.operations == (Operation.WRITE_BROADCAST,)
+        assert outcome.steal_from == (1,)
+        assert caches[0].peek(150) is LineState.SHARED_DIRTY
+        assert caches[1].peek(150) is LineState.SHARED_CLEAN
+
+    def test_write_hit_alone_is_local(self, dragon, caches):
+        dragon.access(0, L, 150)
+        outcome = dragon.access(0, S, 150)
+        assert outcome.operations == ()
+        assert caches[0].peek(150) is LineState.DIRTY
+
+    def test_write_miss_with_holders_fetches_then_broadcasts(
+        self, dragon, caches
+    ):
+        dragon.access(0, L, 150)
+        outcome = dragon.access(1, S, 150)
+        assert outcome.operations == (
+            Operation.CLEAN_MISS_MEMORY,
+            Operation.WRITE_BROADCAST,
+        )
+        assert outcome.steal_from == (0,)
+        assert caches[1].peek(150) is LineState.SHARED_DIRTY
+
+    def test_ownership_transfers_on_broadcast(self, dragon, caches):
+        dragon.access(0, S, 150)          # cpu0 DIRTY owner
+        dragon.access(1, L, 150)          # supplied, shared
+        dragon.access(1, S, 150)          # cpu1 broadcasts, takes over
+        assert owners(dragon.caches, 150) == [1]
+        assert caches[0].peek(150) is LineState.SHARED_CLEAN
+
+    def test_stale_shared_state_collapses_to_dirty(self, dragon, caches):
+        dragon.access(0, L, 150)
+        dragon.access(1, L, 150)
+        caches[1].invalidate(150)  # simulate eviction elsewhere
+        outcome = dragon.access(0, S, 150)
+        assert outcome.operations == ()  # nobody left to update
+        assert caches[0].peek(150) is LineState.DIRTY
+
+    def test_broadcast_updates_all_holders(self, dragon, caches):
+        dragon.access(0, L, 150)
+        dragon.access(1, L, 150)
+        dragon.access(2, L, 150)
+        outcome = dragon.access(0, S, 150)
+        assert sorted(outcome.steal_from) == [1, 2]
+
+
+class TestSingleOwnerInvariant:
+    def test_never_two_owners(self, dragon):
+        sequence = [
+            (0, S, 150), (1, L, 150), (1, S, 150), (2, S, 150),
+            (0, S, 150), (2, L, 150), (1, S, 150),
+        ]
+        for cpu, kind, block in sequence:
+            dragon.access(cpu, kind, block)
+            assert len(owners(dragon.caches, block)) <= 1
+
+
+class TestDragonStats:
+    def test_oclean_counts_dirty_suppliers(self, dragon):
+        dragon.access(0, S, 150)      # shared miss 1 (no holders)
+        dragon.access(1, L, 150)      # shared miss 2 (dirty elsewhere)
+        assert dragon.stats.shared_misses == 2
+        assert dragon.stats.shared_misses_dirty_elsewhere == 1
+        assert dragon.stats.oclean == pytest.approx(0.5)
+
+    def test_opres_counts_presence_on_write_hits(self, dragon):
+        dragon.access(0, L, 150)
+        dragon.access(0, S, 150)      # hit, nobody else: opres miss
+        dragon.access(1, L, 150)
+        dragon.access(0, S, 150)      # hit, cpu1 holds it: opres hit
+        assert dragon.stats.shared_write_hits == 2
+        assert dragon.stats.shared_write_hits_present_elsewhere == 1
+        assert dragon.stats.opres == pytest.approx(0.5)
+
+    def test_nshd_means_holders_per_broadcast(self, dragon):
+        dragon.access(0, L, 150)
+        dragon.access(1, L, 150)
+        dragon.access(2, L, 150)
+        dragon.access(0, S, 150)      # broadcast to 2 holders
+        assert dragon.stats.broadcasts == 1
+        assert dragon.stats.nshd == pytest.approx(2.0)
+
+    def test_private_blocks_do_not_count(self, dragon):
+        dragon.access(0, S, 5)        # unshared block
+        assert dragon.stats.shared_misses == 0
+        assert dragon.stats.shared_write_hits == 0
+
+    def test_defaults_without_events(self, dragon):
+        assert dragon.stats.oclean == 1.0
+        assert dragon.stats.opres == 0.0
+        assert dragon.stats.nshd == 1.0

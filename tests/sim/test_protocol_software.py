@@ -1,0 +1,124 @@
+"""Unit tests for the No-Cache and Software-Flush protocols."""
+
+import pytest
+
+from repro.core import Operation
+from repro.sim import LineState, NoCacheProtocol, SoftwareFlushProtocol
+from repro.sim.protocols import protocol_class
+from repro.trace.records import AccessType
+
+from tests.sim.conftest import is_shared_block
+
+L, S, I = AccessType.LOAD, AccessType.STORE, AccessType.INST_FETCH
+
+
+class TestNoCacheProtocol:
+    def test_shared_load_reads_through(self, caches):
+        protocol = NoCacheProtocol(caches, is_shared_block)
+        outcome = protocol.access(0, L, 150)
+        assert outcome.operations == (Operation.READ_THROUGH,)
+        assert 150 not in caches[0]
+
+    def test_shared_store_writes_through(self, caches):
+        protocol = NoCacheProtocol(caches, is_shared_block)
+        outcome = protocol.access(0, S, 150)
+        assert outcome.operations == (Operation.WRITE_THROUGH,)
+        assert 150 not in caches[0]
+
+    def test_shared_data_never_cached_even_on_repeat(self, caches):
+        protocol = NoCacheProtocol(caches, is_shared_block)
+        for _ in range(3):
+            outcome = protocol.access(0, L, 150)
+            assert outcome.operations == (Operation.READ_THROUGH,)
+
+    def test_private_data_cached_normally(self, caches):
+        protocol = NoCacheProtocol(caches, is_shared_block)
+        first = protocol.access(0, L, 5)
+        second = protocol.access(0, L, 5)
+        assert first.operations == (Operation.CLEAN_MISS_MEMORY,)
+        assert second.operations == ()
+
+    def test_instruction_fetches_in_shared_range_are_cached(self, caches):
+        """Only *data* in the shared region is non-cachable."""
+        protocol = NoCacheProtocol(caches, is_shared_block)
+        outcome = protocol.access(0, I, 150)
+        assert outcome.operations == (Operation.CLEAN_MISS_MEMORY,)
+        assert 150 in caches[0]
+
+    def test_dirty_victim(self, caches):
+        protocol = NoCacheProtocol(caches, is_shared_block)
+        protocol.access(0, S, 0)
+        protocol.access(0, S, 8)
+        outcome = protocol.access(0, L, 16)
+        assert outcome.operations == (Operation.DIRTY_MISS_MEMORY,)
+
+    def test_flush_ignored(self, caches):
+        protocol = NoCacheProtocol(caches, is_shared_block)
+        assert protocol.flush(0, 150).operations == ()
+
+
+class TestSoftwareFlushProtocol:
+    def test_shared_data_is_cached(self, caches):
+        protocol = SoftwareFlushProtocol(caches, is_shared_block)
+        first = protocol.access(0, L, 150)
+        second = protocol.access(0, L, 150)
+        assert first.operations == (Operation.CLEAN_MISS_MEMORY,)
+        assert second.operations == ()
+        assert caches[0].peek(150) is LineState.CLEAN
+
+    def test_flush_clean_line(self, caches):
+        protocol = SoftwareFlushProtocol(caches, is_shared_block)
+        protocol.access(0, L, 150)
+        outcome = protocol.flush(0, 150)
+        assert outcome.operations == (Operation.CLEAN_FLUSH,)
+        assert 150 not in caches[0]
+
+    def test_flush_dirty_line_writes_back(self, caches):
+        protocol = SoftwareFlushProtocol(caches, is_shared_block)
+        protocol.access(0, S, 150)
+        outcome = protocol.flush(0, 150)
+        assert outcome.operations == (Operation.DIRTY_FLUSH,)
+        assert 150 not in caches[0]
+
+    def test_flush_absent_line_still_costs_instruction(self, caches):
+        protocol = SoftwareFlushProtocol(caches, is_shared_block)
+        outcome = protocol.flush(0, 150)
+        assert outcome.operations == (Operation.CLEAN_FLUSH,)
+
+    def test_reference_after_flush_misses_again(self, caches):
+        protocol = SoftwareFlushProtocol(caches, is_shared_block)
+        protocol.access(0, S, 150)
+        protocol.flush(0, 150)
+        outcome = protocol.access(0, L, 150)
+        assert outcome.operations == (Operation.CLEAN_MISS_MEMORY,)
+
+    def test_handles_flush_flag(self, caches):
+        assert SoftwareFlushProtocol(caches, is_shared_block).handles_flush
+
+    def test_flush_only_affects_issuing_cpu(self, caches):
+        protocol = SoftwareFlushProtocol(caches, is_shared_block)
+        protocol.access(0, S, 150)
+        protocol.access(1, L, 150)
+        protocol.flush(0, 150)
+        assert 150 not in caches[0]
+        assert 150 in caches[1]
+
+
+class TestProtocolRegistry:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("base", "base"),
+            ("dragon", "dragon"),
+            ("snoopy", "dragon"),
+            ("no-cache", "nocache"),
+            ("software-flush", "swflush"),
+            ("flush", "swflush"),
+        ],
+    )
+    def test_lookup(self, name, expected):
+        assert protocol_class(name).name == expected
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="known"):
+            protocol_class("mesi")

@@ -1,0 +1,116 @@
+"""Unit tests for the write-through-invalidate protocol and scheme."""
+
+import pytest
+
+from repro.core import (
+    DRAGON,
+    WRITE_THROUGH_INVALIDATE,
+    BusSystem,
+    Operation,
+    WorkloadParams,
+    scheme_by_name,
+)
+from repro.sim import LineState
+from repro.sim.protocols.wti import WriteThroughInvalidateProtocol
+from repro.trace.records import AccessType
+
+from tests.sim.conftest import is_shared_block
+
+L, S, I = AccessType.LOAD, AccessType.STORE, AccessType.INST_FETCH
+
+MIDDLE = WorkloadParams.middle()
+
+
+@pytest.fixture()
+def wti(caches):
+    return WriteThroughInvalidateProtocol(caches, is_shared_block)
+
+
+class TestWtiProtocol:
+    def test_load_miss_and_hit(self, wti, caches):
+        first = wti.access(0, L, 150)
+        second = wti.access(0, L, 150)
+        assert first.operations == (Operation.CLEAN_MISS_MEMORY,)
+        assert second.operations == ()
+        assert caches[0].peek(150) is LineState.CLEAN
+
+    def test_store_hit_writes_through(self, wti, caches):
+        wti.access(0, L, 150)
+        outcome = wti.access(0, S, 150)
+        assert outcome.operations == (Operation.WRITE_THROUGH,)
+        # Write-through: the line stays clean.
+        assert caches[0].peek(150) is LineState.CLEAN
+
+    def test_store_miss_allocates_and_writes_through(self, wti, caches):
+        outcome = wti.access(0, S, 150)
+        assert outcome.operations == (
+            Operation.CLEAN_MISS_MEMORY,
+            Operation.WRITE_THROUGH,
+        )
+        assert caches[0].peek(150) is LineState.CLEAN
+
+    def test_store_invalidates_remote_copies(self, wti, caches):
+        wti.access(1, L, 150)
+        wti.access(2, L, 150)
+        wti.access(0, S, 150)
+        assert 150 not in caches[1]
+        assert 150 not in caches[2]
+        assert wti.stats.invalidations == 2
+
+    def test_no_line_is_ever_dirty(self, wti, caches):
+        for cpu, kind, block in (
+            (0, S, 150), (1, L, 150), (1, S, 150), (0, L, 5), (0, S, 5),
+        ):
+            wti.access(cpu, kind, block)
+        for cache in caches:
+            for _, state in cache.resident_blocks():
+                assert not state.is_dirty
+
+    def test_invalidated_copy_misses_again(self, wti):
+        wti.access(0, L, 150)
+        wti.access(1, S, 150)
+        outcome = wti.access(0, L, 150)
+        assert outcome.operations == (Operation.CLEAN_MISS_MEMORY,)
+
+    def test_private_stores_also_write_through(self, wti):
+        """WTI is indiscriminate — that is exactly its problem."""
+        wti.access(0, L, 5)
+        outcome = wti.access(0, S, 5)
+        assert outcome.operations == (Operation.WRITE_THROUGH,)
+
+
+class TestWtiScheme:
+    def test_lookup(self):
+        assert scheme_by_name("wti") is WRITE_THROUGH_INVALIDATE
+
+    def test_frequencies(self):
+        frequencies = WRITE_THROUGH_INVALIDATE.operation_frequencies(MIDDLE)
+        assert frequencies[Operation.WRITE_THROUGH] == pytest.approx(
+            MIDDLE.ls * MIDDLE.wr
+        )
+        assert Operation.DIRTY_MISS_MEMORY not in frequencies
+
+    def test_dominated_by_dragon_at_table7_ranges(self):
+        bus = BusSystem()
+        for level in ("low", "middle", "high"):
+            params = WorkloadParams.at_level(level)
+            dragon = bus.evaluate(DRAGON, params, 16).processing_power
+            wti = bus.evaluate(
+                WRITE_THROUGH_INVALIDATE, params, 16
+            ).processing_power
+            assert dragon > wti, level
+
+    def test_saturation_dominated_by_write_traffic(self):
+        bus = BusSystem()
+        limit = bus.saturation_processing_power(
+            WRITE_THROUGH_INVALIDATE, MIDDLE
+        )
+        # Bus demand is at least the write-through term ls*wr.
+        assert limit <= 1.0 / (MIDDLE.ls * MIDDLE.wr)
+
+    def test_requires_broadcast(self):
+        assert WRITE_THROUGH_INVALIDATE.requires_broadcast
+        from repro.core import NetworkSystem, UnsupportedSchemeError
+
+        with pytest.raises(UnsupportedSchemeError):
+            NetworkSystem(4).evaluate(WRITE_THROUGH_INVALIDATE, MIDDLE)

@@ -1,0 +1,98 @@
+"""Unit tests for SimulationResult's derived statistics."""
+
+import pytest
+
+from repro.sim.machine import CpuStats, SimulationConfig, SimulationResult
+
+
+def make_result(**overrides) -> SimulationResult:
+    result = SimulationResult(
+        protocol="base",
+        trace_name="synthetic",
+        config=SimulationConfig(),
+        cpus=[
+            CpuStats(instructions=100, loads=20, stores=10, clock=150.0,
+                     wait_cycles=5.0),
+            CpuStats(instructions=100, loads=25, stores=5, clock=200.0,
+                     wait_cycles=15.0),
+        ],
+    )
+    for name, value in overrides.items():
+        setattr(result, name, value)
+    return result
+
+
+class TestReferenceMix:
+    def test_totals(self):
+        result = make_result()
+        assert result.instructions == 200
+        assert result.data_references == 60
+        assert result.shared_references == 0
+
+
+class TestMissRates:
+    def test_rates(self):
+        result = make_result(fetch_misses=4, data_misses=6)
+        assert result.instruction_miss_rate == pytest.approx(0.02)
+        assert result.data_miss_rate == pytest.approx(0.1)
+        assert result.total_misses == 10
+
+    def test_dirty_victim_fraction(self):
+        result = make_result(
+            fetch_misses=5, data_misses=5, dirty_victim_misses=2
+        )
+        assert result.dirty_victim_fraction == pytest.approx(0.2)
+
+    def test_nocache_excludes_shared_from_denominator(self):
+        result = make_result(
+            protocol="nocache", data_misses=6,
+            shared_loads=8, shared_stores=2,
+        )
+        # 60 data refs - 10 shared = 50 cachable.
+        assert result.data_miss_rate == pytest.approx(6 / 50)
+
+    def test_zero_denominators(self):
+        empty = SimulationResult(
+            protocol="base", trace_name="e", config=SimulationConfig()
+        )
+        assert empty.instruction_miss_rate == 0.0
+        assert empty.data_miss_rate == 0.0
+        assert empty.dirty_victim_fraction == 0.0
+        assert empty.wait_cycles_per_instruction == 0.0
+        assert empty.cycles_per_instruction == 0.0
+        assert empty.utilization == 0.0
+        assert empty.bus_utilization == 0.0
+
+
+class TestTimeAndPower:
+    def test_elapsed_is_max_clock(self):
+        assert make_result().elapsed_cycles == 200.0
+
+    def test_wait_accounting(self):
+        result = make_result()
+        assert result.wait_cycles == 20.0
+        assert result.wait_cycles_per_instruction == pytest.approx(0.1)
+
+    def test_cycles_per_instruction(self):
+        assert make_result().cycles_per_instruction == pytest.approx(
+            350.0 / 200
+        )
+
+    def test_utilization_and_power(self):
+        result = make_result()
+        per_cpu = [100 / 150, 100 / 200]
+        assert result.utilization == pytest.approx(sum(per_cpu) / 2)
+        assert result.processing_power == pytest.approx(sum(per_cpu))
+
+    def test_bus_utilization_clamped(self):
+        result = make_result(bus_busy_cycles=1e9)
+        assert result.bus_utilization == 1.0
+
+
+class TestCpuStats:
+    def test_utilization(self):
+        stats = CpuStats(instructions=50, clock=100.0)
+        assert stats.utilization == pytest.approx(0.5)
+
+    def test_zero_clock(self):
+        assert CpuStats().utilization == 0.0

@@ -1,0 +1,87 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(["run", "figure5", "--fast"])
+        assert args.experiment == ["figure5"]
+        assert args.fast
+
+
+class TestListCommand:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure5" in out
+        assert "table8" in out
+
+
+class TestRunCommand:
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "[PASS]" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "figure99"])
+
+
+class TestPredictCommand:
+    def test_bus_prediction(self, capsys):
+        assert main(["predict", "dragon", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Dragon on a 16-processor bus" in out
+        assert "processing power" in out
+
+    def test_network_prediction(self, capsys):
+        assert main(["predict", "flush", "256", "--network"]) == 0
+        out = capsys.readouterr().out
+        assert "256-processor" in out
+
+    def test_network_rounds_to_power_of_two(self, capsys):
+        assert main(["predict", "base", "100", "--network"]) == 0
+        err = capsys.readouterr().err
+        assert "rounding" in err
+
+    def test_level_selection(self, capsys):
+        main(["predict", "nocache", "4", "--level", "high"])
+        out = capsys.readouterr().out
+        assert "high workload" in out
+
+
+class TestCsvExport:
+    def test_run_with_csv_dir(self, tmp_path, capsys):
+        assert main(
+            ["run", "figure4", "--csv-dir", str(tmp_path)]
+        ) == 0
+        series_csv = tmp_path / "figure4_series.csv"
+        assert series_csv.exists()
+        header = series_csv.read_text().splitlines()[0]
+        assert header.startswith("processors,")
+        assert "Dragon" in header
+
+    def test_tables_exported(self, tmp_path):
+        main(["run", "table8", "--csv-dir", str(tmp_path)])
+        table_csv = tmp_path / "table8_table0.csv"
+        assert table_csv.exists()
+        assert "parameter" in table_csv.read_text().splitlines()[0]
+
+
+class TestParamsCommand:
+    def test_measures_small_trace(self, capsys):
+        assert main(
+            ["params", "pops", "--records", "5000", "--cache-kb", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ls" in out
+        assert "Table 7 range" in out

@@ -1,0 +1,58 @@
+"""Unit tests for the ``swcc report`` command (stubbed registry)."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENTS, Experiment, ExperimentResult
+
+
+@pytest.fixture()
+def stub_registry(monkeypatch):
+    """Replace the registry with two tiny experiments."""
+
+    def passing(**_):
+        result = ExperimentResult(experiment_id="stub-pass", title="ok")
+        result.add_check("always", True, "fine")
+        return result
+
+    def failing(**_):
+        result = ExperimentResult(experiment_id="stub-fail", title="bad")
+        result.add_check("never", False, "broken")
+        return result
+
+    stubs = {
+        "stub-pass": Experiment("stub-pass", "ok", "none", passing),
+        "stub-fail": Experiment("stub-fail", "bad", "none", failing),
+    }
+    monkeypatch.setattr(
+        "repro.experiments.registry.EXPERIMENTS", stubs, raising=True
+    )
+    return stubs
+
+
+class TestReportCommand:
+    def test_all_passing_writes_summary(self, stub_registry, tmp_path,
+                                        monkeypatch, capsys):
+        del stub_registry["stub-fail"]
+        output = tmp_path / "report.md"
+        assert main(["report", "--output", str(output)]) == 0
+        text = output.read_text()
+        assert "stub-pass" in text
+        assert "every shape check passes" in text
+
+    def test_failures_reported_and_exit_nonzero(self, stub_registry,
+                                                tmp_path):
+        output = tmp_path / "report.md"
+        assert main(["report", "--output", str(output)]) == 1
+        text = output.read_text()
+        assert "never" in text
+        assert "1 failing" in text
+
+    def test_table_format(self, stub_registry, tmp_path):
+        del stub_registry["stub-fail"]
+        output = tmp_path / "report.md"
+        main(["report", "--output", str(output)])
+        lines = output.read_text().splitlines()
+        assert lines[0].startswith("# Reproduction report")
+        assert any(line.startswith("| experiment |") for line in lines)
+        assert any("| 1/1 |" in line for line in lines)

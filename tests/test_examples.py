@@ -1,0 +1,71 @@
+"""Smoke tests: every example must run and produce its headline output.
+
+Examples are part of the public deliverable; these tests run each one
+in-process (with small arguments where supported) and assert on the
+output's key landmarks, so API changes cannot silently break them.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    script = EXAMPLES_DIR / f"{name}.py"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + argv
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", [], capsys)
+        assert "Software-Flush" in out
+        assert "bus utilization" in out
+
+    def test_design_space(self, capsys):
+        out = run_example("design_space", ["8", "0.15"], capsys)
+        assert "apl ->" in out
+        assert "use hardware" in out
+
+    def test_network_scaling(self, capsys):
+        out = run_example("network_scaling", [], capsys)
+        assert "Bus/network crossover" in out
+        assert "packet" in out
+
+    def test_validation_study(self, capsys):
+        out = run_example("validation_study", ["pops", "6000"], capsys)
+        assert "Measured workload parameters" in out
+        assert "Dragon" in out
+
+    def test_compiler_apl_study(self, capsys):
+        out = run_example("compiler_apl_study", [], capsys)
+        assert "Minimum apl" in out
+        assert "apl=2 floor" in out
+
+    def test_hardware_alternatives(self, capsys):
+        out = run_example("hardware_alternatives", [], capsys)
+        assert "Directory" in out
+        assert "256 processors, low range" in out
+
+    def test_contour_map(self, capsys):
+        out = run_example("contour_map", ["8"], capsys)
+        assert "frontier" in out
+        assert "shd\\apl" in out
+
+    def test_every_example_is_covered(self):
+        scripts = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+        tested = {
+            name[len("test_"):]
+            for name in dir(self)
+            if name.startswith("test_") and name != "test_every_example_is_covered"
+        }
+        assert scripts <= tested, scripts - tested

@@ -1,0 +1,154 @@
+"""Unit tests for trace statistics and the apl estimator."""
+
+import pytest
+
+from repro.trace import collect_stats, shared_run_lengths
+from repro.trace.records import AccessType, AddressRange, Trace, TraceRecord
+
+SHARED = AddressRange(0x1000, 0x2000)
+
+
+def make_trace(records, cpus=2) -> Trace:
+    return Trace(name="t", cpus=cpus, shared_region=SHARED, records=records)
+
+
+def ref(cpu, kind, address):
+    return TraceRecord(cpu, kind, address)
+
+
+L, S, I, F = (
+    AccessType.LOAD,
+    AccessType.STORE,
+    AccessType.INST_FETCH,
+    AccessType.FLUSH,
+)
+
+
+class TestBasicCounts:
+    def test_mix(self):
+        trace = make_trace(
+            [
+                ref(0, I, 0x0),
+                ref(0, L, 0x100),
+                ref(0, I, 0x4),
+                ref(0, S, 0x1000),
+                ref(1, F, 0x1000),
+            ]
+        )
+        stats = collect_stats(trace)
+        assert stats.instructions == 2
+        assert stats.loads == 1
+        assert stats.stores == 1
+        assert stats.flushes == 1
+        assert stats.shared_stores == 1
+        assert stats.shared_loads == 0
+        assert stats.ls == pytest.approx(1.0)
+        assert stats.shd == pytest.approx(0.5)
+        assert stats.wr == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        stats = collect_stats(make_trace([]))
+        assert stats.ls == 0.0
+        assert stats.shd == 0.0
+        assert stats.wr == 0.0
+        assert stats.apl == 1.0
+        assert stats.mdshd == 0.0
+
+    def test_per_cpu_records(self):
+        trace = make_trace([ref(0, I, 0), ref(1, I, 4), ref(1, L, 8)])
+        assert collect_stats(trace).per_cpu_records == [1, 2]
+
+
+class TestRunLengths:
+    def test_single_processor_single_run(self):
+        # Three references by CPU 0 to the same shared block, one write.
+        trace = make_trace(
+            [ref(0, L, 0x1000), ref(0, S, 0x1004), ref(0, L, 0x1008)]
+        )
+        stats = collect_stats(trace)
+        assert stats.run_lengths == [3]
+        assert stats.write_run_lengths == [3]
+        assert stats.apl == pytest.approx(3.0)
+
+    def test_interleaving_closes_runs(self):
+        # CPU0 twice, CPU1 once, CPU0 once -> runs 2, 1, 1.
+        trace = make_trace(
+            [
+                ref(0, S, 0x1000),
+                ref(0, L, 0x1000),
+                ref(1, S, 0x1000),
+                ref(0, S, 0x1000),
+            ]
+        )
+        stats = collect_stats(trace)
+        assert sorted(stats.run_lengths) == [1, 1, 2]
+
+    def test_apl_counts_only_write_runs(self):
+        """The paper counts runs with at least one write."""
+        trace = make_trace(
+            [
+                # CPU0: read-only run of 4.
+                ref(0, L, 0x1000),
+                ref(0, L, 0x1000),
+                ref(0, L, 0x1000),
+                ref(0, L, 0x1000),
+                # CPU1: write run of 2.
+                ref(1, S, 0x1000),
+                ref(1, L, 0x1000),
+            ]
+        )
+        stats = collect_stats(trace)
+        assert stats.apl == pytest.approx(2.0)
+        assert stats.mdshd == pytest.approx(0.5)
+
+    def test_apl_falls_back_to_all_runs(self):
+        trace = make_trace([ref(0, L, 0x1000), ref(0, L, 0x1000)])
+        stats = collect_stats(trace)
+        assert stats.write_run_lengths == []
+        assert stats.apl == pytest.approx(2.0)
+
+    def test_blocks_tracked_independently(self):
+        trace = make_trace(
+            [
+                ref(0, S, 0x1000),
+                ref(0, S, 0x1010),  # different 16-byte block
+                ref(1, S, 0x1000),
+            ]
+        )
+        stats = collect_stats(trace)
+        assert stats.shared_blocks_touched == 2
+        assert sorted(stats.run_lengths) == [1, 1, 1]
+
+    def test_private_references_do_not_contribute(self):
+        trace = make_trace([ref(0, S, 0x100), ref(1, S, 0x100)])
+        stats = collect_stats(trace)
+        assert stats.run_lengths == []
+        assert stats.shared_blocks_touched == 0
+
+
+class TestSharedRunLengths:
+    def test_per_block_view(self):
+        trace = make_trace(
+            [
+                ref(0, S, 0x1000),
+                ref(0, L, 0x1004),
+                ref(1, L, 0x1000),
+                ref(0, S, 0x1010),
+            ]
+        )
+        runs = shared_run_lengths(trace)
+        assert runs[0x1000 >> 4] == [2, 1]
+        assert runs[0x1010 >> 4] == [1]
+
+    def test_matches_collect_stats_totals(self):
+        from repro.trace import TraceConfig, generate_trace
+
+        trace = generate_trace(
+            TraceConfig(cpus=2, records_per_cpu=3_000, seed=9)
+        )
+        stats = collect_stats(trace)
+        runs = shared_run_lengths(trace)
+        flattened = sorted(
+            length for block_runs in runs.values() for length in block_runs
+        )
+        assert flattened == sorted(stats.run_lengths)

@@ -1,0 +1,60 @@
+"""Unit tests for the ATUM-like workload presets."""
+
+import pytest
+
+from repro.trace import WORKLOAD_PRESETS, collect_stats, preset
+
+
+class TestPresetLookup:
+    def test_expected_presets_exist(self):
+        assert set(WORKLOAD_PRESETS) == {"pops", "thor", "pero", "pero8"}
+
+    def test_lookup_is_case_insensitive(self):
+        assert preset("POPS") is WORKLOAD_PRESETS["pops"]
+        assert preset("  thor ") is WORKLOAD_PRESETS["thor"]
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="known"):
+            preset("spice")
+
+    def test_cpu_counts(self):
+        assert preset("pops").config.cpus == 4
+        assert preset("thor").config.cpus == 4
+        assert preset("pero").config.cpus == 4
+        assert preset("pero8").config.cpus == 8
+
+    def test_descriptions_present(self):
+        for workload in WORKLOAD_PRESETS.values():
+            assert workload.description
+
+
+class TestPresetCharacter:
+    """Small-sample checks that the presets differ as documented."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return {
+            name: collect_stats(
+                workload.generate(records_per_cpu=15_000)
+            )
+            for name, workload in WORKLOAD_PRESETS.items()
+            if name != "pero8"
+        }
+
+    def test_sharing_ordering(self, stats):
+        # thor shares most, pero least.
+        assert stats["thor"].shd > stats["pops"].shd > stats["pero"].shd
+
+    def test_write_fraction_ordering(self, stats):
+        assert stats["thor"].wr > stats["pero"].wr
+
+    def test_parameters_within_plausible_bounds(self, stats):
+        for name, trace_stats in stats.items():
+            assert 0.2 <= trace_stats.ls <= 0.45, name
+            assert 0.05 <= trace_stats.shd <= 0.45, name
+            assert 0.05 <= trace_stats.wr <= 0.45, name
+            assert trace_stats.apl >= 4.0, name
+
+    def test_flushes_emitted(self, stats):
+        for name, trace_stats in stats.items():
+            assert trace_stats.flushes > 0, name
