@@ -10,7 +10,7 @@ import pytest
 from repro.core import ALL_SCHEMES, BusSystem, NetworkSystem, WorkloadParams
 from repro.queueing import DeltaNetwork, closed_loop_utilization, solve_machine_repairman
 from repro.sim import Machine, SimulationConfig
-from repro.trace import TraceConfig, generate_trace
+from repro.trace import TraceConfig, generate_trace, load_trace, save_trace
 
 MIDDLE = WorkloadParams.middle()
 
@@ -58,3 +58,44 @@ def test_simulator_throughput(benchmark, small_trace, protocol):
         machine.run, args=(small_trace,), rounds=3, iterations=1
     )
     assert result.instructions > 0
+
+
+@pytest.mark.parametrize("protocol", ["base", "dragon"])
+def test_simulator_trace_order(benchmark, small_trace, protocol):
+    """Trace-order replay (no time merge): the engine's upper bound."""
+    machine = Machine(protocol, SimulationConfig())
+    result = benchmark.pedantic(
+        machine.run, args=(small_trace,), kwargs={"order": "trace"},
+        rounds=3, iterations=1,
+    )
+    assert result.instructions > 0
+
+
+@pytest.mark.parametrize("protocol", ["base", "dragon"])
+def test_simulator_legacy_reference(benchmark, small_trace, protocol):
+    """The retained record-loop engine, so the history shows both."""
+    machine = Machine(protocol, SimulationConfig())
+    result = benchmark.pedantic(
+        machine.run, args=(small_trace,), kwargs={"engine": "legacy"},
+        rounds=3, iterations=1,
+    )
+    assert result.instructions > 0
+
+
+@pytest.mark.parametrize("format", ["v1", "v2"])
+def test_trace_save(benchmark, small_trace, tmp_path, format):
+    path = tmp_path / f"bench.{format}"
+    benchmark.pedantic(
+        save_trace, args=(small_trace, path), kwargs={"format": format},
+        rounds=3, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("format", ["v1", "v2"])
+def test_trace_load(benchmark, small_trace, tmp_path, format):
+    path = tmp_path / f"bench.{format}"
+    save_trace(small_trace, path, format=format)
+    loaded = benchmark.pedantic(
+        load_trace, args=(path,), rounds=3, iterations=1
+    )
+    assert len(loaded) == len(small_trace)

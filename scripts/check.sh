@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-stop pre-merge check: byte-compile, tier-1 tests, benchmark smoke.
+#
+# Usage: scripts/check.sh
+# Runs from any directory; everything is resolved relative to the repo
+# root.  Exits non-zero on the first failure.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo"
+export PYTHONPATH="$repo/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== byte-compile src/ =="
+python -m compileall -q src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== benchmark smoke (micro substrates) =="
+python -m pytest benchmarks/bench_micro.py --benchmark-only \
+    --benchmark-disable-gc -q
+
+echo "== all checks passed =="

@@ -47,7 +47,7 @@ def _command_run(args: argparse.Namespace) -> int:
         experiments = [get_experiment(name) for name in args.experiment]
     failed = []
     for experiment in experiments:
-        result = experiment.run(fast=args.fast)
+        result = experiment.run(fast=args.fast, jobs=args.jobs)
         print(result.render())
         print()
         if args.csv_dir:
@@ -100,7 +100,7 @@ def _command_report(args: argparse.Namespace) -> int:
     ]
     failures = 0
     for experiment in list_experiments():
-        result = experiment.run(fast=args.fast)
+        result = experiment.run(fast=args.fast, jobs=args.jobs)
         passed = sum(1 for check in result.checks if check.passed)
         total = len(result.checks)
         failures += total - passed
@@ -251,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv-dir", default="",
         help="also dump each experiment's series/tables as CSV here",
     )
+    run_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "run independent sweep cells in up to N worker processes "
+            "(results are identical to a serial run)"
+        ),
+    )
     run_parser.set_defaults(handler=_command_run)
 
     report_parser = subparsers.add_parser(
@@ -263,6 +270,10 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--fast", action="store_true",
         help="shrink trace-driven experiments",
+    )
+    report_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for parallelisable sweeps",
     )
     report_parser.set_defaults(handler=_command_report)
 

@@ -16,6 +16,7 @@ from functools import lru_cache
 from typing import Sequence
 
 from repro.core import BASE, DRAGON, BusSystem, CoherenceScheme
+from repro.experiments.parallel import parallel_map
 from repro.experiments.registry import register
 from repro.experiments.result import ExperimentResult, Series, TableData
 from repro.sim import Machine, SimulationConfig, measure_workload_params
@@ -86,6 +87,16 @@ def validation_points(
     return points
 
 
+def _sweep_cell(cell: tuple) -> list[dict]:
+    """Worker for :func:`parallel_map`: one (workload, protocol,
+    cache-size) cell of a validation sweep.  Module-level and fed a
+    plain tuple so it pickles into worker processes."""
+    workload, protocol, cache_bytes, cpu_counts, records_per_cpu = cell
+    return validation_points(
+        workload, protocol, cache_bytes, cpu_counts, records_per_cpu
+    )
+
+
 def model_vs_simulation(
     experiment_id: str,
     title: str,
@@ -95,55 +106,64 @@ def model_vs_simulation(
     cpu_counts: Sequence[int],
     records_per_cpu: int | None,
     error_budget: float = 0.10,
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """Generic validation sweep with an error-budget shape check."""
+    """Generic validation sweep with an error-budget shape check.
+
+    ``jobs`` fans the independent (workload, protocol, cache-size)
+    cells out over worker processes; cell results are consumed in the
+    same nested-loop order either way, so the rendered figure is
+    identical to a serial run.
+    """
     result = ExperimentResult(
         experiment_id=experiment_id,
         title=title,
         xlabel="processors",
         ylabel="processing power",
     )
+    cells = [
+        (workload, protocol, cache_bytes, tuple(cpu_counts), records_per_cpu)
+        for workload in workloads
+        for protocol in protocols
+        for cache_bytes in cache_sizes
+    ]
+    cell_points = parallel_map(_sweep_cell, cells, jobs)
     rows = []
     worst = 0.0
-    for workload in workloads:
-        for protocol in protocols:
-            for cache_bytes in cache_sizes:
-                points = validation_points(
-                    workload, protocol, cache_bytes, cpu_counts,
-                    records_per_cpu,
+    for cell, points in zip(cells, cell_points):
+        workload, protocol, cache_bytes = cell[:3]
+        tag = _series_tag(
+            workload, protocol, cache_bytes,
+            len(workloads) > 1, len(protocols) > 1,
+            len(cache_sizes) > 1,
+        )
+        result.series.append(
+            Series(
+                f"sim {tag}".strip(),
+                tuple(float(p["cpus"]) for p in points),
+                tuple(p["simulated_power"] for p in points),
+            )
+        )
+        result.series.append(
+            Series(
+                f"model {tag}".strip(),
+                tuple(float(p["cpus"]) for p in points),
+                tuple(p["predicted_power"] for p in points),
+            )
+        )
+        for point in points:
+            worst = max(worst, abs(point["relative_error"]))
+            rows.append(
+                (
+                    workload,
+                    protocol,
+                    f"{cache_bytes // 1024}K",
+                    str(point["cpus"]),
+                    f"{point['simulated_power']:.3f}",
+                    f"{point['predicted_power']:.3f}",
+                    f"{100 * point['relative_error']:+.1f}%",
                 )
-                tag = _series_tag(
-                    workload, protocol, cache_bytes,
-                    len(workloads) > 1, len(protocols) > 1,
-                    len(cache_sizes) > 1,
-                )
-                result.series.append(
-                    Series(
-                        f"sim {tag}".strip(),
-                        tuple(float(p["cpus"]) for p in points),
-                        tuple(p["simulated_power"] for p in points),
-                    )
-                )
-                result.series.append(
-                    Series(
-                        f"model {tag}".strip(),
-                        tuple(float(p["cpus"]) for p in points),
-                        tuple(p["predicted_power"] for p in points),
-                    )
-                )
-                for point in points:
-                    worst = max(worst, abs(point["relative_error"]))
-                    rows.append(
-                        (
-                            workload,
-                            protocol,
-                            f"{cache_bytes // 1024}K",
-                            str(point["cpus"]),
-                            f"{point['simulated_power']:.3f}",
-                            f"{point['predicted_power']:.3f}",
-                            f"{100 * point['relative_error']:+.1f}%",
-                        )
-                    )
+            )
     result.tables.append(
         TableData(
             title="model vs simulation",
@@ -186,7 +206,9 @@ def _series_tag(
     "Model vs simulation: Base and Dragon, 64K caches",
     "Figure 1",
 )
-def figure1(fast: bool = False, **_) -> ExperimentResult:
+def figure1(
+    fast: bool = False, jobs: int | None = None, **_
+) -> ExperimentResult:
     result = model_vs_simulation(
         "figure1",
         "Model vs simulation, Base and Dragon schemes, 64K-byte caches",
@@ -195,6 +217,7 @@ def figure1(fast: bool = False, **_) -> ExperimentResult:
         cache_sizes=(65536,),
         cpu_counts=(1, 2, 3, 4),
         records_per_cpu=_FAST_RECORDS if fast else None,
+        jobs=jobs,
     )
     # The model must capture the (small) Base-over-Dragon advantage.
     for workload in ("pops", "thor", "pero"):
@@ -220,7 +243,9 @@ def figure1(fast: bool = False, **_) -> ExperimentResult:
     "Model vs simulation: Dragon at three cache sizes, <=4 CPUs",
     "Figure 2",
 )
-def figure2(fast: bool = False, **_) -> ExperimentResult:
+def figure2(
+    fast: bool = False, jobs: int | None = None, **_
+) -> ExperimentResult:
     result = model_vs_simulation(
         "figure2",
         "Impact of cache size on Dragon, four or fewer processors (pops)",
@@ -229,6 +254,7 @@ def figure2(fast: bool = False, **_) -> ExperimentResult:
         cache_sizes=(16384, 65536, 262144),
         cpu_counts=(1, 2, 3, 4),
         records_per_cpu=_FAST_RECORDS if fast else None,
+        jobs=jobs,
     )
     small = result.series_by_label("sim 16K").y_at(4)
     large = result.series_by_label("sim 256K").y_at(4)
@@ -245,7 +271,9 @@ def figure2(fast: bool = False, **_) -> ExperimentResult:
     "Model vs simulation: Dragon at three cache sizes, <=8 CPUs",
     "Figure 3",
 )
-def figure3(fast: bool = False, **_) -> ExperimentResult:
+def figure3(
+    fast: bool = False, jobs: int | None = None, **_
+) -> ExperimentResult:
     result = model_vs_simulation(
         "figure3",
         "Impact of cache size on Dragon, eight or fewer processors (pero8)",
@@ -254,6 +282,7 @@ def figure3(fast: bool = False, **_) -> ExperimentResult:
         cache_sizes=(16384, 65536, 262144),
         cpu_counts=(1, 2, 4, 8),
         records_per_cpu=_FAST_RECORDS if fast else None,
+        jobs=jobs,
         # At 8 processors the synthetic traces' burstiness (broadcast
         # trains inside critical sections, miss clusters) costs more
         # contention than the model's Poisson-arrival assumption sees;

@@ -115,24 +115,27 @@ class Cache:
 
     def __init__(self, geometry: CacheGeometry):
         self.geometry = geometry
-        self._set_mask = geometry.sets - 1
-        self._sets: list[dict[int, LineState]] = [
+        # ``line_sets`` and ``set_mask`` are public: the machine's
+        # columnar replay engine inlines the hit path (an LRU touch
+        # equivalent to :meth:`lookup`) directly over them.
+        self.set_mask = geometry.sets - 1
+        self.line_sets: list[dict[int, LineState]] = [
             {} for _ in range(geometry.sets)
         ]
 
     def lookup(self, block: int) -> LineState:
         """State of ``block``, touching it for LRU; INVALID if absent."""
-        cache_set = self._sets[block & self._set_mask]
-        state = cache_set.get(block, LineState.INVALID)
+        cache_set = self.line_sets[block & self.set_mask]
+        # pop+reinsert moves a resident block to the most-recently-used
+        # position in two hash probes.
+        state = cache_set.pop(block, LineState.INVALID)
         if state is not LineState.INVALID:
-            # Move to most-recently-used position.
-            del cache_set[block]
             cache_set[block] = state
         return state
 
     def peek(self, block: int) -> LineState:
         """State of ``block`` without disturbing LRU (snoop view)."""
-        return self._sets[block & self._set_mask].get(block, LineState.INVALID)
+        return self.line_sets[block & self.set_mask].get(block, LineState.INVALID)
 
     def set_state(self, block: int, state: LineState) -> None:
         """Change the state of a resident block (snoop update).
@@ -140,7 +143,7 @@ class Cache:
         Raises:
             KeyError: if the block is not resident.
         """
-        cache_set = self._sets[block & self._set_mask]
+        cache_set = self.line_sets[block & self.set_mask]
         if block not in cache_set:
             raise KeyError(f"block {block:#x} is not resident")
         if state is LineState.INVALID:
@@ -160,7 +163,7 @@ class Cache:
         """
         if state is LineState.INVALID:
             raise ValueError("cannot insert a line in INVALID state")
-        cache_set = self._sets[block & self._set_mask]
+        cache_set = self.line_sets[block & self.set_mask]
         if block in cache_set:
             del cache_set[block]
             cache_set[block] = state
@@ -174,17 +177,17 @@ class Cache:
 
     def invalidate(self, block: int) -> LineState:
         """Remove ``block``; returns its prior state (INVALID if absent)."""
-        cache_set = self._sets[block & self._set_mask]
+        cache_set = self.line_sets[block & self.set_mask]
         return cache_set.pop(block, LineState.INVALID)
 
     def resident_blocks(self) -> Iterator[tuple[int, LineState]]:
         """All resident ``(block, state)`` pairs (test/debug view)."""
-        for cache_set in self._sets:
+        for cache_set in self.line_sets:
             yield from cache_set.items()
 
     def occupancy(self) -> int:
         """Number of resident lines."""
-        return sum(len(cache_set) for cache_set in self._sets)
+        return sum(len(cache_set) for cache_set in self.line_sets)
 
     def __contains__(self, block: int) -> bool:
-        return block in self._sets[block & self._set_mask]
+        return block in self.line_sets[block & self.set_mask]

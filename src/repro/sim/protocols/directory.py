@@ -64,6 +64,7 @@ class DirectoryProtocol(Protocol):
     """Full-map write-invalidate directory coherence (extension)."""
 
     name = "directory"
+    read_hit_is_free = True
 
     def __init__(self, caches, is_shared_block):
         super().__init__(caches, is_shared_block)

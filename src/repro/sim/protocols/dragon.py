@@ -91,6 +91,10 @@ class DragonProtocol(Protocol):
     """Snoopy write-update coherence (the paper's hardware comparison)."""
 
     name = "dragon"
+    read_hit_is_free = True
+    remote_traffic_preserves_residency = True
+    private_store_hit_is_local = True
+    may_steal_cycles = True
 
     def __init__(self, caches, is_shared_block):
         super().__init__(caches, is_shared_block)
@@ -109,6 +113,18 @@ class DragonProtocol(Protocol):
         self, cpu: int, block: int, state: LineState
     ) -> AccessOutcome:
         cache = self.caches[cpu]
+        if state is LineState.DIRTY or state is LineState.CLEAN:
+            # Exclusive states are provably sole copies: any other
+            # cache acquiring the block would have demoted this line
+            # to SHARED_CLEAN/SHARED_DIRTY when its fill was snooped,
+            # so the holder scan is skipped (hot path: private
+            # stores).  The invariant is exercised by the protocol
+            # property tests.
+            if self.is_shared_block(block):
+                self.stats.shared_write_hits += 1
+            if state is not LineState.DIRTY:
+                cache.set_state(block, LineState.DIRTY)
+            return NO_ACTION
         holders = self.holders(block, excluding=cpu)
         if self.is_shared_block(block):
             self.stats.shared_write_hits += 1
@@ -152,9 +168,10 @@ class DragonProtocol(Protocol):
             fill_state = LineState.SHARED_CLEAN
             for holder in holders:
                 holder_cache = self.caches[holder]
-                if holder_cache.peek(block) is LineState.CLEAN:
+                holder_state = holder_cache.peek(block)
+                if holder_state is LineState.CLEAN:
                     holder_cache.set_state(block, LineState.SHARED_CLEAN)
-                elif holder_cache.peek(block) is LineState.DIRTY:
+                elif holder_state is LineState.DIRTY:
                     holder_cache.set_state(block, LineState.SHARED_DIRTY)
         else:
             supplied_from_cache = False

@@ -6,7 +6,7 @@ from abc import ABC, abstractmethod
 from typing import Callable, NamedTuple, Sequence
 
 from repro.core.operations import Operation
-from repro.sim.cache import Cache, LineState
+from repro.sim.cache import Cache
 from repro.trace.records import AccessType
 
 __all__ = ["AccessOutcome", "Protocol"]
@@ -53,6 +53,63 @@ class Protocol(ABC):
     #: as if the program had been compiled without them.
     handles_flush: bool = False
 
+    #: Fast-path contract for the machine's columnar replay engine.
+    #: True asserts that for a *resident* block, a non-STORE access is
+    #: exactly a ``Cache.lookup`` LRU touch returning :data:`NO_ACTION`
+    #: — no state change, no operations, no per-access counters.  The
+    #: engine then handles such references inline without calling
+    #: :meth:`access`.  Every bundled protocol satisfies this (verified
+    #: by the columnar-vs-legacy equivalence tests); a protocol that
+    #: charges work on read hits must leave it False so the engine
+    #: calls :meth:`access` for every reference.
+    read_hit_is_free: bool = False
+
+    #: False asserts data references to shared blocks never touch the
+    #: cache (they can't be resident), so the engine must route every
+    #: shared load through :meth:`access` instead of probing.  Only the
+    #: No-Cache scheme clears this.
+    caches_shared_data: bool = True
+
+    #: True asserts that no protocol action triggered by one CPU ever
+    #: *removes* a line from another CPU's cache (state changes and
+    #: word updates are fine; invalidations are not).  Together with
+    #: :attr:`read_hit_is_free` this lets the columnar engine prove
+    #: some fetches are hits statically — a fetch to the same block as
+    #: the immediately preceding reference of the same CPU must hit,
+    #: because nothing between the two can evict the line — and batch
+    #: them as pure clock advances.  True for Base, Dragon (write
+    #: broadcasts update in place), No-Cache, and Software-Flush
+    #: (flushes are local); False for the invalidation protocols
+    #: (WTI, directory).
+    remote_traffic_preserves_residency: bool = False
+
+    #: True asserts a store that hits a resident block does nothing
+    #: but set that line's state to DIRTY (with the usual LRU touch)
+    #: and return :data:`NO_ACTION` — no bus work, no counters, no
+    #: effect on other caches.  The columnar engine then applies
+    #: statically-proven store hits inline.  True for Base,
+    #: Software-Flush, and No-Cache (whose uncached shared stores are
+    #: never "hits"); False for the snooping protocols, whose store
+    #: hits may broadcast or invalidate.
+    store_hit_is_local: bool = False
+
+    #: Weaker form of :attr:`store_hit_is_local`: it holds provided
+    #: the block is outside the shared region AND no other CPU ever
+    #: references it in the whole trace (so the line is provably in an
+    #: exclusive state and no snoop interaction can trigger).  Dragon
+    #: satisfies this — an exclusive-state write hit just dirties the
+    #: line — even though a store hit on a shared line broadcasts.
+    private_store_hit_is_local: bool = False
+
+    #: True if any access can return a non-empty ``steal_from`` (snoop
+    #: updates stealing processor cycles).  Steals mutate a victim's
+    #: clock while its time-merge key stays frozen, and the legacy
+    #: engine folds a mid-run steal into the victim's key at its next
+    #: per-record re-push — so the columnar engine may batch-consume
+    #: runs of proven hits between merge-order checks only when this
+    #: is False, and must otherwise step records singly.
+    may_steal_cycles: bool = False
+
     def __init__(
         self,
         caches: Sequence[Cache],
@@ -85,9 +142,17 @@ class Protocol(ABC):
         return NO_ACTION
 
     def holders(self, block: int, excluding: int) -> list[int]:
-        """CPUs other than ``excluding`` whose cache holds ``block``."""
-        return [
-            cpu
-            for cpu, cache in enumerate(self.caches)
-            if cpu != excluding and cache.peek(block) is not LineState.INVALID
-        ]
+        """CPUs other than ``excluding`` whose cache holds ``block``.
+
+        Hot path for the snooping protocols (called on every store and
+        miss), so the residency probe is inlined rather than going
+        through :meth:`Cache.peek`: caches never store INVALID, so a
+        non-empty ``get`` means resident.
+        """
+        found = []
+        for cpu, cache in enumerate(self.caches):
+            if cpu != excluding and cache.line_sets[
+                block & cache.set_mask
+            ].get(block):
+                found.append(cpu)
+        return found

@@ -26,6 +26,10 @@ class NoCacheProtocol(Protocol):
     """Software coherence by prohibition: shared data is non-cachable."""
 
     name = "nocache"
+    read_hit_is_free = True
+    remote_traffic_preserves_residency = True
+    store_hit_is_local = True
+    caches_shared_data = False
 
     def access(self, cpu: int, kind: AccessType, block: int) -> AccessOutcome:
         if kind is not AccessType.INST_FETCH and self.is_shared_block(block):

@@ -23,6 +23,9 @@ class BaseProtocol(Protocol):
     """Plain write-back caches; coherence is nobody's problem."""
 
     name = "base"
+    read_hit_is_free = True
+    remote_traffic_preserves_residency = True
+    store_hit_is_local = True
 
     def access(self, cpu: int, kind: AccessType, block: int) -> AccessOutcome:
         cache = self.caches[cpu]

@@ -32,6 +32,9 @@ class SoftwareFlushProtocol(Protocol):
 
     name = "swflush"
     handles_flush = True
+    read_hit_is_free = True
+    remote_traffic_preserves_residency = True
+    store_hit_is_local = True
 
     def access(self, cpu: int, kind: AccessType, block: int) -> AccessOutcome:
         cache = self.caches[cpu]

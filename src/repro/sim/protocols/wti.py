@@ -41,6 +41,7 @@ class WriteThroughInvalidateProtocol(Protocol):
     """The earliest snoopy design: write through, invalidate on write."""
 
     name = "wti"
+    read_hit_is_free = True
 
     def __init__(self, caches, is_shared_block):
         super().__init__(caches, is_shared_block)

@@ -1,27 +1,55 @@
 """Trace serialisation.
 
-Traces are stored in a small line-oriented text format (optionally
+Two on-disk formats, auto-detected on load by magic bytes:
+
+**v1 (text)** — a small line-oriented format (optionally
 gzip-compressed, selected by a ``.gz`` suffix):
 
 * a header line ``#swcc-trace v1 name=<name> cpus=<n> shared=<lo>:<hi>``
 * one record per line: ``<cpu> <kind-letter> <hex-address>`` with kind
   letters ``I`` (fetch), ``L`` (load), ``S`` (store), ``F`` (flush).
 
-The format is deliberately trivial so traces can be inspected, diffed,
-and produced by other tools.
+The text format is deliberately trivial so traces can be inspected,
+diffed, and produced by other tools.
+
+**v2 (binary)** — the three trace columns stored as a compressed numpy
+``.npz`` archive plus a JSON metadata member.  Columns are written with
+their native dtypes (``uint16``/``uint8``/``uint64``), so a v2 file is
+both far smaller than the text form and loads in milliseconds: the
+arrays deserialise straight into the columnar :class:`Trace` with no
+per-record parsing.
+
+:func:`save_trace` picks v2 for ``.npz`` paths (or ``format="v2"``),
+v1 otherwise.  :func:`load_trace` ignores the suffix and sniffs the
+file's first bytes (zip magic -> v2, gzip magic -> compressed v1,
+anything else -> plain v1 text).
 """
 
 from __future__ import annotations
 
 import gzip
+import json
 from pathlib import Path
-from typing import IO, Iterator
+from typing import IO
 
-from repro.trace.records import AccessType, AddressRange, Trace, TraceRecord
+import numpy as np
 
-__all__ = ["load_trace", "save_trace"]
+from repro.trace.records import (
+    ADDRESS_DTYPE,
+    CPU_DTYPE,
+    KIND_DTYPE,
+    AccessType,
+    AddressRange,
+    Trace,
+)
+
+__all__ = ["TraceFormatError", "load_trace", "save_trace"]
 
 _MAGIC = "#swcc-trace v1"
+_V2_VERSION = 2
+#: File magics used for format sniffing.
+_ZIP_MAGIC = b"PK\x03\x04"
+_GZIP_MAGIC = b"\x1f\x8b"
 
 _KIND_TO_LETTER = {
     AccessType.INST_FETCH: "I",
@@ -30,6 +58,8 @@ _KIND_TO_LETTER = {
     AccessType.FLUSH: "F",
 }
 _LETTER_TO_KIND = {letter: kind for kind, letter in _KIND_TO_LETTER.items()}
+#: Kind code (column value) -> letter, indexable by the ``kind`` column.
+_CODE_TO_LETTER = [_KIND_TO_LETTER[kind] for kind in AccessType]
 
 
 class TraceFormatError(ValueError):
@@ -42,16 +72,22 @@ def _open(path: Path, mode: str) -> IO[str]:
     return open(path, mode, encoding="ascii")
 
 
-def save_trace(trace: Trace, path: str | Path) -> None:
-    """Write ``trace`` to ``path`` (gzip-compressed if ``*.gz``)."""
-    path = Path(path)
+# -- v1 text format -----------------------------------------------------
+
+
+def _save_v1(trace: Trace, path: Path) -> None:
+    letters = _CODE_TO_LETTER
     with _open(path, "w") as stream:
         stream.write(
             f"{_MAGIC} name={trace.name} cpus={trace.cpus} "
             f"shared={trace.shared_region.start:x}:{trace.shared_region.stop:x}\n"
         )
-        for cpu, kind, address in trace.records:
-            stream.write(f"{cpu} {_KIND_TO_LETTER[kind]} {address:x}\n")
+        stream.writelines(
+            f"{cpu} {letters[kind]} {address:x}\n"
+            for cpu, kind, address in zip(
+                trace.cpu.tolist(), trace.kind.tolist(), trace.address.tolist()
+            )
+        )
 
 
 def _parse_header(line: str) -> tuple[str, int, AddressRange]:
@@ -72,7 +108,15 @@ def _parse_header(line: str) -> tuple[str, int, AddressRange]:
     return name, cpus, shared
 
 
-def _parse_records(stream: IO[str]) -> Iterator[TraceRecord]:
+def _parse_records(
+    stream: IO[str],
+) -> tuple[list[int], list[int], list[int]]:
+    cpu_column: list[int] = []
+    kind_column: list[int] = []
+    address_column: list[int] = []
+    letter_to_code = {
+        letter: int(kind) for letter, kind in _LETTER_TO_KIND.items()
+    }
     for line_number, line in enumerate(stream, start=2):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -84,28 +128,165 @@ def _parse_records(stream: IO[str]) -> Iterator[TraceRecord]:
             )
         cpu_text, kind_letter, address_text = parts
         try:
-            kind = _LETTER_TO_KIND[kind_letter]
+            kind_column.append(letter_to_code[kind_letter])
         except KeyError:
             raise TraceFormatError(
                 f"line {line_number}: unknown access kind {kind_letter!r}"
             ) from None
         try:
-            yield TraceRecord(int(cpu_text), kind, int(address_text, 16))
+            cpu_column.append(int(cpu_text))
+            address_column.append(int(address_text, 16))
         except ValueError as error:
+            kind_column.pop()
             raise TraceFormatError(
                 f"line {line_number}: bad cpu or address in {line!r}"
             ) from error
+    return cpu_column, kind_column, address_column
+
+
+def _load_v1_stream(stream: IO[str]) -> Trace:
+    header = stream.readline().rstrip("\n")
+    name, cpus, shared = _parse_header(header)
+    cpu_column, kind_column, address_column = _parse_records(stream)
+    return Trace.from_arrays(
+        name=name,
+        cpus=cpus,
+        shared_region=shared,
+        cpu=np.asarray(cpu_column, dtype=CPU_DTYPE),
+        kind=np.asarray(kind_column, dtype=KIND_DTYPE),
+        address=np.asarray(address_column, dtype=ADDRESS_DTYPE),
+    )
+
+
+# -- v2 binary format ---------------------------------------------------
+
+
+def _save_v2(trace: Trace, path: Path) -> None:
+    meta = json.dumps(
+        {
+            "format": "swcc-trace",
+            "version": _V2_VERSION,
+            "name": trace.name,
+            "cpus": trace.cpus,
+            "shared": [trace.shared_region.start, trace.shared_region.stop],
+        }
+    ).encode("utf-8")
+    # Write through an open file object: np.savez_compressed would
+    # otherwise append ``.npz`` to suffix-less paths.
+    with open(path, "wb") as stream:
+        np.savez_compressed(
+            stream,
+            meta=np.frombuffer(meta, dtype=np.uint8),
+            cpu=np.asarray(trace.cpu, dtype=CPU_DTYPE),
+            kind=np.asarray(trace.kind, dtype=KIND_DTYPE),
+            address=np.asarray(trace.address, dtype=ADDRESS_DTYPE),
+        )
+
+
+def _load_v2(path: Path) -> Trace:
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            members = set(archive.files)
+            missing = {"meta", "cpu", "kind", "address"} - members
+            if missing:
+                raise TraceFormatError(
+                    f"{path.name}: v2 trace missing members "
+                    f"{sorted(missing)} (has {sorted(members)})"
+                )
+            meta_bytes = bytes(bytearray(archive["meta"]))
+            cpu = archive["cpu"]
+            kind = archive["kind"]
+            address = archive["address"]
+    except TraceFormatError:
+        raise
+    except Exception as error:
+        raise TraceFormatError(
+            f"{path.name}: not a readable v2 trace archive ({error})"
+        ) from error
+    try:
+        meta = json.loads(meta_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TraceFormatError(
+            f"{path.name}: malformed v2 trace metadata"
+        ) from error
+    if not isinstance(meta, dict) or meta.get("format") != "swcc-trace":
+        raise TraceFormatError(
+            f"{path.name}: archive is not a swcc trace (meta={meta!r})"
+        )
+    if meta.get("version") != _V2_VERSION:
+        raise TraceFormatError(
+            f"{path.name}: unsupported trace version {meta.get('version')!r}"
+        )
+    try:
+        name = str(meta["name"])
+        cpus = int(meta["cpus"])
+        low, high = meta["shared"]
+        shared = AddressRange(int(low), int(high))
+    except (KeyError, TypeError, ValueError) as error:
+        raise TraceFormatError(
+            f"{path.name}: malformed v2 trace metadata: {meta!r}"
+        ) from error
+    if kind.size and int(kind.max()) >= len(AccessType):
+        raise TraceFormatError(
+            f"{path.name}: unknown access kind value {int(kind.max())} "
+            f"(valid codes: 0..{len(AccessType) - 1})"
+        )
+    try:
+        return Trace.from_arrays(
+            name=name,
+            cpus=cpus,
+            shared_region=shared,
+            cpu=cpu,
+            kind=kind,
+            address=address,
+        )
+    except ValueError as error:
+        raise TraceFormatError(f"{path.name}: {error}") from error
+
+
+# -- public API ---------------------------------------------------------
+
+
+def save_trace(trace: Trace, path: str | Path, format: str | None = None) -> None:
+    """Write ``trace`` to ``path``.
+
+    Args:
+        trace: the trace to serialise.
+        path: destination; with ``format=None`` a ``.npz`` suffix
+            selects the v2 binary format, anything else the v1 text
+            format (gzip-compressed if ``*.gz``).
+        format: force ``"v1"`` (text) or ``"v2"`` (binary) regardless
+            of suffix.
+    """
+    path = Path(path)
+    if format is None:
+        format = "v2" if path.suffix == ".npz" else "v1"
+    if format == "v2":
+        _save_v2(trace, path)
+    elif format == "v1":
+        _save_v1(trace, path)
+    else:
+        raise ValueError(f"unknown trace format {format!r} (use 'v1' or 'v2')")
 
 
 def load_trace(path: str | Path) -> Trace:
     """Read a trace written by :func:`save_trace`.
 
+    The format is sniffed from the file's magic bytes, not the suffix:
+    zip magic means a v2 ``.npz`` archive, gzip magic a compressed v1
+    text file, anything else plain v1 text.
+
     Raises:
-        TraceFormatError: on any malformed header or record line.
+        TraceFormatError: on any malformed header, record line, or
+            binary archive.
     """
     path = Path(path)
-    with _open(path, "r") as stream:
-        header = stream.readline().rstrip("\n")
-        name, cpus, shared = _parse_header(header)
-        records = list(_parse_records(stream))
-    return Trace(name=name, cpus=cpus, shared_region=shared, records=records)
+    with open(path, "rb") as probe:
+        magic = probe.read(4)
+    if magic.startswith(_ZIP_MAGIC):
+        return _load_v2(path)
+    if magic.startswith(_GZIP_MAGIC):
+        with gzip.open(path, "rt", encoding="ascii") as stream:
+            return _load_v1_stream(stream)
+    with open(path, "r", encoding="ascii") as stream:
+        return _load_v1_stream(stream)

@@ -27,9 +27,26 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field, replace
 
-from repro.trace.records import AccessType, AddressRange, Trace, TraceRecord
+import numpy as np
+
+from repro.trace.records import (
+    ADDRESS_DTYPE,
+    CPU_DTYPE,
+    KIND_DTYPE,
+    AccessType,
+    AddressRange,
+    Trace,
+)
 
 __all__ = ["SyntheticWorkload", "TraceConfig", "generate_trace"]
+
+# Kind codes emitted by the generator; records are built as plain
+# (kind, address) int pairs and only become columns at the end, so the
+# generator never allocates per-record objects.
+_FETCH = int(AccessType.INST_FETCH)
+_LOAD = int(AccessType.LOAD)
+_STORE = int(AccessType.STORE)
+_FLUSH = int(AccessType.FLUSH)
 
 
 @dataclass(frozen=True)
@@ -217,7 +234,7 @@ class _CpuProcess:
         self.cpu = cpu
         self.config = config
         self.rng = rng
-        self.pending: list[TraceRecord] = []
+        self.pending: list[tuple[int, int]] = []
         # Instruction stream state.
         self.code_base = config.code_base + cpu * config.code_bytes_per_cpu
         self.loop_start_block = 0
@@ -266,7 +283,8 @@ class _CpuProcess:
         )
         self.instruction_index = 0
 
-    def _next_fetch(self) -> TraceRecord:
+    def _next_fetch(self) -> int:
+        """Address of the next instruction fetch."""
         config = self.config
         instructions_per_loop = (
             self.loop_blocks * config.block_bytes // config.instruction_bytes
@@ -282,11 +300,11 @@ class _CpuProcess:
             self.instruction_index = 0
             if self.loop_remaining_iterations <= 0:
                 self._new_loop()
-        return TraceRecord(self.cpu, AccessType.INST_FETCH, address)
+        return address
 
     # -- data streams --------------------------------------------------
 
-    def _private_reference(self) -> TraceRecord:
+    def _private_reference(self) -> tuple[int, int]:
         config, rng = self.config, self.rng
         if rng.random() < config.private_locality:
             block = rng.choice(self.working_set)
@@ -298,11 +316,11 @@ class _CpuProcess:
         offset = rng.randrange(config.block_bytes // 4) * 4
         address = self.private_base + block * config.block_bytes + offset
         kind = (
-            AccessType.STORE
+            _STORE
             if rng.random() < config.private_write_fraction
-            else AccessType.LOAD
+            else _LOAD
         )
-        return TraceRecord(self.cpu, kind, address)
+        return kind, address
 
     def _enter_section(self) -> None:
         config, rng = self.config, self.rng
@@ -311,7 +329,7 @@ class _CpuProcess:
         self.section_writes = rng.random() >= config.readonly_section_fraction
         self.section_touched = set()
 
-    def _shared_reference(self) -> TraceRecord:
+    def _shared_reference(self) -> tuple[int, int]:
         config, rng = self.config, self.rng
         block_in_object = rng.randrange(config.object_blocks)
         block = self.section_object * config.object_blocks + block_in_object
@@ -322,29 +340,27 @@ class _CpuProcess:
             self.section_writes
             and rng.random() < config.shared_write_fraction
         )
-        kind = AccessType.STORE if write else AccessType.LOAD
+        kind = _STORE if write else _LOAD
         self.section_remaining -= 1
         if self.section_remaining <= 0:
             self._exit_section()
-        return TraceRecord(self.cpu, kind, address)
+        return kind, address
 
     def _exit_section(self) -> None:
         if self.config.flush_on_exit:
             for block in sorted(self.section_touched):
                 address = self.config.shared_base + block * self.config.block_bytes
-                self.pending.append(
-                    TraceRecord(self.cpu, AccessType.FLUSH, address)
-                )
+                self.pending.append((_FLUSH, address))
         self.section_touched = set()
 
     # -- record stream ---------------------------------------------------
 
-    def next_record(self) -> TraceRecord:
-        """The next reference of this CPU, in program order."""
+    def next_record(self) -> tuple[int, int]:
+        """The next ``(kind, address)`` of this CPU, in program order."""
         if self.pending:
             return self.pending.pop(0)
 
-        record = self._next_fetch()
+        address = self._next_fetch()
         if self.rng.random() < self.config.ls:
             if self.section_remaining > 0:
                 self.pending.append(self._shared_reference())
@@ -353,7 +369,7 @@ class _CpuProcess:
                 self.pending.append(self._shared_reference())
             else:
                 self.pending.append(self._private_reference())
-        return record
+        return _FETCH, address
 
 
 def _geometric(rng: random.Random, mean: float) -> int:
@@ -391,7 +407,11 @@ def generate_trace(config: TraceConfig, name: str = "synthetic") -> Trace:
     assignment = list(range(config.cpus))
     remaining = [config.records_per_cpu] * config.cpus
     active = list(range(config.cpus))
-    records: list[TraceRecord] = []
+    # Generate straight into the trace columns; the host CPU is the
+    # scheduler's choice, so migrated processes need no record rewrite.
+    cpu_column: list[int] = []
+    kind_column: list[int] = []
+    address_column: list[int] = []
     until_migration = config.migration_interval
 
     while active:
@@ -400,10 +420,10 @@ def generate_trace(config: TraceConfig, name: str = "synthetic") -> Trace:
         process = processes[assignment[cpu]]
         emitted = min(burst, remaining[cpu])
         for _ in range(emitted):
-            record = process.next_record()
-            if record.cpu != cpu:
-                record = record._replace(cpu=cpu)
-            records.append(record)
+            kind, address = process.next_record()
+            cpu_column.append(cpu)
+            kind_column.append(kind)
+            address_column.append(address)
         remaining[cpu] -= emitted
         if remaining[cpu] <= 0:
             active.remove(cpu)
@@ -417,9 +437,11 @@ def generate_trace(config: TraceConfig, name: str = "synthetic") -> Trace:
                 )
                 until_migration = config.migration_interval
 
-    return Trace(
+    return Trace.from_arrays(
         name=name,
         cpus=config.cpus,
         shared_region=config.shared_region,
-        records=records,
+        cpu=np.asarray(cpu_column, dtype=CPU_DTYPE),
+        kind=np.asarray(kind_column, dtype=KIND_DTYPE),
+        address=np.asarray(address_column, dtype=ADDRESS_DTYPE),
     )

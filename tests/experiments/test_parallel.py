@@ -1,0 +1,81 @@
+"""Unit tests for the parallel experiment runner."""
+
+import os
+
+from repro.experiments.parallel import parallel_map, resolve_workers
+from repro.experiments.validation import model_vs_simulation
+
+
+def _square(x):
+    return x * x
+
+
+def _tag_with_pid(x):
+    return (x, os.getpid())
+
+
+class TestResolveWorkers:
+    def test_serial_requests(self):
+        assert resolve_workers(None, 10) == 1
+        assert resolve_workers(0, 10) == 1
+        assert resolve_workers(1, 10) == 1
+        assert resolve_workers(-3, 10) == 1
+
+    def test_single_item_stays_serial(self):
+        assert resolve_workers(8, 1) == 1
+        assert resolve_workers(8, 0) == 1
+
+    def test_capped_by_items_only(self):
+        assert resolve_workers(8, 2) == 2
+        assert resolve_workers(4, 100) == 4
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_parallel_matches_serial_in_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=4) == [
+            _square(item) for item in items
+        ]
+
+    def test_actually_uses_worker_processes(self):
+        results = parallel_map(_tag_with_pid, list(range(8)), jobs=2)
+        assert [value for value, _ in results] == list(range(8))
+        pids = {pid for _, pid in results}
+        assert os.getpid() not in pids
+
+    def test_accepts_any_iterable(self):
+        assert parallel_map(_square, (x for x in (2, 3)), jobs=2) == [4, 9]
+
+
+class TestSweepEquivalence:
+    def test_jobs_do_not_change_results(self):
+        """The acceptance property: a parallel validation sweep renders
+        the identical figure a serial one does."""
+        kwargs = dict(
+            workloads=("pops",),
+            protocols=("base", "dragon"),
+            cache_sizes=(16384, 65536),
+            cpu_counts=(1, 2),
+            records_per_cpu=6_000,
+            error_budget=0.5,
+        )
+        serial = model_vs_simulation("eq-serial", "t", **kwargs)
+        parallel = model_vs_simulation("eq-par", "t", jobs=4, **kwargs)
+        assert [
+            (series.label, series.x, series.y) for series in serial.series
+        ] == [
+            (series.label, series.x, series.y) for series in parallel.series
+        ]
+        assert serial.tables[0].rows == parallel.tables[0].rows
+        assert [
+            (check.passed, check.detail) for check in serial.checks
+        ] == [
+            (check.passed, check.detail) for check in parallel.checks
+        ]

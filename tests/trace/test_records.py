@@ -97,3 +97,75 @@ class TestTrace:
     def test_rejects_zero_cpus(self):
         with pytest.raises(ValueError):
             Trace(name="x", cpus=0, shared_region=AddressRange(0, 1))
+
+
+class TestColumnarLayout:
+    def test_column_dtypes(self):
+        import numpy as np
+
+        trace = _toy_trace()
+        assert trace.cpu.dtype == np.uint16
+        assert trace.kind.dtype == np.uint8
+        assert trace.address.dtype == np.uint64
+
+    def test_from_arrays_round_trip(self):
+        original = _toy_trace()
+        rebuilt = Trace.from_arrays(
+            name=original.name,
+            cpus=original.cpus,
+            shared_region=original.shared_region,
+            cpu=original.cpu,
+            kind=original.kind,
+            address=original.address,
+        )
+        assert rebuilt.records == original.records
+
+    def test_from_arrays_rejects_length_mismatch(self):
+        trace = _toy_trace()
+        with pytest.raises(ValueError, match="column lengths"):
+            Trace.from_arrays(
+                name="x",
+                cpus=3,
+                shared_region=AddressRange(0, 1),
+                cpu=trace.cpu[:-1],
+                kind=trace.kind,
+                address=trace.address,
+            )
+
+    def test_from_arrays_rejects_unknown_kind_code(self):
+        trace = _toy_trace()
+        bad_kind = trace.kind.copy()
+        bad_kind[0] = 200
+        with pytest.raises(ValueError, match="kind codes"):
+            Trace.from_arrays(
+                name="x",
+                cpus=3,
+                shared_region=AddressRange(0, 1),
+                cpu=trace.cpu,
+                kind=bad_kind,
+                address=trace.address,
+            )
+
+    def test_records_view_indexing(self):
+        records = _toy_trace().records
+        assert records[1] == TraceRecord(1, AccessType.LOAD, 0x1000)
+        assert records[-1] == TraceRecord(1, AccessType.INST_FETCH, 0x8)
+        assert records[1:3] == [
+            TraceRecord(1, AccessType.LOAD, 0x1000),
+            TraceRecord(0, AccessType.STORE, 0x1004),
+        ]
+        assert records[1].kind is AccessType.LOAD
+
+    def test_records_view_equality(self):
+        trace = _toy_trace()
+        assert trace.records == _toy_trace().records
+        assert trace.records == list(trace.records)
+        assert trace.records != list(trace.records)[:-1]
+
+    def test_block_index(self):
+        blocks = _toy_trace().block_index(4)
+        assert blocks.tolist() == [0x0, 0x100, 0x100, 0x100, 0x0]
+
+    def test_shared_mask(self):
+        mask = _toy_trace().shared_mask()
+        assert mask.tolist() == [False, True, True, True, False]
