@@ -14,8 +14,24 @@ export PYTHONPATH="$repo/src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== byte-compile src/ =="
 python -m compileall -q src
 
+# Coverage gate for the core simulation and trace layers, active when
+# pytest-cov is available (it is optional: [project.optional-dependencies]
+# test).  Without it the tier-1 run is identical minus the gate.
+cov_args=()
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    cov_args=(
+        --cov=repro.sim --cov=repro.trace
+        --cov-report=term --cov-fail-under=80
+    )
+else
+    echo "(pytest-cov not installed; skipping the coverage floor)"
+fi
+
 echo "== tier-1 tests =="
-python -m pytest -x -q
+python -m pytest -x -q "${cov_args[@]:+${cov_args[@]}}"
+
+echo "== fuzz smoke =="
+python -m repro.cli fuzz --smoke --artifact-dir "${TMPDIR:-/tmp}/swcc-fuzz-failures"
 
 echo "== benchmark smoke (micro substrates) =="
 python -m pytest benchmarks/bench_micro.py --benchmark-only \

@@ -8,6 +8,9 @@ Subcommands:
 * ``params <workload>`` — generate a synthetic trace and print its
   measured workload parameters next to Table 7's ranges.
 * ``predict`` — one-off model evaluation for a scheme/machine/size.
+* ``fuzz`` — differential fuzzing: adversarial traces through both
+  replay engines, the protocol oracles, and the analytical model;
+  failures are minimized and written as JSON artifacts.
 """
 
 from __future__ import annotations
@@ -225,6 +228,114 @@ def _command_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import parallel_map
+    from repro.verify import (
+        failure_artifact,
+        generate_case,
+        load_failure_artifact,
+        minimize_failure,
+        replay_artifact,
+        write_failure_artifact,
+    )
+    from repro.verify.differential import _seed_worker
+    from repro.verify.oracles import ORACLES
+
+    if args.replay:
+        try:
+            artifact = load_failure_artifact(args.replay)
+        except (OSError, ValueError) as error:
+            print(f"cannot replay {args.replay}: {error}", file=sys.stderr)
+            return 2
+        reproduced = replay_artifact(artifact)
+        if reproduced is None:
+            print(
+                f"{args.replay}: failure no longer reproduces "
+                f"({artifact['protocol']}/{artifact['check']})"
+            )
+            return 0
+        print(
+            f"{args.replay}: REPRODUCED {reproduced.protocol}/"
+            f"{reproduced.check}: {reproduced.message}"
+        )
+        return 1
+
+    if args.smoke:
+        # A deterministic sub-minute pass for CI: fewer, smaller cases.
+        seeds, scale = 24, 0.4
+    else:
+        seeds, scale = args.seeds, args.scale
+    protocols = tuple(
+        name.strip() for name in args.protocols.split(",") if name.strip()
+    )
+    unknown = sorted(set(protocols) - set(ORACLES))
+    if unknown:
+        print(
+            f"no oracle for protocol(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(ORACLES))}",
+            file=sys.stderr,
+        )
+        return 2
+    compare_model = not args.no_model
+    items = [
+        (seed, scale, protocols, compare_model)
+        for seed in range(args.seed_start, args.seed_start + seeds)
+    ]
+    per_seed = parallel_map(_seed_worker, items, jobs=args.jobs)
+
+    failures = [failure for batch in per_seed for failure in batch]
+    for failure in failures:
+        print(
+            f"FAIL seed={failure.seed} shape={failure.shape} "
+            f"protocol={failure.protocol} check={failure.check}: "
+            f"{failure.message}",
+            file=sys.stderr,
+        )
+        case = generate_case(failure.seed, scale=scale)
+        minimized = minimize_failure(failure, case)
+        trace = minimized if minimized is not None else case.trace
+        if minimized is not None:
+            print(
+                f"  minimized {len(case.trace)} -> {len(minimized)} "
+                f"records",
+                file=sys.stderr,
+            )
+        path = write_failure_artifact(
+            failure_artifact(failure, trace, case.config),
+            args.artifact_dir,
+        )
+        print(f"  artifact: {path}", file=sys.stderr)
+    clean = seeds - len({f.seed for f in failures})
+    print(
+        f"swcc fuzz: {seeds} seeds x {len(protocols)} protocols "
+        f"({', '.join(protocols)}), model comparison "
+        f"{'on' if compare_model else 'off'}: "
+        f"{clean} clean, {len(failures)} failure(s)"
+    )
+    return 1 if failures else 0
+
+
+def _jobs_count(value: str) -> int:
+    """``--jobs`` argument type: a non-negative integer.
+
+    0 is an explicit "serial" (same as omitting the flag); negative
+    counts are rejected here at the CLI boundary, while the library
+    (:func:`repro.experiments.parallel.resolve_workers`) clamps any
+    request to the number of work items.
+    """
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {value!r}"
+        ) from None
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = serial), got {jobs}"
+        )
+    return jobs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="swcc",
@@ -252,10 +363,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also dump each experiment's series/tables as CSV here",
     )
     run_parser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
+        "--jobs", type=_jobs_count, default=None, metavar="N",
         help=(
             "run independent sweep cells in up to N worker processes "
-            "(results are identical to a serial run)"
+            "(results are identical to a serial run; 0 = serial, "
+            "requests past the cell count are clamped)"
         ),
     )
     run_parser.set_defaults(handler=_command_run)
@@ -272,8 +384,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="shrink trace-driven experiments",
     )
     report_parser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="worker processes for parallelisable sweeps",
+        "--jobs", type=_jobs_count, default=None, metavar="N",
+        help="worker processes for parallelisable sweeps (0 = serial)",
     )
     report_parser.set_defaults(handler=_command_report)
 
@@ -336,6 +448,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="multistage network instead of a bus",
     )
     predict_parser.set_defaults(handler=_command_predict)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing: engines vs oracles vs the model",
+    )
+    fuzz_parser.add_argument(
+        "--seeds", type=int, default=200, metavar="N",
+        help="number of fuzz seeds to run (default 200)",
+    )
+    fuzz_parser.add_argument(
+        "--seed-start", type=int, default=0, metavar="K",
+        help="first seed (sweeps [K, K+N))",
+    )
+    fuzz_parser.add_argument(
+        "--protocols", default="dragon,wti,swflush,nocache",
+        metavar="LIST",
+        help="comma-separated protocols to check (default: the "
+             "paper's four schemes)",
+    )
+    fuzz_parser.add_argument(
+        "--scale", type=float, default=1.0, metavar="F",
+        help="trace-length scale factor for generated cases",
+    )
+    fuzz_parser.add_argument(
+        "--no-model", action="store_true",
+        help="skip the analytical-model tolerance comparison",
+    )
+    fuzz_parser.add_argument(
+        "--smoke", action="store_true",
+        help="deterministic sub-minute pass for CI (overrides "
+             "--seeds/--scale)",
+    )
+    fuzz_parser.add_argument(
+        "--jobs", type=_jobs_count, default=None, metavar="N",
+        help="run seeds in up to N worker processes (0 = serial)",
+    )
+    fuzz_parser.add_argument(
+        "--artifact-dir", default="fuzz-failures", metavar="DIR",
+        help="directory for minimized JSON failure artifacts",
+    )
+    fuzz_parser.add_argument(
+        "--replay", default="", metavar="FILE",
+        help="replay a failure artifact instead of fuzzing",
+    )
+    fuzz_parser.set_defaults(handler=_command_fuzz)
     return parser
 
 

@@ -285,8 +285,25 @@ def load_trace(path: str | Path) -> Trace:
         magic = probe.read(4)
     if magic.startswith(_ZIP_MAGIC):
         return _load_v2(path)
-    if magic.startswith(_GZIP_MAGIC):
-        with gzip.open(path, "rt", encoding="ascii") as stream:
+    # v1 text (possibly gzipped).  Corrupted or truncated binary junk
+    # that misses the zip magic lands here; fold the resulting decode,
+    # decompression, and overflow errors into TraceFormatError so
+    # callers see one exception type for "not a readable trace".
+    try:
+        if magic.startswith(_GZIP_MAGIC):
+            with gzip.open(path, "rt", encoding="ascii") as stream:
+                return _load_v1_stream(stream)
+        with open(path, "r", encoding="ascii") as stream:
             return _load_v1_stream(stream)
-    with open(path, "r", encoding="ascii") as stream:
-        return _load_v1_stream(stream)
+    except TraceFormatError:
+        raise
+    except (
+        UnicodeDecodeError,
+        ValueError,
+        OverflowError,
+        OSError,
+        EOFError,
+    ) as error:
+        raise TraceFormatError(
+            f"{path.name}: not a readable trace file ({error})"
+        ) from error

@@ -1,0 +1,77 @@
+"""Differential verification and fuzzing subsystem.
+
+The paper validates its analytical model against a trace-driven
+simulator (Section 3); PR 1 added a second, fast replay engine next to
+the legacy one.  That gives this repository three independent
+implementations of the same machine — analytical model, legacy engine,
+columnar engine — plus per-protocol reference semantics.  This package
+turns their agreement into a continuously fuzzed invariant:
+
+* :mod:`repro.verify.fuzzer` — seeded generator of adversarial traces
+  (sharing ping-pong, hot single lines, migratory objects, set-conflict
+  streams, degenerate CPU counts) beyond what
+  :mod:`repro.trace.synthetic` produces;
+* :mod:`repro.verify.oracles` — per-line reference state machines that
+  shadow-check every protocol transition, including a version-counter
+  model of value coherence for the update/invalidate protocols;
+* :mod:`repro.verify.invariants` — global conservation checks on a
+  finished run (cycle accounting, bus accounting, hits + misses =
+  references);
+* :mod:`repro.verify.differential` — replays each fuzzed trace through
+  the columnar and legacy engines (byte-identical statistics), through
+  a shadowed run with every fast path disabled (validates the
+  fast-path contract flags), and through the analytical model inside
+  documented tolerance bands;
+* :mod:`repro.verify.minimize` — shrinks a failing trace to a minimal
+  failing prefix (bisection) and then drops chunks (ddmin-style);
+* :mod:`repro.verify.artifact` — JSON failure artifacts that embed the
+  minimized trace for exact reproduction (``swcc fuzz --replay``).
+
+The ``swcc fuzz`` command drives the whole pipeline.
+"""
+
+from repro.verify.artifact import (
+    failure_artifact,
+    load_failure_artifact,
+    replay_artifact,
+    write_failure_artifact,
+)
+from repro.verify.differential import (
+    MODEL_BANDS,
+    PAPER_PROTOCOLS,
+    FuzzFailure,
+    check_case,
+    minimize_failure,
+    oracle_run,
+    run_seed,
+    stats_signature,
+)
+from repro.verify.fuzzer import SHAPES, FuzzCase, generate_case
+from repro.verify.invariants import InvariantViolation, check_result_invariants
+from repro.verify.minimize import minimize_failing_trace, trace_prefix
+from repro.verify.oracles import ORACLES, OracleViolation, shadow_protocol
+
+__all__ = [
+    "MODEL_BANDS",
+    "ORACLES",
+    "PAPER_PROTOCOLS",
+    "SHAPES",
+    "FuzzCase",
+    "FuzzFailure",
+    "InvariantViolation",
+    "OracleViolation",
+    "check_case",
+    "check_result_invariants",
+    "failure_artifact",
+    "generate_case",
+    "load_failure_artifact",
+    "minimize_failing_trace",
+    "minimize_failure",
+    "oracle_run",
+    "replay_artifact",
+    "run_seed",
+    "shadow_protocol",
+    "stats_signature",
+    "trace_prefix",
+    "write_failure_artifact",
+]

@@ -1,0 +1,178 @@
+"""JSON failure artifacts: reproduce a fuzz failure without the fuzzer.
+
+An artifact embeds everything a reproduction needs — the (minimized)
+trace records, the cache configuration, and which check failed — as
+plain JSON, so a failure found on one machine replays bit-for-bit on
+another regardless of fuzzer-generator drift:
+
+.. code-block:: json
+
+    {
+      "format": "swcc-fuzz-failure",
+      "version": 1,
+      "seed": 17, "shape": "pingpong", "protocol": "dragon",
+      "check": "oracle", "message": "...",
+      "config": {"cache_bytes": 1024, "block_bytes": 16,
+                 "associativity": 2},
+      "trace": {"name": "...", "cpus": 4,
+                "shared": [8388608, 8392704],
+                "records": [[0, 2, 8388608], ...]},
+      "repro": "swcc fuzz --replay <this file>"
+    }
+
+``swcc fuzz --replay FILE`` calls :func:`replay_artifact`, which
+re-runs exactly the failed check on the embedded trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.sim.machine import SimulationConfig
+from repro.trace.records import AddressRange, Trace
+from repro.verify.differential import (
+    FuzzFailure,
+    _failure_predicate,
+    check_case,
+)
+from repro.verify.fuzzer import FuzzCase
+
+__all__ = [
+    "failure_artifact",
+    "load_failure_artifact",
+    "replay_artifact",
+    "write_failure_artifact",
+]
+
+_FORMAT = "swcc-fuzz-failure"
+_VERSION = 1
+
+
+def failure_artifact(
+    failure: FuzzFailure, trace: Trace, config: SimulationConfig
+) -> dict:
+    """Serialisable artifact for one failure and its (minimized) trace."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "seed": int(failure.seed),
+        "shape": failure.shape,
+        "protocol": failure.protocol,
+        "check": failure.check,
+        "message": failure.message,
+        "config": {
+            "cache_bytes": int(config.cache_bytes),
+            "block_bytes": int(config.block_bytes),
+            "associativity": int(config.associativity),
+        },
+        "trace": {
+            "name": trace.name,
+            "cpus": int(trace.cpus),
+            "shared": [
+                int(trace.shared_region.start),
+                int(trace.shared_region.stop),
+            ],
+            "records": [
+                [int(cpu), int(kind), int(address)]
+                for cpu, kind, address in zip(
+                    trace.cpu.tolist(),
+                    trace.kind.tolist(),
+                    trace.address.tolist(),
+                )
+            ],
+        },
+        "repro": (
+            f"swcc fuzz --replay <this file>  # or: swcc fuzz "
+            f"--seeds 1 --seed-start {int(failure.seed)}"
+        ),
+    }
+
+
+def write_failure_artifact(artifact: dict, directory: str | Path) -> Path:
+    """Write an artifact under ``directory``; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    check_slug = artifact["check"].replace(":", "-")
+    path = directory / (
+        f"fuzz-seed{artifact['seed']}-{artifact['protocol']}"
+        f"-{check_slug}.json"
+    )
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    return path
+
+
+def load_failure_artifact(path: str | Path) -> dict:
+    """Load and structurally validate a failure artifact."""
+    artifact = json.loads(Path(path).read_text())
+    if not isinstance(artifact, dict) or artifact.get("format") != _FORMAT:
+        raise ValueError(
+            f"{path} is not a {_FORMAT} artifact"
+        )
+    if artifact.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported artifact version "
+            f"{artifact.get('version')!r} (expected {_VERSION})"
+        )
+    for key in ("seed", "shape", "protocol", "check", "config", "trace"):
+        if key not in artifact:
+            raise ValueError(f"{path}: artifact is missing {key!r}")
+    return artifact
+
+
+def _rebuild(artifact: dict) -> tuple[Trace, SimulationConfig]:
+    config_data = artifact["config"]
+    config = SimulationConfig(
+        cache_bytes=config_data["cache_bytes"],
+        block_bytes=config_data["block_bytes"],
+        associativity=config_data["associativity"],
+    )
+    trace_data = artifact["trace"]
+    records = trace_data["records"]
+    trace = Trace.from_arrays(
+        name=trace_data["name"],
+        cpus=trace_data["cpus"],
+        shared_region=AddressRange(*trace_data["shared"]),
+        cpu=np.asarray([r[0] for r in records], dtype=np.int64),
+        kind=np.asarray([r[1] for r in records], dtype=np.int64),
+        address=np.asarray([r[2] for r in records], dtype=np.uint64),
+    )
+    return trace, config
+
+
+def replay_artifact(artifact: dict) -> FuzzFailure | None:
+    """Re-run the artifact's failed check on its embedded trace.
+
+    Returns:
+        The reproduced :class:`FuzzFailure`, or None if the failure no
+        longer reproduces (e.g. the bug has been fixed).
+    """
+    trace, config = _rebuild(artifact)
+    failure = FuzzFailure(
+        seed=artifact["seed"],
+        shape=artifact["shape"],
+        protocol=artifact["protocol"],
+        check=artifact["check"],
+        message=artifact.get("message", ""),
+    )
+    predicate = _failure_predicate(failure, config)
+    if predicate is not None:
+        return failure if predicate(trace) else None
+    # Model-band failures: re-run the model comparison on the
+    # embedded workload.
+    case = FuzzCase(
+        seed=failure.seed,
+        shape=failure.shape,
+        trace=trace,
+        config=config,
+        model_comparable=True,
+    )
+    failures = check_case(
+        case, protocols=(failure.protocol,), compare_model=True
+    )
+    for reproduced in failures:
+        if reproduced.check == "model-band":
+            return reproduced
+    return None

@@ -1,0 +1,390 @@
+"""Differential runner: engines vs oracles vs the analytical model.
+
+For each fuzzed case and protocol, four checks run in order (first
+failure wins for that protocol):
+
+1. **Engine diff** — the columnar and legacy engines must produce
+   *identical* statistics (every counter, every per-CPU float), for
+   both replay orders.
+2. **Invariants** — the columnar results must satisfy the global
+   conservation laws of :mod:`repro.verify.invariants`.
+3. **Oracle shadow** — the protocol re-runs with every fast-path
+   contract flag disabled while a per-line reference state machine
+   (:mod:`repro.verify.oracles`) validates each transition and then
+   reconciles its independently derived counters with the result.
+4. **Shadow diff** — the shadowed run's statistics must equal the
+   unshadowed columnar run's.  The shadow took the everything-is-slow
+   path, so this differentially validates the fast-path contract
+   flags (``read_hit_is_free``, ``store_hit_is_local``, …) and the
+   static hit analysis they enable.
+
+Cases the fuzzer marks ``model_comparable`` (statistically
+well-behaved workload-like traces) additionally compare simulated
+processing power against the analytical model inside the documented
+:data:`MODEL_BANDS` relative-error tolerances — the paper's own
+Section 3 validation, continuously re-run on random workloads.  The
+adversarial shapes (ping-pong, hot lines, …) deliberately violate the
+model's statistical assumptions, so no bands can hold there and the
+model check is skipped for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core import BASE, DRAGON, NO_CACHE, SOFTWARE_FLUSH, BusSystem
+from repro.sim.machine import Machine, SimulationConfig, SimulationResult
+from repro.sim.measure import measure_workload_params
+from repro.trace.records import Trace
+from repro.verify.fuzzer import FuzzCase, generate_case
+from repro.verify.invariants import (
+    InvariantViolation,
+    check_result_invariants,
+)
+from repro.verify.minimize import minimize_failing_trace
+from repro.verify.oracles import OracleViolation, shadow_protocol
+
+__all__ = [
+    "MODEL_BANDS",
+    "PAPER_PROTOCOLS",
+    "FuzzFailure",
+    "check_case",
+    "minimize_failure",
+    "oracle_run",
+    "run_seed",
+    "stats_signature",
+]
+
+#: The four schemes the acceptance sweep must cover (the paper's
+#: software schemes plus the two hardware reference points it models).
+PAPER_PROTOCOLS = ("dragon", "wti", "swflush", "nocache")
+
+#: Simulator protocol name -> analytical-model scheme.  WTI has no
+#: bus-model counterpart in :mod:`repro.core.schemes`, so it is
+#: engine/oracle-checked only.
+_MODEL_SCHEMES = {
+    "base": BASE,
+    "dragon": DRAGON,
+    "nocache": NO_CACHE,
+    "swflush": SOFTWARE_FLUSH,
+}
+
+#: Documented relative-error tolerance of model vs simulation
+#: processing power, per protocol, on ``model_comparable`` fuzz cases.
+#: The paper reports the model "generally within 25%" of its simulator
+#: on real traces (Section 3); our synthetic workloads are smaller and
+#: noisier (hundreds-to-thousands of references per CPU, so miss-rate
+#: estimates carry sampling error the paper's multi-million-reference
+#: traces do not).  Bands are set from the empirical error
+#: distribution over the first 200 fuzzer seeds (observed maxima:
+#: base 0.23, dragon 0.22, nocache 0.16, swflush 0.28) with headroom;
+#: Software-Flush inherits extra error from the flush-overhead
+#: approximation, hence the wider band.
+MODEL_BANDS: dict[str, float] = {
+    "base": 0.35,
+    "dragon": 0.35,
+    "nocache": 0.35,
+    "swflush": 0.45,
+}
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One reproducible divergence, in picklable primitives.
+
+    ``check`` identifies the failing stage: ``engine-diff:<order>``,
+    ``invariants:<order>``, ``oracle``, ``shadow-diff``, or
+    ``model-band``.
+    """
+
+    seed: int
+    shape: str
+    protocol: str
+    check: str
+    message: str
+
+
+def stats_signature(result: SimulationResult) -> tuple:
+    """Everything a run reports, as one comparable tuple.
+
+    Floats are included exactly (no rounding): the engines promise
+    identical arithmetic, so equality is the contract.
+    """
+    protocol_stats = result.protocol_stats
+    return (
+        result.protocol,
+        tuple(
+            (
+                cpu.instructions,
+                cpu.loads,
+                cpu.stores,
+                cpu.flushes,
+                cpu.clock,
+                cpu.wait_cycles,
+                cpu.stolen_cycles,
+            )
+            for cpu in result.cpus
+        ),
+        tuple(
+            sorted(
+                (operation.value, count)
+                for operation, count in result.operation_counts.items()
+                if count
+            )
+        ),
+        result.fetch_misses,
+        result.data_misses,
+        result.dirty_victim_misses,
+        result.shared_loads,
+        result.shared_stores,
+        result.shared_data_misses,
+        result.bus_busy_cycles,
+        result.bus_transactions,
+        None
+        if protocol_stats is None
+        else tuple(sorted(vars(protocol_stats).items())),
+    )
+
+
+_SIGNATURE_FIELDS = (
+    "protocol",
+    "per-cpu stats (instructions, loads, stores, flushes, clock, "
+    "waits, steals)",
+    "operation counts",
+    "fetch_misses",
+    "data_misses",
+    "dirty_victim_misses",
+    "shared_loads",
+    "shared_stores",
+    "shared_data_misses",
+    "bus_busy_cycles",
+    "bus_transactions",
+    "protocol_stats",
+)
+
+
+def _describe_divergence(left: tuple, right: tuple) -> str:
+    for field_name, a, b in zip(_SIGNATURE_FIELDS, left, right):
+        if a != b:
+            return f"{field_name}: {a!r} != {b!r}"
+    return "signatures differ"
+
+
+def oracle_run(
+    trace: Trace,
+    config: SimulationConfig,
+    protocol,
+    order: str = "time",
+    engine: str = "columnar",
+) -> SimulationResult:
+    """Replay ``trace`` under oracle shadow.
+
+    Every transition is validated as it happens and the oracle's
+    counters are reconciled with the result afterwards.
+
+    Raises:
+        OracleViolation: on the first rule the run breaks.
+    """
+    sink: list = []
+    machine = Machine(shadow_protocol(protocol, sink), config)
+    result = machine.run(trace, order=order, engine=engine)
+    sink[-1].finalize(result)
+    return result
+
+
+def check_case(
+    case: FuzzCase,
+    protocols: Sequence[str] = PAPER_PROTOCOLS,
+    compare_model: bool = True,
+) -> list[FuzzFailure]:
+    """All verification failures of one fuzz case (empty = clean)."""
+    failures: list[FuzzFailure] = []
+    baseline: dict[str, SimulationResult] = {}
+    for protocol in protocols:
+        failure, result = _check_protocol(case, protocol)
+        if failure is not None:
+            failures.append(failure)
+        elif result is not None:
+            baseline[protocol] = result
+    if compare_model and case.model_comparable:
+        failures.extend(_check_model(case, baseline))
+    return failures
+
+
+def run_seed(
+    seed: int,
+    scale: float = 1.0,
+    protocols: Sequence[str] = PAPER_PROTOCOLS,
+    compare_model: bool = True,
+) -> list[FuzzFailure]:
+    """Generate the case for ``seed`` and run every check on it."""
+    case = generate_case(seed, scale=scale)
+    return check_case(case, protocols=protocols, compare_model=compare_model)
+
+
+def _seed_worker(
+    item: tuple[int, float, tuple[str, ...], bool]
+) -> list[FuzzFailure]:
+    """Module-level (picklable) worker for parallel fuzz sweeps."""
+    seed, scale, protocols, compare_model = item
+    return run_seed(
+        seed, scale=scale, protocols=protocols, compare_model=compare_model
+    )
+
+
+def _run(
+    trace: Trace,
+    config: SimulationConfig,
+    protocol: str,
+    order: str,
+    engine: str = "columnar",
+) -> SimulationResult:
+    return Machine(protocol, config).run(trace, order=order, engine=engine)
+
+
+def _check_protocol(
+    case: FuzzCase, protocol: str
+) -> tuple[FuzzFailure | None, SimulationResult | None]:
+    """First failure (or None) plus the columnar time-order result."""
+
+    def failure(check: str, message: str) -> FuzzFailure:
+        return FuzzFailure(
+            seed=case.seed,
+            shape=case.shape,
+            protocol=protocol,
+            check=check,
+            message=message,
+        )
+
+    time_result = None
+    for order in ("time", "trace"):
+        columnar = _run(case.trace, case.config, protocol, order)
+        legacy = _run(case.trace, case.config, protocol, order, "legacy")
+        left = stats_signature(columnar)
+        right = stats_signature(legacy)
+        if left != right:
+            return (
+                failure(
+                    f"engine-diff:{order}",
+                    "columnar vs legacy: "
+                    + _describe_divergence(left, right),
+                ),
+                None,
+            )
+        try:
+            check_result_invariants(columnar, trace=case.trace)
+        except InvariantViolation as violation:
+            return failure(f"invariants:{order}", str(violation)), None
+        if order == "time":
+            time_result = columnar
+
+    try:
+        shadowed = oracle_run(case.trace, case.config, protocol)
+    except OracleViolation as violation:
+        return failure("oracle", str(violation)), None
+    shadow_sig = stats_signature(shadowed)
+    plain_sig = stats_signature(time_result)
+    if shadow_sig != plain_sig:
+        return (
+            failure(
+                "shadow-diff",
+                "all-slow-path shadow vs fast-path columnar: "
+                + _describe_divergence(shadow_sig, plain_sig),
+            ),
+            None,
+        )
+    return None, time_result
+
+
+def _check_model(
+    case: FuzzCase, baseline: dict[str, SimulationResult]
+) -> list[FuzzFailure]:
+    """Model-vs-simulation processing power inside MODEL_BANDS."""
+    protocols = [p for p in baseline if p in _MODEL_SCHEMES]
+    if not protocols:
+        return []
+    dragon_result = baseline.get("dragon")
+    if dragon_result is None:
+        dragon_result = _run(case.trace, case.config, "dragon", "time")
+    params = measure_workload_params(
+        case.trace, case.config, dragon_result
+    )
+    bus = BusSystem()
+    failures = []
+    for protocol in protocols:
+        simulated = baseline[protocol].processing_power
+        predicted = bus.evaluate(
+            _MODEL_SCHEMES[protocol], params, case.trace.cpus
+        ).processing_power
+        if simulated <= 0.0:
+            continue
+        relative_error = abs(predicted - simulated) / simulated
+        band = MODEL_BANDS[protocol]
+        if relative_error > band:
+            failures.append(
+                FuzzFailure(
+                    seed=case.seed,
+                    shape=case.shape,
+                    protocol=protocol,
+                    check="model-band",
+                    message=(
+                        f"model {predicted:.3f} vs simulation "
+                        f"{simulated:.3f} processing power: relative "
+                        f"error {relative_error:.1%} exceeds the "
+                        f"{band:.0%} band"
+                    ),
+                )
+            )
+    return failures
+
+
+def _failure_predicate(
+    failure: FuzzFailure, config: SimulationConfig
+) -> Callable[[Trace], bool] | None:
+    """A pure 'does this trace still fail the same check' predicate.
+
+    Model-band failures are statistical properties of whole workloads,
+    not of any single record, so they are not minimizable.
+    """
+    protocol = failure.protocol
+    check = failure.check
+    if check.startswith("engine-diff:") or check.startswith("invariants:"):
+        order = check.split(":", 1)[1]
+
+        def predicate(trace: Trace) -> bool:
+            columnar = _run(trace, config, protocol, order)
+            legacy = _run(trace, config, protocol, order, "legacy")
+            if stats_signature(columnar) != stats_signature(legacy):
+                return True
+            try:
+                check_result_invariants(columnar, trace=trace)
+            except InvariantViolation:
+                return True
+            return False
+
+        return predicate
+    if check in ("oracle", "shadow-diff"):
+
+        def predicate(trace: Trace) -> bool:
+            try:
+                shadowed = oracle_run(trace, config, protocol)
+            except OracleViolation:
+                return True
+            plain = _run(trace, config, protocol, "time")
+            return stats_signature(shadowed) != stats_signature(plain)
+
+        return predicate
+    return None
+
+
+def minimize_failure(
+    failure: FuzzFailure, case: FuzzCase, max_checks: int = 48
+) -> Trace | None:
+    """Shrink the failing case's trace; None if not minimizable."""
+    predicate = _failure_predicate(failure, case.config)
+    if predicate is None:
+        return None
+    return minimize_failing_trace(
+        case.trace, predicate, max_checks=max_checks
+    )

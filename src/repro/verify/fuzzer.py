@@ -1,0 +1,420 @@
+"""Seeded adversarial trace generator for the differential harness.
+
+:mod:`repro.trace.synthetic` generates *plausible* workloads — the
+structural features the paper measures.  The fuzzer generates
+*hostile* ones: reference patterns chosen to hit the corners of the
+replay engines and the protocols rather than the middle of the
+parameter space.  Every case is a pure function of its seed, so any
+failure reproduces from ``(seed, scale)`` alone.
+
+Each seed picks one shape:
+
+``pingpong``
+    every CPU hammers one or two shared lines with a load/store mix —
+    maximal broadcast/invalidation traffic, maximal clock coupling.
+``hot-line``
+    one shared line takes about half of all data references; the rest
+    is a thin random private stream.
+``migratory``
+    a small object is read then written by one CPU, then ownership
+    rotates to the next — the classic migratory-sharing pattern that
+    exercises owner hand-off (Dragon SHARED_DIRTY chains).
+``set-conflict``
+    addresses strided by exactly ``sets * block_bytes`` so more blocks
+    than the associativity collide in one set — continuous evictions,
+    dirty victims, and (for Dragon) evictions of owner lines.
+``single-cpu``
+    the degenerate 1-CPU machine: no sharing is possible, but every
+    bookkeeping path (flushes, evictions, the n==1 replay loop) runs.
+``max-cpus``
+    16 CPUs with short streams and heavy shared stores — broadcast
+    fan-out and steal accounting at the widest machine this repo runs.
+``random-soup``
+    uniformly random records over a deliberately tiny address space
+    (maximal collisions), all four access kinds including FLUSH at
+    arbitrary addresses (flushing non-resident and never-shared blocks
+    is legal and must be handled).
+``workload-like``
+    a randomised :class:`~repro.trace.synthetic.TraceConfig` through
+    the real generator — the only shape with workload structure, and
+    therefore the only one the analytical model is compared against
+    (``model_comparable=True``).
+
+Each case also randomises the cache geometry (small caches force
+evictions; associativity 1/2/4; block size 16/32) and the shared
+region bounds — sometimes deliberately *not* block-aligned, which
+stresses the byte-range vs block-range rounding at the region edges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.machine import SimulationConfig
+from repro.trace.records import (
+    ADDRESS_DTYPE,
+    CPU_DTYPE,
+    KIND_DTYPE,
+    AddressRange,
+    Trace,
+)
+from repro.trace.synthetic import TraceConfig, generate_trace
+
+__all__ = ["SHAPES", "FuzzCase", "generate_case"]
+
+_FETCH, _LOAD, _STORE, _FLUSH = 0, 1, 2, 3
+
+#: Shape names, in the order the seed RNG indexes them.
+SHAPES = (
+    "pingpong",
+    "hot-line",
+    "migratory",
+    "set-conflict",
+    "single-cpu",
+    "max-cpus",
+    "random-soup",
+    "workload-like",
+)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fuzzed workload: a trace plus the machine it runs on."""
+
+    seed: int
+    shape: str
+    trace: Trace
+    config: SimulationConfig
+    #: True when the trace has enough workload structure for the
+    #: analytical-model comparison to be meaningful.
+    model_comparable: bool = False
+
+
+class _Emitter:
+    """Collects records as plain int lists, builds the Trace once."""
+
+    def __init__(self) -> None:
+        self.cpu: list[int] = []
+        self.kind: list[int] = []
+        self.address: list[int] = []
+
+    def emit(self, cpu: int, kind: int, address: int) -> None:
+        self.cpu.append(cpu)
+        self.kind.append(kind)
+        self.address.append(address)
+
+    def trace(
+        self, name: str, cpus: int, shared: AddressRange
+    ) -> Trace:
+        return Trace.from_arrays(
+            name=name,
+            cpus=cpus,
+            shared_region=shared,
+            cpu=np.asarray(self.cpu, dtype=CPU_DTYPE),
+            kind=np.asarray(self.kind, dtype=KIND_DTYPE),
+            address=np.asarray(self.address, dtype=ADDRESS_DTYPE),
+        )
+
+
+def _geometry(rng: random.Random) -> SimulationConfig:
+    """A small random cache geometry (always a legal power-of-two set
+    count).  Small caches are deliberate: they force evictions."""
+    cache_bytes = rng.choice((512, 1024, 4096, 16384))
+    block_bytes = rng.choice((16, 32))
+    associativity = rng.choice((1, 2, 4))
+    return SimulationConfig(
+        cache_bytes=cache_bytes,
+        block_bytes=block_bytes,
+        associativity=associativity,
+    )
+
+
+def _shared_bounds(
+    rng: random.Random, base: int, blocks: int, block_bytes: int
+) -> AddressRange:
+    """Shared region over ``blocks`` blocks starting at ``base``;
+    sometimes nudged off block alignment to stress edge rounding."""
+    start = base
+    stop = base + blocks * block_bytes
+    if rng.random() < 0.3:
+        start += rng.randrange(block_bytes)
+    if rng.random() < 0.3:
+        stop -= rng.randrange(block_bytes)
+    return AddressRange(start, max(stop, start))
+
+
+def _data_kind(rng: random.Random, store_probability: float) -> int:
+    return _STORE if rng.random() < store_probability else _LOAD
+
+
+def _scaled(rng: random.Random, low: int, high: int, scale: float) -> int:
+    return max(1, int(rng.randint(low, high) * scale))
+
+
+# -- shape builders ------------------------------------------------------
+#
+# Each builder returns (trace, config, model_comparable).  Address
+# layout convention: code at 0x0000 per-CPU pages, private data at
+# 0x100000 per-CPU pages, shared data at 0x800000.
+
+_CODE_BASE = 0x0000
+_CODE_BYTES_PER_CPU = 0x4000
+_PRIVATE_BASE = 0x100000
+_PRIVATE_BYTES_PER_CPU = 0x8000
+_SHARED_BASE = 0x800000
+
+
+def _code_address(rng: random.Random, cpu: int, span: int = 64) -> int:
+    return (
+        _CODE_BASE
+        + cpu * _CODE_BYTES_PER_CPU
+        + rng.randrange(span) * 4
+    )
+
+
+def _private_address(rng: random.Random, cpu: int, blocks: int = 64) -> int:
+    return (
+        _PRIVATE_BASE
+        + cpu * _PRIVATE_BYTES_PER_CPU
+        + rng.randrange(blocks * 16)
+    )
+
+
+def _pingpong(rng, scale):
+    config = _geometry(rng)
+    cpus = rng.choice((2, 3, 4, 8))
+    hot_lines = rng.choice((1, 2))
+    shared = _shared_bounds(
+        rng, _SHARED_BASE, hot_lines, config.block_bytes
+    )
+    out = _Emitter()
+    total = _scaled(rng, 400, 1200, scale)
+    store_probability = rng.uniform(0.3, 0.7)
+    for index in range(total):
+        cpu = index % cpus
+        out.emit(cpu, _FETCH, _code_address(rng, cpu, span=8))
+        address = _SHARED_BASE + rng.randrange(
+            hot_lines * config.block_bytes
+        )
+        out.emit(cpu, _data_kind(rng, store_probability), address)
+        if rng.random() < 0.05:
+            out.emit(cpu, _FLUSH, address)
+    return out.trace("fuzz-pingpong", cpus, shared), config, False
+
+
+def _hot_line(rng, scale):
+    config = _geometry(rng)
+    cpus = rng.choice((2, 4, 6))
+    shared = _shared_bounds(rng, _SHARED_BASE, 8, config.block_bytes)
+    out = _Emitter()
+    total = _scaled(rng, 500, 1500, scale)
+    for _ in range(total):
+        cpu = rng.randrange(cpus)
+        out.emit(cpu, _FETCH, _code_address(rng, cpu))
+        if rng.random() < 0.5:
+            # The hot line: first block of the shared region.
+            address = _SHARED_BASE + rng.randrange(config.block_bytes)
+            out.emit(cpu, _data_kind(rng, 0.4), address)
+        else:
+            out.emit(cpu, _data_kind(rng, 0.3), _private_address(rng, cpu))
+    return out.trace("fuzz-hot-line", cpus, shared), config, False
+
+
+def _migratory(rng, scale):
+    config = _geometry(rng)
+    cpus = rng.choice((2, 3, 4))
+    object_blocks = rng.choice((1, 2, 4))
+    shared = _shared_bounds(
+        rng, _SHARED_BASE, object_blocks, config.block_bytes
+    )
+    out = _Emitter()
+    rounds = _scaled(rng, 20, 80, scale)
+    flush_on_handoff = rng.random() < 0.5
+    owner = 0
+    for _ in range(rounds):
+        # The owner reads the whole object, then writes it, then hands
+        # off — each phase interleaved with fetches.
+        for phase_kind in (_LOAD, _STORE):
+            for block in range(object_blocks):
+                out.emit(owner, _FETCH, _code_address(rng, owner, span=4))
+                address = (
+                    _SHARED_BASE
+                    + block * config.block_bytes
+                    + rng.randrange(config.block_bytes)
+                )
+                out.emit(owner, phase_kind, address)
+        if flush_on_handoff:
+            for block in range(object_blocks):
+                out.emit(
+                    owner, _FLUSH, _SHARED_BASE + block * config.block_bytes
+                )
+        owner = (owner + 1) % cpus
+    return out.trace("fuzz-migratory", cpus, shared), config, False
+
+
+def _set_conflict(rng, scale):
+    config = _geometry(rng)
+    geometry = config.geometry
+    stride = geometry.sets * geometry.block_bytes
+    cpus = rng.choice((1, 2, 4))
+    # More colliding blocks than ways: continuous evictions.
+    colliding = geometry.associativity + rng.choice((1, 2, 4))
+    shared_blocks = 4
+    shared = _shared_bounds(
+        rng, _SHARED_BASE, shared_blocks, config.block_bytes
+    )
+    out = _Emitter()
+    total = _scaled(rng, 400, 1000, scale)
+    for index in range(total):
+        cpu = index % cpus
+        out.emit(cpu, _FETCH, _code_address(rng, cpu, span=4))
+        way = rng.randrange(colliding)
+        if rng.random() < 0.3:
+            # Shared-region references collide too (same set by
+            # construction when stride divides the shared base).
+            address = _SHARED_BASE + rng.randrange(
+                shared_blocks * config.block_bytes
+            )
+        else:
+            address = (
+                _PRIVATE_BASE
+                + cpu * _PRIVATE_BYTES_PER_CPU
+                + way * stride
+                + rng.randrange(config.block_bytes)
+            )
+        out.emit(cpu, _data_kind(rng, 0.5), address)
+    return out.trace("fuzz-set-conflict", cpus, shared), config, False
+
+
+def _single_cpu(rng, scale):
+    config = _geometry(rng)
+    shared = _shared_bounds(rng, _SHARED_BASE, 8, config.block_bytes)
+    out = _Emitter()
+    total = _scaled(rng, 300, 900, scale)
+    for _ in range(total):
+        out.emit(0, _FETCH, _code_address(rng, 0))
+        roll = rng.random()
+        if roll < 0.1:
+            out.emit(
+                0, _FLUSH,
+                _SHARED_BASE + rng.randrange(8 * config.block_bytes),
+            )
+        elif roll < 0.5:
+            out.emit(
+                0, _data_kind(rng, 0.4),
+                _SHARED_BASE + rng.randrange(8 * config.block_bytes),
+            )
+        else:
+            out.emit(0, _data_kind(rng, 0.4), _private_address(rng, 0))
+    return out.trace("fuzz-single-cpu", 1, shared), config, False
+
+
+def _max_cpus(rng, scale):
+    config = _geometry(rng)
+    cpus = 16
+    shared = _shared_bounds(rng, _SHARED_BASE, 4, config.block_bytes)
+    out = _Emitter()
+    per_cpu = _scaled(rng, 30, 120, scale)
+    for index in range(per_cpu * cpus):
+        cpu = index % cpus
+        out.emit(cpu, _FETCH, _code_address(rng, cpu, span=4))
+        address = _SHARED_BASE + rng.randrange(4 * config.block_bytes)
+        out.emit(cpu, _data_kind(rng, 0.6), address)
+    return out.trace("fuzz-max-cpus", cpus, shared), config, False
+
+
+def _random_soup(rng, scale):
+    config = _geometry(rng)
+    cpus = rng.choice((1, 2, 3, 4, 6))
+    shared_blocks = rng.choice((2, 8, 32))
+    shared = _shared_bounds(
+        rng, _SHARED_BASE, shared_blocks, config.block_bytes
+    )
+    # A tiny address universe maximises aliasing across every region.
+    universe = [_code_address(rng, cpu, span=16) for cpu in range(cpus)]
+    universe += [
+        _private_address(rng, cpu, blocks=8) for cpu in range(cpus)
+    ] * 2
+    universe += [
+        _SHARED_BASE + rng.randrange(shared_blocks * config.block_bytes)
+        for _ in range(8)
+    ]
+    out = _Emitter()
+    total = _scaled(rng, 400, 1200, scale)
+    for _ in range(total):
+        cpu = rng.randrange(cpus)
+        roll = rng.random()
+        if roll < 0.35:
+            kind = _FETCH
+        elif roll < 0.60:
+            kind = _LOAD
+        elif roll < 0.90:
+            kind = _STORE
+        else:
+            kind = _FLUSH
+        out.emit(cpu, kind, rng.choice(universe))
+    return out.trace("fuzz-random-soup", cpus, shared), config, False
+
+
+def _workload_like(rng, scale):
+    trace_config = TraceConfig(
+        cpus=rng.choice((2, 3, 4)),
+        records_per_cpu=_scaled(rng, 1200, 2500, scale),
+        ls=rng.uniform(0.15, 0.45),
+        shd=rng.uniform(0.05, 0.40),
+        shared_write_fraction=rng.uniform(0.15, 0.50),
+        readonly_section_fraction=rng.uniform(0.0, 0.6),
+        section_length_mean=rng.randint(4, 24),
+        shared_objects=rng.choice((8, 32, 64)),
+        object_blocks=rng.choice((1, 2, 4)),
+        private_working_set=rng.choice((64, 256)),
+        private_locality=rng.uniform(0.95, 0.99),
+        loop_iterations_mean=rng.randint(40, 160),
+        seed=rng.randrange(2**31),
+    )
+    # The model comparison assumes the paper's machine: 16-byte blocks
+    # and a cache in the simulated size range.
+    config = SimulationConfig(
+        cache_bytes=rng.choice((16384, 65536)),
+        block_bytes=16,
+        associativity=2,
+    )
+    trace = generate_trace(trace_config, name="fuzz-workload-like")
+    return trace, config, True
+
+
+_BUILDERS = {
+    "pingpong": _pingpong,
+    "hot-line": _hot_line,
+    "migratory": _migratory,
+    "set-conflict": _set_conflict,
+    "single-cpu": _single_cpu,
+    "max-cpus": _max_cpus,
+    "random-soup": _random_soup,
+    "workload-like": _workload_like,
+}
+
+
+def generate_case(seed: int, scale: float = 1.0) -> FuzzCase:
+    """The fuzz case for ``seed`` — deterministic, shape chosen by the
+    seed itself.
+
+    Args:
+        seed: master seed; same seed (and scale), same case.
+        scale: record-count multiplier; ``--smoke`` runs use < 1.
+    """
+    # Knuth multiplicative scrambling decorrelates consecutive seeds so
+    # adjacent seeds land on different shapes.
+    rng = random.Random((seed * 2654435761) % 2**32)
+    shape = SHAPES[rng.randrange(len(SHAPES))]
+    trace, config, model_comparable = _BUILDERS[shape](rng, scale)
+    return FuzzCase(
+        seed=seed,
+        shape=shape,
+        trace=trace,
+        config=config,
+        model_comparable=model_comparable,
+    )

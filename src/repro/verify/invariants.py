@@ -1,0 +1,209 @@
+"""Global conservation invariants on a finished simulation run.
+
+These checks need no shadow instrumentation — they hold for *any*
+correct replay, on either engine, and follow directly from the timing
+model in :mod:`repro.sim.machine`:
+
+* **Reference conservation** — the per-CPU instruction/load/store/flush
+  counters must reproduce the trace's column histogram exactly, and
+  sum to the trace length.
+* **Cycle conservation** — every processor cycle is accounted for:
+
+  .. code-block:: text
+
+     sum(clocks) = instructions * 1
+                 + sum(op_counts[op] * cpu_cycles[op])
+                 + sum(wait_cycles) + sum(stolen_cycles)
+
+  The bundled cost table is all-integer, so with the engines' exact
+  integer-valued float arithmetic this holds to equality, not within
+  a tolerance.
+* **Bus conservation** — ``bus_busy_cycles`` equals the cost-weighted
+  sum of bus operations, and ``bus_transactions`` counts exactly the
+  operations with nonzero bus time.
+* **Counter consistency** — miss operations in ``operation_counts``
+  equal ``fetch_misses + data_misses``; dirty-miss operations equal
+  ``dirty_victim_misses``; shared loads/stores match a vectorised
+  recount over the trace.
+* **Clock monotonicity** — clocks only ever advance, so every final
+  clock is at least the processor's instruction count, waits and
+  steals are non-negative, and ``elapsed_cycles`` is the max clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.operations import CostTable, Operation
+from repro.trace.records import Trace
+
+__all__ = ["InvariantViolation", "check_result_invariants"]
+
+_MISS_OPERATIONS = frozenset(
+    {
+        Operation.CLEAN_MISS_MEMORY,
+        Operation.DIRTY_MISS_MEMORY,
+        Operation.CLEAN_MISS_CACHE,
+        Operation.DIRTY_MISS_CACHE,
+    }
+)
+_DIRTY_VICTIM_OPERATIONS = frozenset(
+    {Operation.DIRTY_MISS_MEMORY, Operation.DIRTY_MISS_CACHE}
+)
+
+
+class InvariantViolation(AssertionError):
+    """A finished run broke a global conservation law."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvariantViolation(message)
+
+
+def check_result_invariants(
+    result, costs: CostTable | None = None, trace: Trace | None = None
+) -> None:
+    """Validate global invariants on a :class:`SimulationResult`.
+
+    Args:
+        result: the finished run.
+        costs: the cost table the run used (defaults to the paper's).
+        trace: when given, the reference mix and shared-reference
+            counts are recomputed from the trace columns and compared.
+
+    Raises:
+        InvariantViolation: on the first broken invariant.
+    """
+    if costs is None:
+        costs = CostTable.bus()
+
+    # -- reference conservation against the trace columns ----------------
+    if trace is not None:
+        n = trace.cpus
+        _require(
+            len(result.cpus) == n,
+            f"result has {len(result.cpus)} CPUs, trace has {n}",
+        )
+        mix = np.bincount(
+            trace.cpu.astype(np.int64) * 4 + trace.kind, minlength=4 * n
+        ).reshape(n, 4)
+        for cpu, stats in enumerate(result.cpus):
+            observed = (
+                stats.instructions,
+                stats.loads,
+                stats.stores,
+                stats.flushes,
+            )
+            expected = tuple(int(v) for v in mix[cpu])
+            _require(
+                observed == expected,
+                f"cpu {cpu} reference mix {observed} != trace column "
+                f"histogram {expected}",
+            )
+        block_shift = result.config.geometry.block_shift
+        blocks = trace.block_index(block_shift)
+        shared_low = trace.shared_region.start >> block_shift
+        shared_high = (
+            trace.shared_region.stop + result.config.block_bytes - 1
+        ) >> block_shift
+        shared = (blocks >= shared_low) & (blocks < shared_high)
+        shared_loads = int(np.count_nonzero(shared & (trace.kind == 1)))
+        shared_stores = int(np.count_nonzero(shared & (trace.kind == 2)))
+        _require(
+            result.shared_loads == shared_loads,
+            f"shared_loads {result.shared_loads} != recount {shared_loads}",
+        )
+        _require(
+            result.shared_stores == shared_stores,
+            f"shared_stores {result.shared_stores} != recount "
+            f"{shared_stores}",
+        )
+
+    # -- clock monotonicity / sign constraints ----------------------------
+    for cpu, stats in enumerate(result.cpus):
+        _require(
+            stats.clock >= float(stats.instructions),
+            f"cpu {cpu} clock {stats.clock} below its instruction count "
+            f"{stats.instructions} (clocks only ever advance)",
+        )
+        _require(
+            stats.wait_cycles >= 0.0,
+            f"cpu {cpu} has negative wait cycles {stats.wait_cycles}",
+        )
+        _require(
+            stats.stolen_cycles >= 0,
+            f"cpu {cpu} has negative stolen cycles {stats.stolen_cycles}",
+        )
+    expected_elapsed = max((cpu.clock for cpu in result.cpus), default=0.0)
+    _require(
+        result.elapsed_cycles == expected_elapsed,
+        f"elapsed_cycles {result.elapsed_cycles} != max processor clock "
+        f"{expected_elapsed}",
+    )
+
+    # -- operation-count consistency ---------------------------------------
+    for operation, count in result.operation_counts.items():
+        _require(
+            count >= 0, f"negative count {count} for {operation.name}"
+        )
+    miss_ops = sum(
+        count
+        for op, count in result.operation_counts.items()
+        if op in _MISS_OPERATIONS
+    )
+    _require(
+        miss_ops == result.fetch_misses + result.data_misses,
+        f"miss operations {miss_ops} != fetch_misses "
+        f"{result.fetch_misses} + data_misses {result.data_misses}",
+    )
+    dirty_ops = sum(
+        count
+        for op, count in result.operation_counts.items()
+        if op in _DIRTY_VICTIM_OPERATIONS
+    )
+    _require(
+        dirty_ops == result.dirty_victim_misses,
+        f"dirty-miss operations {dirty_ops} != dirty_victim_misses "
+        f"{result.dirty_victim_misses}",
+    )
+
+    # -- cycle conservation -------------------------------------------------
+    op_cpu_cycles = sum(
+        count * costs[op].cpu_cycles
+        for op, count in result.operation_counts.items()
+    )
+    expected_clocks = (
+        float(result.instructions)
+        + op_cpu_cycles
+        + sum(cpu.wait_cycles for cpu in result.cpus)
+        + float(sum(cpu.stolen_cycles for cpu in result.cpus))
+    )
+    total_clocks = sum(cpu.clock for cpu in result.cpus)
+    _require(
+        total_clocks == expected_clocks,
+        f"cycle conservation: sum of clocks {total_clocks} != "
+        f"instructions + operation cycles + waits + steals "
+        f"{expected_clocks}",
+    )
+
+    # -- bus conservation ----------------------------------------------------
+    expected_busy = sum(
+        count * costs[op].channel_cycles
+        for op, count in result.operation_counts.items()
+    )
+    _require(
+        result.bus_busy_cycles == expected_busy,
+        f"bus conservation: busy cycles {result.bus_busy_cycles} != "
+        f"cost-weighted bus operations {expected_busy}",
+    )
+    expected_transactions = sum(
+        count
+        for op, count in result.operation_counts.items()
+        if costs[op].channel_cycles > 0
+    )
+    _require(
+        result.bus_transactions == expected_transactions,
+        f"bus transactions {result.bus_transactions} != operations with "
+        f"bus time {expected_transactions}",
+    )

@@ -1,0 +1,119 @@
+"""Shrink a failing trace to a small still-failing reproduction.
+
+Two stages, both driven by a caller-supplied predicate (``True`` =
+"this trace still fails"):
+
+1. **Prefix bisection** — replay determinism means a failure at record
+   ``i`` still fails for every prefix of length ``> i`` and cannot be
+   provoked by records after it, so the minimal failing *prefix* is
+   found by binary search in ``O(log n)`` predicate evaluations.
+2. **Chunk removal** (ddmin-flavoured) — greedily delete spans of
+   records from the front and middle of the prefix while the failure
+   persists, halving the span size when no deletion sticks.  Unlike
+   the prefix length, deletability is not monotone, so this stage is
+   best-effort and budgeted.
+
+The predicate must be pure (same trace → same verdict); the fuzzer's
+cases and both replay engines are deterministic, so any predicate
+built from them qualifies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.trace.records import Trace
+
+__all__ = ["minimize_failing_trace", "trace_prefix"]
+
+
+def trace_prefix(trace: Trace, length: int) -> Trace:
+    """The first ``length`` records of ``trace`` as a new Trace."""
+    length = max(0, min(length, len(trace)))
+    return _trace_subset(trace, np.arange(length))
+
+
+def _trace_subset(trace: Trace, indices: np.ndarray) -> Trace:
+    """A new Trace holding ``trace``'s records at ``indices``.
+
+    Always spans the original CPU count (``Trace.cpus`` comes from the
+    constructor, not the column contents), so per-CPU structure and the
+    shared region are preserved even when a subset drops a CPU's last
+    record.
+    """
+    return Trace.from_arrays(
+        name=trace.name,
+        cpus=trace.cpus,
+        shared_region=trace.shared_region,
+        cpu=trace.cpu[indices],
+        kind=trace.kind[indices],
+        address=trace.address[indices],
+    )
+
+
+def minimize_failing_trace(
+    trace: Trace,
+    still_fails: Callable[[Trace], bool],
+    max_checks: int = 64,
+) -> Trace:
+    """Return a smaller trace for which ``still_fails`` holds.
+
+    Args:
+        trace: a trace known to fail (``still_fails(trace)`` is True;
+            this is not re-verified).
+        still_fails: pure predicate; True when the failure reproduces.
+        max_checks: total predicate-evaluation budget across both
+            stages (prefix bisection consumes ``O(log n)`` of it).
+
+    Returns:
+        A trace no larger than the input on which ``still_fails``
+        returned True.  The input itself is returned if no reduction
+        survives the budget.
+    """
+    budget = [max_checks]
+
+    def check(candidate: Trace) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        return still_fails(candidate)
+
+    # Stage 1: smallest failing prefix.  Invariant: fail(high) holds,
+    # fail(low) does not (low = 0 is the empty trace, which cannot
+    # fail a replay check).
+    low, high = 0, len(trace)
+    while high - low > 1 and budget[0] > 0:
+        mid = (low + high) // 2
+        if check(trace_prefix(trace, mid)):
+            high = mid
+        else:
+            low = mid
+    best = trace_prefix(trace, high)
+
+    # Stage 2: greedy chunk removal from the surviving prefix.  The
+    # last record is what the failure fires on, so never drop it.
+    chunk = max(1, len(best) // 2)
+    while chunk >= 1 and len(best) > 1 and budget[0] > 0:
+        removed_any = False
+        start = 0
+        while start < len(best) - 1 and budget[0] > 0:
+            keep = np.concatenate(
+                [
+                    np.arange(0, start),
+                    np.arange(
+                        min(start + chunk, len(best) - 1), len(best)
+                    ),
+                ]
+            )
+            candidate = _trace_subset(best, keep)
+            if len(candidate) < len(best) and check(candidate):
+                best = candidate
+                removed_any = True
+                # Re-test the same offset: the next chunk slid into it.
+            else:
+                start += chunk
+        if not removed_any:
+            chunk //= 2
+    return best

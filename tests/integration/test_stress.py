@@ -8,6 +8,8 @@ results from every protocol.
 import pytest
 
 from repro.sim import Machine, SimulationConfig
+
+pytestmark = pytest.mark.stress
 from repro.sim.protocols import PROTOCOLS
 from repro.trace.records import AccessType, AddressRange, Trace, TraceRecord
 

@@ -1,0 +1,160 @@
+"""CLI tests for ``swcc fuzz`` and the shared ``--jobs`` handling."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.parallel import resolve_workers
+
+
+class TestFuzzParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.seeds == 200
+        assert args.seed_start == 0
+        assert args.scale == 1.0
+        assert args.protocols == "dragon,wti,swflush,nocache"
+        assert args.artifact_dir == "fuzz-failures"
+        assert args.jobs is None
+        assert not args.smoke
+        assert not args.no_model
+        assert not args.replay
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "fuzz", "--seeds", "10", "--seed-start", "5",
+                "--protocols", "wti", "--scale", "0.5", "--no-model",
+                "--smoke", "--jobs", "4", "--artifact-dir", "out",
+            ]
+        )
+        assert (args.seeds, args.seed_start) == (10, 5)
+        assert args.protocols == "wti"
+        assert args.jobs == 4
+
+
+class TestJobsValidation:
+    """--jobs: negative is a parse error, 0 means serial, large
+    values clamp to the number of work items."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fuzz", "--jobs", "-1"],
+            ["fuzz", "--jobs", "-99"],
+            ["run", "--jobs", "-1"],
+            ["report", "--jobs", "-2"],
+            ["fuzz", "--jobs", "four"],
+        ],
+    )
+    def test_bad_jobs_values_are_parse_errors(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fuzz", "--jobs", "0"],
+            ["run", "all", "--jobs", "0"],
+            ["report", "--jobs", "0"],
+        ],
+    )
+    def test_zero_jobs_parses_as_explicit_serial(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.jobs == 0
+
+    def test_resolver_defined_behaviour(self):
+        # 0/None/negative collapse to serial; oversubscription clamps
+        # to the item count; nothing ever returns < 1 worker.
+        assert resolve_workers(0, 10) == 1
+        assert resolve_workers(None, 10) == 1
+        assert resolve_workers(-3, 10) == 1
+        assert resolve_workers(4, 10) == 4
+        assert resolve_workers(64, 3) == 3
+        assert resolve_workers(5, 0) == 1
+
+
+class TestFuzzCommand:
+    def test_small_clean_sweep_exits_zero(self, capsys, tmp_path):
+        code = main(
+            [
+                "fuzz", "--seeds", "2", "--scale", "0.2", "--no-model",
+                "--artifact-dir", str(tmp_path / "artifacts"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 seeds" in out
+        assert "0 failure(s)" in out
+        assert not (tmp_path / "artifacts").exists()
+
+    def test_oversubscribed_jobs_still_work(self, capsys, tmp_path):
+        code = main(
+            [
+                "fuzz", "--seeds", "2", "--scale", "0.2", "--no-model",
+                "--jobs", "16",
+                "--artifact-dir", str(tmp_path / "artifacts"),
+            ]
+        )
+        assert code == 0
+        assert "0 failure(s)" in capsys.readouterr().out
+
+    def test_unknown_protocol_exits_two(self, capsys):
+        code = main(["fuzz", "--seeds", "1", "--protocols", "mesif"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "mesif" in err
+        assert "dragon" in err  # the help lists what IS available
+
+    def test_protocol_aliases_are_not_silently_accepted(self, capsys):
+        # The fuzz sweep is keyed by oracle name, not simulator alias.
+        assert main(["fuzz", "--protocols", "snoopy"]) == 2
+        capsys.readouterr()
+
+
+class TestFuzzReplay:
+    def test_clean_artifact_reports_no_repro(self, capsys, tmp_path):
+        from repro.verify import (
+            FuzzFailure,
+            failure_artifact,
+            generate_case,
+            write_failure_artifact,
+        )
+
+        case = generate_case(1, scale=0.2)
+        failure = FuzzFailure(
+            seed=1, shape=case.shape, protocol="wti",
+            check="oracle", message="synthetic",
+        )
+        path = write_failure_artifact(
+            failure_artifact(failure, case.trace, case.config), tmp_path
+        )
+        code = main(["fuzz", "--replay", str(path)])
+        assert code == 0
+        assert "no longer reproduces" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, capsys, tmp_path):
+        code = main(
+            ["fuzz", "--replay", str(tmp_path / "does-not-exist.json")]
+        )
+        assert code == 2
+        assert "cannot replay" in capsys.readouterr().err
+
+    def test_non_artifact_json_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "something-else"}')
+        code = main(["fuzz", "--replay", str(path)])
+        assert code == 2
+        assert "cannot replay" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+class TestFuzzSmoke:
+    def test_smoke_preset_is_clean(self, capsys, tmp_path):
+        code = main(
+            ["fuzz", "--smoke", "--artifact-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert "24 seeds" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Fuzzer tests: determinism, shape coverage, structural validity."""
+
+import numpy as np
+import pytest
+
+from repro.trace.records import AccessType
+from repro.verify import SHAPES, generate_case
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 123])
+    def test_same_seed_same_case(self, seed):
+        a = generate_case(seed)
+        b = generate_case(seed)
+        assert a.shape == b.shape
+        assert a.model_comparable == b.model_comparable
+        assert a.config.cache_bytes == b.config.cache_bytes
+        assert a.config.block_bytes == b.config.block_bytes
+        assert a.config.associativity == b.config.associativity
+        assert a.trace.cpus == b.trace.cpus
+        assert a.trace.shared_region == b.trace.shared_region
+        assert np.array_equal(a.trace.cpu, b.trace.cpu)
+        assert np.array_equal(a.trace.kind, b.trace.kind)
+        assert np.array_equal(a.trace.address, b.trace.address)
+
+    def test_adjacent_seeds_differ(self):
+        # The multiplicative scrambling must decorrelate consecutive
+        # seeds; identical traces for 0 and 1 would mean it is broken.
+        a, b = generate_case(0), generate_case(1)
+        assert (
+            a.shape != b.shape
+            or not np.array_equal(a.trace.address, b.trace.address)
+        )
+
+
+class TestShapeCoverage:
+    def test_every_shape_is_reachable(self):
+        seen = set()
+        for seed in range(120):
+            seen.add(generate_case(seed, scale=0.2).shape)
+            if seen == set(SHAPES):
+                break
+        assert seen == set(SHAPES)
+
+
+class TestStructuralValidity:
+    @pytest.mark.parametrize("seed", range(24))
+    def test_columns_are_well_formed(self, seed):
+        case = generate_case(seed, scale=0.4)
+        trace = case.trace
+        assert len(trace) > 0
+        assert int(trace.cpu.max()) < trace.cpus
+        assert int(trace.kind.max()) < len(AccessType)
+        assert trace.shared_region.start <= trace.shared_region.stop
+        assert case.config.cache_bytes >= case.config.block_bytes
+
+    def test_degenerate_cpu_counts_appear(self):
+        cpu_counts = {
+            generate_case(seed, scale=0.2).trace.cpus
+            for seed in range(120)
+        }
+        assert 1 in cpu_counts, "single-cpu shape never generated"
+        assert 16 in cpu_counts, "max-cpus shape never generated"
+
+    def test_only_workload_like_is_model_comparable(self):
+        for seed in range(60):
+            case = generate_case(seed, scale=0.2)
+            assert case.model_comparable == (case.shape == "workload-like")
+
+
+class TestScale:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_scale_shrinks_traces(self, seed):
+        small = generate_case(seed, scale=0.25)
+        full = generate_case(seed, scale=1.0)
+        assert small.shape == full.shape
+        assert len(small.trace) <= len(full.trace)

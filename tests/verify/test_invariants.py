@@ -1,0 +1,74 @@
+"""Global-invariant checker: passes on real runs, catches tampering."""
+
+import pytest
+
+from repro.sim import Machine
+from repro.verify import (
+    InvariantViolation,
+    check_result_invariants,
+    generate_case,
+)
+
+PROTOCOLS = ("base", "dragon", "wti", "swflush", "nocache")
+
+
+def run(case, protocol, order="time"):
+    return Machine(protocol, case.config).run(case.trace, order=order)
+
+
+@pytest.fixture(scope="module")
+def case():
+    return generate_case(3, scale=0.5)
+
+
+class TestCleanRunsPass:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("order", ["time", "trace"])
+    def test_real_results_satisfy_all_invariants(
+        self, case, protocol, order
+    ):
+        result = run(case, protocol, order)
+        check_result_invariants(result, trace=case.trace)
+
+    def test_trace_argument_is_optional(self, case):
+        check_result_invariants(run(case, "dragon"))
+
+
+class TestTamperingIsDetected:
+    def test_clock_tampering(self, case):
+        result = run(case, "dragon")
+        result.cpus[0].clock += 1.0
+        with pytest.raises(InvariantViolation):
+            check_result_invariants(result, trace=case.trace)
+
+    def test_wait_cycle_tampering(self, case):
+        # elapsed_cycles is derived, so cheat one layer down: inflating
+        # a CPU's waits breaks exact cycle conservation.
+        result = run(case, "wti")
+        result.cpus[0].wait_cycles += 1.0
+        with pytest.raises(InvariantViolation):
+            check_result_invariants(result, trace=case.trace)
+
+    def test_miss_counter_tampering(self, case):
+        result = run(case, "swflush")
+        result.fetch_misses += 1
+        with pytest.raises(InvariantViolation, match="miss"):
+            check_result_invariants(result, trace=case.trace)
+
+    def test_shared_reference_recount(self, case):
+        result = run(case, "base")
+        result.shared_loads += 2
+        with pytest.raises(InvariantViolation, match="shared_loads"):
+            check_result_invariants(result, trace=case.trace)
+
+    def test_bus_conservation(self, case):
+        result = run(case, "dragon")
+        result.bus_busy_cycles += 1.0
+        with pytest.raises(InvariantViolation, match="bus"):
+            check_result_invariants(result, trace=case.trace)
+
+    def test_instruction_mix_against_trace(self, case):
+        result = run(case, "nocache")
+        result.cpus[0].instructions += 1
+        with pytest.raises(InvariantViolation):
+            check_result_invariants(result, trace=case.trace)

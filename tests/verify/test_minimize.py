@@ -1,0 +1,99 @@
+"""Minimizer tests against synthetic (non-simulation) predicates."""
+
+import numpy as np
+
+from repro.trace.records import AccessType, AddressRange, Trace
+from repro.verify import minimize_failing_trace, trace_prefix
+
+SHARED = AddressRange(0x800000, 0x800100)
+L, S, I = AccessType.LOAD, AccessType.STORE, AccessType.INST_FETCH
+
+
+def make_trace(records, cpus=2):
+    cpu, kind, address = zip(*records)
+    return Trace.from_arrays(
+        name="mini",
+        cpus=cpus,
+        shared_region=SHARED,
+        cpu=np.asarray(cpu, dtype=np.int64),
+        kind=np.asarray([int(k) for k in kind], dtype=np.int64),
+        address=np.asarray(address, dtype=np.uint64),
+    )
+
+
+def stores(trace) -> int:
+    return int(np.count_nonzero(trace.kind == int(AccessType.STORE)))
+
+
+class TestTracePrefix:
+    def setup_method(self):
+        self.trace = make_trace(
+            [(i % 2, L, 0x800000 + 16 * i) for i in range(10)]
+        )
+
+    def test_prefix_lengths(self):
+        assert len(trace_prefix(self.trace, 0)) == 0
+        assert len(trace_prefix(self.trace, 3)) == 3
+        assert len(trace_prefix(self.trace, 10)) == 10
+        # Out-of-range lengths clamp instead of raising.
+        assert len(trace_prefix(self.trace, 99)) == 10
+        assert len(trace_prefix(self.trace, -5)) == 0
+
+    def test_prefix_preserves_columns_and_metadata(self):
+        prefix = trace_prefix(self.trace, 4)
+        assert prefix.cpus == self.trace.cpus
+        assert prefix.shared_region == self.trace.shared_region
+        assert np.array_equal(prefix.cpu, self.trace.cpu[:4])
+        assert np.array_equal(prefix.kind, self.trace.kind[:4])
+        assert np.array_equal(prefix.address, self.trace.address[:4])
+
+
+class TestMinimizeFailingTrace:
+    def test_shrinks_to_the_two_relevant_records(self):
+        # Fails iff the trace still holds at least two stores; the
+        # 37 loads around them are noise the minimizer must delete.
+        records = [(0, L, 0x800000 + 16 * i) for i in range(40)]
+        records[5] = (0, S, 0x800050)
+        records[30] = (1, S, 0x8000E0)
+        trace = make_trace(records)
+
+        def still_fails(candidate):
+            return stores(candidate) >= 2
+
+        minimized = minimize_failing_trace(trace, still_fails)
+        assert still_fails(minimized)
+        assert len(minimized) == 2
+        assert stores(minimized) == 2
+
+    def test_always_failing_predicate_yields_single_record(self):
+        trace = make_trace([(0, L, 0x800000 + 16 * i) for i in range(32)])
+        minimized = minimize_failing_trace(trace, lambda _: True)
+        assert len(minimized) == 1
+
+    def test_zero_budget_returns_input_unchanged(self):
+        trace = make_trace([(0, S, 0x800000)] * 8)
+        minimized = minimize_failing_trace(
+            trace, lambda _: True, max_checks=0
+        )
+        assert len(minimized) == len(trace)
+        assert np.array_equal(minimized.address, trace.address)
+
+    def test_budget_is_respected(self):
+        trace = make_trace([(0, S, 0x800000)] * 64)
+        calls = [0]
+
+        def counting(candidate):
+            calls[0] += 1
+            return True
+
+        minimize_failing_trace(trace, counting, max_checks=9)
+        assert calls[0] <= 9
+
+    def test_result_never_grows(self):
+        records = [(i % 2, S if i % 3 else L, 0x800000 + 16 * i)
+                   for i in range(25)]
+        trace = make_trace(records)
+        minimized = minimize_failing_trace(
+            trace, lambda t: stores(t) >= 1
+        )
+        assert 1 <= len(minimized) <= len(trace)

@@ -1,0 +1,223 @@
+"""Mutation tests: deliberately broken protocols must be caught.
+
+Each buggy class below keeps its parent's ``name``, so the oracle for
+the *correct* protocol shadow-checks it (exactly how a regression in
+the real implementation would be seen).  The acceptance criterion:
+every injected bug is caught by the oracles, and the failure shrinks
+to a small reproduction that round-trips through a JSON artifact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.operations import Operation
+from repro.sim.cache import LineState
+from repro.sim.protocols.dragon import DragonProtocol
+from repro.sim.protocols.interface import NO_ACTION, AccessOutcome
+from repro.sim.protocols.swflush import SoftwareFlushProtocol
+from repro.sim.protocols.wti import WriteThroughInvalidateProtocol
+from repro.trace.records import AccessType, AddressRange, Trace
+from repro.verify import (
+    FuzzFailure,
+    OracleViolation,
+    failure_artifact,
+    generate_case,
+    load_failure_artifact,
+    minimize_failing_trace,
+    oracle_run,
+    replay_artifact,
+    write_failure_artifact,
+)
+from repro.verify.artifact import _rebuild
+
+L, S, I, F = (
+    AccessType.LOAD,
+    AccessType.STORE,
+    AccessType.INST_FETCH,
+    AccessType.FLUSH,
+)
+
+
+def make_trace(records, cpus, shared=AddressRange(0x800000, 0x800100)):
+    cpu, kind, address = zip(*records)
+    return Trace.from_arrays(
+        name="mutation",
+        cpus=cpus,
+        shared_region=shared,
+        cpu=np.asarray(cpu, dtype=np.int64),
+        kind=np.asarray([int(k) for k in kind], dtype=np.int64),
+        address=np.asarray(address, dtype=np.uint64),
+    )
+
+
+class BrokenWti(WriteThroughInvalidateProtocol):
+    """Bug: stores no longer invalidate remote copies."""
+
+    def access(self, cpu, kind, block):
+        cache = self.caches[cpu]
+        state = cache.lookup(block)
+        if kind is not AccessType.STORE:
+            if state is not LineState.INVALID:
+                return NO_ACTION
+            cache.insert(block, LineState.CLEAN)
+            return AccessOutcome((Operation.CLEAN_MISS_MEMORY,))
+        # The invalidation loop is missing here.
+        if state is not LineState.INVALID:
+            return AccessOutcome((Operation.WRITE_THROUGH,))
+        cache.insert(block, LineState.CLEAN)
+        return AccessOutcome(
+            (Operation.CLEAN_MISS_MEMORY, Operation.WRITE_THROUGH)
+        )
+
+
+class BrokenDragon(DragonProtocol):
+    """Bug: write-broadcast no longer demotes the remote copies."""
+
+    def _broadcast(self, cpu, block, holders):
+        self.stats.broadcasts += 1
+        self.stats.broadcast_holders += len(holders)
+        self.caches[cpu].set_state(block, LineState.SHARED_DIRTY)
+        return AccessOutcome(
+            (Operation.WRITE_BROADCAST,), steal_from=tuple(holders)
+        )
+
+
+class StingyDragon(DragonProtocol):
+    """Bug: broadcasts stop charging stolen cycles to the holders."""
+
+    def _broadcast(self, cpu, block, holders):
+        outcome = super()._broadcast(cpu, block, holders)
+        return AccessOutcome(outcome.operations, steal_from=())
+
+
+class BrokenSwflush(SoftwareFlushProtocol):
+    """Bug: dirty lines flush as if they were clean."""
+
+    def flush(self, cpu, block):
+        self.caches[cpu].invalidate(block)
+        return AccessOutcome((Operation.CLEAN_FLUSH,))
+
+
+def oracle_rejects(protocol, trace, config):
+    try:
+        oracle_run(trace, config, protocol)
+    except OracleViolation:
+        return True
+    return False
+
+
+def first_failing_fuzz_case(protocol, seeds=64, scale=0.4):
+    for seed in range(seeds):
+        case = generate_case(seed, scale=scale)
+        if oracle_rejects(protocol, case.trace, case.config):
+            return case
+    raise AssertionError(
+        f"no fuzz seed in range({seeds}) triggers {protocol.__name__}"
+    )
+
+
+class TestHandwrittenRepros:
+    """Smallest possible traces that expose each injected bug."""
+
+    def test_wti_missing_invalidation(self, config):
+        # cpu1's copy must vanish when cpu0 stores; the broken class
+        # leaves it resident, and cpu1's next (stale) read hits where
+        # the oracle's mirror demands a miss.
+        trace = make_trace(
+            [(1, L, 0x800000), (0, S, 0x800000), (1, L, 0x800000)],
+            cpus=2,
+        )
+        with pytest.raises(OracleViolation) as excinfo:
+            oracle_run(trace, config, BrokenWti, order="trace")
+        assert excinfo.value.protocol == "wti"
+
+    def test_dragon_missing_demotion(self, config):
+        # After cpu1's store-miss broadcast, cpu1 owns the block
+        # (SHARED_DIRTY).  cpu0's store hit must demote cpu1 to
+        # SHARED_CLEAN; the broken class leaves two owners.
+        trace = make_trace(
+            [(0, L, 0x800000), (1, S, 0x800000), (0, S, 0x800000)],
+            cpus=2,
+        )
+        with pytest.raises(OracleViolation) as excinfo:
+            oracle_run(trace, config, BrokenDragon, order="trace")
+        assert excinfo.value.protocol == "dragon"
+
+    def test_dragon_missing_steal_charge(self, config):
+        trace = make_trace(
+            [(0, L, 0x800000), (1, S, 0x800000), (0, S, 0x800000)],
+            cpus=2,
+        )
+        with pytest.raises(OracleViolation):
+            oracle_run(trace, config, StingyDragon, order="trace")
+
+    def test_swflush_mischarged_dirty_flush(self, config):
+        trace = make_trace(
+            [(0, S, 0x800000), (0, F, 0x800000)], cpus=1
+        )
+        with pytest.raises(OracleViolation):
+            oracle_run(trace, config, BrokenSwflush, order="trace")
+
+    def test_correct_protocols_pass_the_same_traces(self, config):
+        for records, cpus in (
+            ([(1, L, 0x800000), (0, S, 0x800000)], 2),
+            ([(0, S, 0x800000), (0, F, 0x800000)], 1),
+        ):
+            trace = make_trace(records, cpus)
+            oracle_run(trace, config, "wti", order="trace")
+            oracle_run(trace, config, "dragon", order="trace")
+            oracle_run(trace, config, "swflush", order="trace")
+
+
+@pytest.fixture
+def config():
+    from repro.sim import SimulationConfig
+
+    return SimulationConfig(
+        cache_bytes=1024, block_bytes=16, associativity=2
+    )
+
+
+class TestFuzzerCatchesAndMinimizes:
+    """The full acceptance loop: fuzz -> catch -> shrink -> artifact."""
+
+    @pytest.mark.parametrize(
+        "protocol", [BrokenWti, BrokenDragon, BrokenSwflush]
+    )
+    def test_injected_bug_is_caught_with_minimized_trace(self, protocol):
+        case = first_failing_fuzz_case(protocol)
+
+        def still_fails(trace):
+            return oracle_rejects(protocol, trace, case.config)
+
+        minimized = minimize_failing_trace(case.trace, still_fails)
+        assert still_fails(minimized)
+        assert len(minimized) < len(case.trace)
+        assert len(minimized) <= 10, (
+            f"minimizer left {len(minimized)} records"
+        )
+
+    def test_minimized_failure_round_trips_through_artifact(
+        self, tmp_path
+    ):
+        case = first_failing_fuzz_case(BrokenWti)
+
+        def still_fails(trace):
+            return oracle_rejects(BrokenWti, trace, case.config)
+
+        minimized = minimize_failing_trace(case.trace, still_fails)
+        failure = FuzzFailure(
+            seed=case.seed, shape=case.shape, protocol="wti",
+            check="oracle", message="missing invalidation (mutation)",
+        )
+        path = write_failure_artifact(
+            failure_artifact(failure, minimized, case.config), tmp_path
+        )
+        rebuilt_trace, rebuilt_config = _rebuild(
+            load_failure_artifact(path)
+        )
+        # The artifact alone reproduces the failure under the buggy
+        # class, and is clean under the shipped implementation.
+        assert still_fails(rebuilt_trace)
+        assert rebuilt_config == case.config
+        assert replay_artifact(load_failure_artifact(path)) is None

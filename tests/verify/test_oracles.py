@@ -1,0 +1,127 @@
+"""Oracle tests: correct protocols are accepted; the shadow wrapper
+is transparent; counter reconciliation catches corrupt results."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Machine
+from repro.trace.records import AccessType, AddressRange, Trace
+from repro.verify import (
+    ORACLES,
+    OracleViolation,
+    generate_case,
+    oracle_run,
+    shadow_protocol,
+    stats_signature,
+)
+
+L, S, I, F = (
+    AccessType.LOAD,
+    AccessType.STORE,
+    AccessType.INST_FETCH,
+    AccessType.FLUSH,
+)
+SHARED = AddressRange(0x800000, 0x800100)
+
+
+def make_trace(records, cpus, shared=SHARED):
+    cpu, kind, address = zip(*records)
+    return Trace.from_arrays(
+        name="oracle-test",
+        cpus=cpus,
+        shared_region=shared,
+        cpu=np.asarray(cpu, dtype=np.int64),
+        kind=np.asarray([int(k) for k in kind], dtype=np.int64),
+        address=np.asarray(address, dtype=np.uint64),
+    )
+
+
+class TestRegistry:
+    def test_covers_the_papers_protocols_plus_base(self):
+        assert set(ORACLES) == {"base", "dragon", "wti", "swflush",
+                                "nocache"}
+
+    def test_unknown_protocol_is_rejected(self):
+        with pytest.raises(ValueError, match="no oracle"):
+            shadow_protocol("directory")
+
+
+class TestCorrectProtocolsAreAccepted:
+    @pytest.mark.parametrize("protocol", sorted(ORACLES))
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5])
+    def test_fuzzed_traces_pass(self, protocol, seed):
+        case = generate_case(seed, scale=0.3)
+        oracle_run(case.trace, case.config, protocol)
+
+    @pytest.mark.parametrize("protocol", sorted(ORACLES))
+    def test_handwritten_sharing_pattern_passes(self, protocol, config):
+        # Read-share, write, migrate, flush, evict: touches every
+        # transition class in a dozen records.
+        records = [
+            (0, I, 0x40), (0, L, 0x800000),
+            (1, I, 0x4040), (1, L, 0x800000),
+            (1, S, 0x800000), (0, L, 0x800000),
+            (0, S, 0x800040), (1, L, 0x800040),
+            (0, F, 0x800000), (1, F, 0x800040),
+            (0, L, 0x100000), (0, S, 0x100000),
+        ]
+        trace = make_trace(records, cpus=2)
+        oracle_run(trace, config, protocol)
+
+    @pytest.mark.parametrize("protocol", sorted(ORACLES))
+    def test_flushing_non_resident_blocks_is_legal(self, protocol, config):
+        records = [(0, F, 0x800000), (1, F, 0x800040), (0, L, 0x800000)]
+        oracle_run(make_trace(records, cpus=2), config, protocol)
+
+
+@pytest.fixture
+def config():
+    from repro.sim import SimulationConfig
+
+    return SimulationConfig(
+        cache_bytes=1024, block_bytes=16, associativity=2
+    )
+
+
+class TestShadowTransparency:
+    @pytest.mark.parametrize("protocol", sorted(ORACLES))
+    def test_shadowed_stats_equal_plain_stats(self, protocol):
+        case = generate_case(4, scale=0.3)
+        shadowed = oracle_run(case.trace, case.config, protocol)
+        plain = Machine(protocol, case.config).run(case.trace)
+        assert stats_signature(shadowed) == stats_signature(plain)
+
+
+class TestFinalizeReconciliation:
+    def test_corrupt_counter_is_caught(self, config):
+        case = generate_case(2, scale=0.3)
+        sink = []
+        machine = Machine(shadow_protocol("dragon", sink), case.config)
+        result = machine.run(case.trace)
+        result.data_misses += 1
+        with pytest.raises(OracleViolation):
+            sink[-1].finalize(result)
+
+    def test_corrupt_operation_counts_are_caught(self, config):
+        case = generate_case(2, scale=0.3)
+        sink = []
+        machine = Machine(shadow_protocol("wti", sink), case.config)
+        result = machine.run(case.trace)
+        operation, count = next(
+            (op, count)
+            for op, count in result.operation_counts.items()
+            if count
+        )
+        result.operation_counts[operation] = count + 1
+        with pytest.raises(OracleViolation):
+            sink[-1].finalize(result)
+
+
+class TestViolationReporting:
+    def test_violation_carries_protocol_and_index(self):
+        violation = OracleViolation("wti", 8, "stale copy survived")
+        text = str(violation)
+        assert "wti" in text
+        assert "8" in text
+        assert "stale copy survived" in text
+        assert isinstance(violation, AssertionError)
