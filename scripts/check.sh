@@ -14,6 +14,15 @@ export PYTHONPATH="$repo/src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== byte-compile src/ =="
 python -m compileall -q src
 
+echo "== static guard: chunked parallel dispatch =="
+# The plain parallel path must amortise pickling by shipping work in
+# chunks; a refactor that drops chunksize silently costs ~2x on large
+# sweeps (see docs/ARCHITECTURE.md "Parallel experiment runner").
+if ! grep -q "chunksize=" src/repro/experiments/parallel.py; then
+    echo "FAIL: parallel_map no longer passes chunksize= to pool.map" >&2
+    exit 1
+fi
+
 # Coverage gate for the core simulation and trace layers, active when
 # pytest-cov is available (it is optional: [project.optional-dependencies]
 # test).  Without it the tier-1 run is identical minus the gate.
@@ -31,7 +40,9 @@ echo "== tier-1 tests =="
 python -m pytest -x -q "${cov_args[@]:+${cov_args[@]}}"
 
 echo "== fuzz smoke =="
-python -m repro.cli fuzz --smoke --artifact-dir "${TMPDIR:-/tmp}/swcc-fuzz-failures"
+python -m repro.cli fuzz --smoke \
+    --artifact-dir "${TMPDIR:-/tmp}/swcc-fuzz-failures" \
+    --manifest "${TMPDIR:-/tmp}/swcc-fuzz-manifest.jsonl"
 
 echo "== benchmark smoke (micro substrates) =="
 python -m pytest benchmarks/bench_micro.py --benchmark-only \

@@ -41,26 +41,168 @@ def _command_list(_: argparse.Namespace) -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    from repro.experiments import get_experiment, list_experiments
+def _default_manifest_path(command: str) -> str:
+    import os
+    import time
 
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return os.path.join("swcc-runs", f"{command}-{stamp}.jsonl")
+
+
+def _open_monitor(
+    command: str,
+    args: argparse.Namespace,
+    config: dict,
+    resume=None,
+):
+    """Build the run's SweepMonitor, or None with ``--no-manifest``.
+
+    The manifest gets its ``run-start`` header here; a resumed run
+    appends to the resumed manifest (and its checkpoint sidecar) so
+    one file tells the whole story.
+    """
+    from repro.obs import (
+        CheckpointWriter,
+        ManifestWriter,
+        ProgressLine,
+        SweepMonitor,
+        run_header,
+    )
+
+    if args.no_manifest:
+        return None
+    if resume is not None:
+        path = str(resume.manifest_path)
+    else:
+        path = args.manifest or _default_manifest_path(command)
+    checkpoint_path = (
+        resume.header.get("checkpoint") if resume is not None else None
+    ) or path + ".ckpt"
+    manifest = ManifestWriter(path)
+    header = run_header(command, config=config, checkpoint=checkpoint_path)
+    if resume is not None:
+        header["resumed_from"] = str(resume.manifest_path)
+    manifest.event("run-start", **header)
+    return SweepMonitor(
+        manifest=manifest,
+        checkpoint=CheckpointWriter(checkpoint_path),
+        progress=ProgressLine(),
+        resume=resume,
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments import get_experiment, list_experiments
+    from repro.obs import use_monitor
+
+    resume_state = None
+    if args.resume:
+        from repro.obs import load_resume_state
+
+        try:
+            resume_state = load_resume_state(args.resume)
+        except (OSError, ValueError) as error:
+            print(
+                f"cannot resume from {args.resume}: {error}", file=sys.stderr
+            )
+            return 2
+        stored = resume_state.header.get("config", {})
+        # The stored config wins for everything that shapes the work
+        # (sweep numbering must match the checkpoint); --jobs stays a
+        # per-invocation choice because parallelism never changes
+        # results.
+        if not args.experiment:
+            args.experiment = list(stored.get("experiments", []))
+        args.fast = bool(stored.get("fast", args.fast))
+    if not args.experiment:
+        print(
+            "swcc run: no experiments given (and no --resume manifest "
+            "to take them from)",
+            file=sys.stderr,
+        )
+        return 2
     if "all" in args.experiment:
         experiments = list_experiments()
     else:
         experiments = [get_experiment(name) for name in args.experiment]
+
+    monitor = _open_monitor(
+        "run",
+        args,
+        config={"experiments": list(args.experiment), "fast": args.fast},
+        resume=resume_state,
+    )
+    started = time.perf_counter()
     failed = []
-    for experiment in experiments:
-        result = experiment.run(fast=args.fast, jobs=args.jobs)
-        print(result.render())
-        print()
-        if args.csv_dir:
-            _write_csv(result, args.csv_dir)
-        if not result.all_checks_pass:
-            failed.append(experiment.experiment_id)
+    crashed = []
+    with use_monitor(monitor):
+        for experiment in experiments:
+            if monitor is not None:
+                monitor.note_label(experiment.experiment_id)
+                monitor.event(
+                    "experiment-start",
+                    experiment=experiment.experiment_id,
+                )
+            try:
+                result = experiment.run(fast=args.fast, jobs=args.jobs)
+            except Exception as error:
+                # Only a monitored run degrades gracefully: a crashed
+                # experiment (usually collateral of failed sweep cells)
+                # is recorded and the remaining experiments still run.
+                if monitor is None:
+                    raise
+                crashed.append(experiment.experiment_id)
+                monitor.event(
+                    "experiment-failed",
+                    experiment=experiment.experiment_id,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                print(
+                    f"experiment {experiment.experiment_id} FAILED: "
+                    f"{type(error).__name__}: {error}",
+                    file=sys.stderr,
+                )
+                continue
+            print(result.render())
+            print()
+            if monitor is not None:
+                monitor.event(
+                    "experiment-finish",
+                    experiment=experiment.experiment_id,
+                    digest=result.digest(),
+                    checks_passed=result.all_checks_pass,
+                )
+            if args.csv_dir:
+                _write_csv(result, args.csv_dir)
+            if not result.all_checks_pass:
+                failed.append(experiment.experiment_id)
+    if monitor is not None:
+        monitor.event(
+            "run-finish",
+            wall_s=round(time.perf_counter() - started, 3),
+            exit_code=1 if failed or crashed else 0,
+            cells_run=monitor.cells_run,
+            cells_cached=monitor.cells_cached,
+            cells_failed=monitor.cells_failed,
+        )
+        manifest_path = monitor.manifest.path
+        monitor.close()
+        for sweep, failure in monitor.failures:
+            print(f"cell failure (sweep {sweep}): {failure}", file=sys.stderr)
+        if monitor.failures or crashed:
+            print(
+                f"resume with: swcc run --resume {manifest_path}",
+                file=sys.stderr,
+            )
     if failed:
         print(f"shape checks FAILED in: {', '.join(failed)}", file=sys.stderr)
-        return 1
-    return 0
+    if crashed:
+        print(
+            f"experiments CRASHED: {', '.join(crashed)}", file=sys.stderr
+        )
+    return 1 if failed or crashed else 0
 
 
 def _write_csv(result, csv_dir: str) -> None:
@@ -229,7 +371,10 @@ def _command_predict(args: argparse.Namespace) -> int:
 
 
 def _command_fuzz(args: argparse.Namespace) -> int:
-    from repro.experiments.parallel import parallel_map
+    import time
+
+    from repro.experiments.parallel import CellFailure, parallel_map
+    from repro.obs import use_monitor
     from repro.verify import (
         failure_artifact,
         generate_case,
@@ -238,7 +383,7 @@ def _command_fuzz(args: argparse.Namespace) -> int:
         replay_artifact,
         write_failure_artifact,
     )
-    from repro.verify.differential import _seed_worker
+    from repro.verify.differential import seed_worker
     from repro.verify.oracles import ORACLES
 
     if args.replay:
@@ -281,9 +426,38 @@ def _command_fuzz(args: argparse.Namespace) -> int:
         (seed, scale, protocols, compare_model)
         for seed in range(args.seed_start, args.seed_start + seeds)
     ]
-    per_seed = parallel_map(_seed_worker, items, jobs=args.jobs)
+    monitor = _open_monitor(
+        "fuzz",
+        args,
+        config={
+            "seeds": seeds,
+            "seed_start": args.seed_start,
+            "scale": scale,
+            "protocols": list(protocols),
+            "compare_model": compare_model,
+        },
+    )
+    started = time.perf_counter()
+    with use_monitor(monitor):
+        if monitor is not None:
+            monitor.note_label("fuzz")
+        per_seed = parallel_map(seed_worker, items, jobs=args.jobs)
 
-    failures = [failure for batch in per_seed for failure in batch]
+    # A monitored (resilient) sweep returns a CellFailure where a seed
+    # *crashed* the checker itself — a different beast from the seed's
+    # checks reporting divergences, so keep the two populations apart.
+    failures = []
+    crashed = []
+    for item, batch in zip(items, per_seed):
+        if isinstance(batch, CellFailure):
+            crashed.append((item[0], batch))
+        else:
+            failures.extend(batch)
+    for seed, casualty in crashed:
+        print(
+            f"CRASH seed={seed}: checker died: {casualty.error}",
+            file=sys.stderr,
+        )
     for failure in failures:
         print(
             f"FAIL seed={failure.seed} shape={failure.shape} "
@@ -305,34 +479,50 @@ def _command_fuzz(args: argparse.Namespace) -> int:
             args.artifact_dir,
         )
         print(f"  artifact: {path}", file=sys.stderr)
-    clean = seeds - len({f.seed for f in failures})
-    print(
+    clean = seeds - len({f.seed for f in failures}) - len(crashed)
+    summary = (
         f"swcc fuzz: {seeds} seeds x {len(protocols)} protocols "
         f"({', '.join(protocols)}), model comparison "
         f"{'on' if compare_model else 'off'}: "
         f"{clean} clean, {len(failures)} failure(s)"
     )
-    return 1 if failures else 0
+    if crashed:
+        summary += f", {len(crashed)} crashed seed(s)"
+    print(summary)
+    exit_code = 1 if failures or crashed else 0
+    if monitor is not None:
+        monitor.event(
+            "run-finish",
+            wall_s=round(time.perf_counter() - started, 3),
+            exit_code=exit_code,
+            cells_run=monitor.cells_run,
+            cells_cached=monitor.cells_cached,
+            cells_failed=monitor.cells_failed,
+        )
+        monitor.close()
+    return exit_code
 
 
 def _jobs_count(value: str) -> int:
     """``--jobs`` argument type: a non-negative integer.
 
-    0 is an explicit "serial" (same as omitting the flag); negative
-    counts are rejected here at the CLI boundary, while the library
-    (:func:`repro.experiments.parallel.resolve_workers`) clamps any
-    request to the number of work items.
+    Validation lives in
+    :func:`repro.experiments.parallel.validate_jobs`, so the CLI and
+    the library reject the same inputs for the same reason; this shim
+    only converts the failure into argparse's error type.
     """
+    from repro.experiments.parallel import validate_jobs
+
     try:
         jobs = int(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"invalid int value: {value!r}"
         ) from None
-    if jobs < 0:
-        raise argparse.ArgumentTypeError(
-            f"--jobs must be >= 0 (0 = serial), got {jobs}"
-        )
+    try:
+        validate_jobs(jobs)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
     return jobs
 
 
@@ -351,12 +541,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run experiments")
     run_parser.add_argument(
-        "experiment", nargs="+",
-        help="experiment ids (see 'list'), or 'all'",
+        "experiment", nargs="*",
+        help="experiment ids (see 'list'), or 'all'; may be omitted "
+             "with --resume (taken from the manifest)",
     )
     run_parser.add_argument(
         "--fast", action="store_true",
         help="shrink trace-driven experiments for a quick pass",
+    )
+    run_parser.add_argument(
+        "--manifest", default="", metavar="FILE",
+        help="run-manifest path (default: swcc-runs/run-<timestamp>"
+             ".jsonl; checkpoint sidecar at <FILE>.ckpt)",
+    )
+    run_parser.add_argument(
+        "--no-manifest", action="store_true",
+        help="disable the run manifest, checkpointing, and resilient "
+             "cell execution",
+    )
+    run_parser.add_argument(
+        "--resume", default="", metavar="FILE",
+        help="resume a previous run from its manifest: completed "
+             "cells are served from the checkpoint, only missing or "
+             "failed cells re-execute (output is byte-identical to an "
+             "uninterrupted run)",
     )
     run_parser.add_argument(
         "--csv-dir", default="",
@@ -491,6 +699,15 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument(
         "--replay", default="", metavar="FILE",
         help="replay a failure artifact instead of fuzzing",
+    )
+    fuzz_parser.add_argument(
+        "--manifest", default="", metavar="FILE",
+        help="run-manifest path (default: swcc-runs/fuzz-<timestamp>"
+             ".jsonl)",
+    )
+    fuzz_parser.add_argument(
+        "--no-manifest", action="store_true",
+        help="disable the run manifest and resilient seed execution",
     )
     fuzz_parser.set_defaults(handler=_command_fuzz)
     return parser

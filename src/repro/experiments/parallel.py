@@ -8,58 +8,351 @@ result trustworthy:
 
 * the worker function must be a module-level callable and every item
   picklable, so cells can cross a process boundary;
-* results come back in input order (``ProcessPoolExecutor.map``), so a
-  parallel run is record-for-record identical to the serial one — the
-  only difference is wall-clock time.
+* results come back in input order, so a parallel run is
+  record-for-record identical to the serial one — the only difference
+  is wall-clock time.
 
 Serial execution (``jobs`` of ``None``, ``0``, or ``1``, or a single
 item) never touches multiprocessing at all, so debuggers, profilers,
 and coverage keep working on the default path.
+
+Failure semantics
+-----------------
+
+A cell that raises always surfaces as a :class:`CellExecutionError`
+naming the failing cell's index and work-item ``repr`` (the original
+exception is chained as ``__cause__`` serially, and carried as
+formatted text from worker processes) — a sweep failure is never an
+anonymous traceback from an unknown cell.  With ``resilient=True`` the
+sweep does not abort at all: each failing cell yields a
+:class:`CellFailure` value in its result slot, completed cells are
+kept, and even a worker process dying outright (OOM, segfault —
+``BrokenProcessPool``) costs only the cells that were in flight.
+
+Observability
+-------------
+
+When a :class:`repro.obs.monitor.SweepMonitor` is installed (the
+``swcc`` CLI does this), every ``parallel_map`` call is routed through
+it: cells are timed, logged to the run manifest, checkpointed as they
+complete, and — on ``--resume`` — served from a previous run's
+checkpoint instead of re-executing.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Iterable, TypeVar
 
-__all__ = ["parallel_map", "resolve_workers"]
+__all__ = [
+    "CellExecutionError",
+    "CellFailure",
+    "execute_map",
+    "parallel_map",
+    "resolve_workers",
+    "validate_jobs",
+]
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
 
 
+@dataclass(frozen=True)
+class CellFailure:
+    """One sweep cell's failure, captured as a value (resilient mode).
+
+    Attributes:
+        index: position of the failing cell in the sweep's work list.
+        item: ``repr`` of the work item (never the item itself, which
+            may not outlive the worker).
+        error: ``"ExceptionType: message"`` of what the cell raised,
+            or a description of the worker's death.
+        traceback: formatted traceback from the executing process
+            (empty when the worker died before it could format one).
+    """
+
+    index: int
+    item: str
+    error: str
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        return f"cell {self.index} ({self.item}): {self.error}"
+
+
+class CellExecutionError(RuntimeError):
+    """A sweep cell raised; carries which cell and what it was running.
+
+    Raised in non-resilient mode in place of the cell's bare
+    exception so a 500-cell sweep failure is attributable.  Picklable
+    (it crosses the worker/parent process boundary).
+    """
+
+    def __init__(self, index: int, item: str, error: str, tb: str = ""):
+        super().__init__(f"sweep cell {index} ({item}) failed: {error}")
+        self.index = index
+        self.item = item
+        self.error = error
+        self.worker_traceback = tb
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.index, self.item, self.error, self.worker_traceback),
+        )
+
+    def as_failure(self) -> CellFailure:
+        return CellFailure(
+            index=self.index,
+            item=self.item,
+            error=self.error,
+            traceback=self.worker_traceback,
+        )
+
+
+def validate_jobs(jobs: int | None) -> int | None:
+    """Validate a ``jobs`` request; returns it unchanged.
+
+    ``None``/``0``/``1`` mean serial; values above 1 request that many
+    workers.  Negative values are a contradiction (not a "more serial
+    than serial") and raise — both the CLI ``--jobs`` type and
+    :func:`resolve_workers` funnel through here, so the library and
+    the command line reject the same inputs with the same message.
+
+    Raises:
+        ValueError: if ``jobs`` is negative.
+    """
+    if jobs is not None and jobs < 0:
+        raise ValueError(
+            f"jobs must be >= 0 (None/0/1 = serial), got {jobs}"
+        )
+    return jobs
+
+
 def resolve_workers(jobs: int | None, items: int) -> int:
     """Worker-process count for ``jobs`` requested over ``items`` cells.
 
-    ``None``/``0``/``1`` (and negative values) mean serial; otherwise
-    the explicit request is honoured (like ``make -j``, even past the
-    CPU count — the OS time-slices), capped only by the number of
-    items, since idle workers are pure startup cost.
+    ``None``/``0``/``1`` mean serial; otherwise the explicit request
+    is honoured (like ``make -j``, even past the CPU count — the OS
+    time-slices), capped only by the number of items, since idle
+    workers are pure startup cost.
+
+    Raises:
+        ValueError: if ``jobs`` is negative (see :func:`validate_jobs`).
     """
+    validate_jobs(jobs)
     if jobs is None or jobs <= 1 or items <= 1:
         return 1
     return min(jobs, items)
+
+
+def _chunk_size(items: int, workers: int) -> int:
+    """Cells per IPC message on the chunked fast path.
+
+    Aiming for ~4 chunks per worker keeps the pool load-balanced while
+    ensuring many-small-cell sweeps (hundreds of sub-millisecond
+    cells) do not serialize on one pickle round-trip per cell.
+    """
+    return max(1, items // (workers * 4))
+
+
+def _describe(error: BaseException) -> str:
+    return f"{type(error).__name__}: {error}"
+
+
+def _indexed_call(task: tuple) -> object:
+    """Worker shim: run one cell, attributing any failure to it."""
+    fn, index, item = task
+    try:
+        return fn(item)
+    except Exception as error:
+        raise CellExecutionError(
+            index, repr(item), _describe(error), traceback.format_exc()
+        ) from error
+
+
+def _instrumented_call(task: tuple) -> tuple:
+    """Worker shim: like :func:`_indexed_call`, plus cell metrics."""
+    from repro.obs.metrics import measure_call
+
+    fn, index, item = task
+    try:
+        return measure_call(fn, item)
+    except Exception as error:
+        raise CellExecutionError(
+            index, repr(item), _describe(error), traceback.format_exc()
+        ) from error
 
 
 def parallel_map(
     fn: Callable[[_ItemT], _ResultT],
     items: Iterable[_ItemT],
     jobs: int | None = None,
-) -> list[_ResultT]:
+    *,
+    resilient: bool = False,
+    on_cell_done: Callable[[int, _ItemT, object], None] | None = None,
+) -> list:
     """``[fn(item) for item in items]``, optionally across processes.
 
     Args:
         fn: module-level (picklable) worker function.
         items: picklable work items.
         jobs: requested parallelism; see :func:`resolve_workers`.
+        resilient: capture each cell's exception as a
+            :class:`CellFailure` in its result slot instead of
+            aborting the sweep; completed cells are always returned.
+        on_cell_done: called as ``on_cell_done(index, item, outcome)``
+            the moment each cell completes (completion order, not
+            input order) — the checkpointing hook.
 
     Returns:
-        Results in the same order as ``items``, regardless of which
-        worker finished first.
+        Results in the same order as ``items``.  In resilient mode,
+        failed cells hold :class:`CellFailure` values.
+
+    Raises:
+        CellExecutionError: in non-resilient mode, when a cell raises.
     """
     work = list(items)
+    from repro.obs.monitor import current_monitor
+
+    monitor = current_monitor()
+    if monitor is not None:
+        return monitor.run_sweep(
+            fn, work, jobs, resilient=resilient, on_cell_done=on_cell_done
+        )
+    done_hook = None
+    if on_cell_done is not None:
+        def done_hook(index, item, outcome, _metrics):
+            on_cell_done(index, item, outcome)
+    return execute_map(
+        fn, work, jobs, resilient=resilient, on_cell_done=done_hook
+    )
+
+
+def execute_map(
+    fn: Callable[[_ItemT], _ResultT],
+    work: list,
+    jobs: int | None = None,
+    *,
+    resilient: bool = False,
+    collect_metrics: bool = False,
+    on_cell_start: Callable[[int, _ItemT], None] | None = None,
+    on_cell_done: Callable | None = None,
+) -> list:
+    """The execution core under :func:`parallel_map` (monitor-free).
+
+    ``collect_metrics=True`` measures each cell in its executing
+    process (wall time, records replayed, peak RSS) and passes the
+    :class:`~repro.obs.metrics.CellMetrics` as a fourth argument to
+    ``on_cell_done(index, item, outcome, metrics)``; without it the
+    callback receives ``metrics=None``.  Returned outcomes never
+    include the metrics.
+    """
     workers = resolve_workers(jobs, len(work))
     if workers == 1:
-        return [fn(item) for item in work]
+        return _execute_serial(
+            fn, work, resilient, collect_metrics, on_cell_start,
+            on_cell_done,
+        )
+    if resilient or collect_metrics or on_cell_start or on_cell_done:
+        return _execute_submit(
+            fn, work, workers, resilient, collect_metrics, on_cell_start,
+            on_cell_done,
+        )
+    # Plain fast path: chunked dispatch (one IPC round-trip per chunk,
+    # not per cell), failures still attributed by the worker shim.
+    tasks = [(fn, index, item) for index, item in enumerate(work)]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, work))
+        return list(
+            pool.map(
+                _indexed_call,
+                tasks,
+                chunksize=_chunk_size(len(tasks), workers),
+            )
+        )
+
+
+def _execute_serial(
+    fn, work, resilient, collect_metrics, on_cell_start, on_cell_done
+) -> list:
+    from repro.obs.metrics import measure_call
+
+    results = []
+    for index, item in enumerate(work):
+        if on_cell_start is not None:
+            on_cell_start(index, item)
+        metrics = None
+        try:
+            if collect_metrics:
+                outcome, metrics = measure_call(fn, item)
+            else:
+                outcome = fn(item)
+        except Exception as error:
+            if not resilient:
+                raise CellExecutionError(
+                    index, repr(item), _describe(error),
+                    traceback.format_exc(),
+                ) from error
+            outcome = CellFailure(
+                index=index,
+                item=repr(item),
+                error=_describe(error),
+                traceback=traceback.format_exc(),
+            )
+        if on_cell_done is not None:
+            on_cell_done(index, item, outcome, metrics)
+        results.append(outcome)
+    return results
+
+
+def _execute_submit(
+    fn, work, workers, resilient, collect_metrics, on_cell_start,
+    on_cell_done,
+) -> list:
+    """Per-cell futures: required for resilience and per-cell hooks.
+
+    Unlike ``pool.map``, a broken pool (worker OOM/segfault) here
+    costs only the unfinished cells: everything already completed has
+    its result, and in resilient mode the casualties become
+    :class:`CellFailure` values.
+    """
+    call = _instrumented_call if collect_metrics else _indexed_call
+    results: list = [None] * len(work)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {}
+        for index, item in enumerate(work):
+            if on_cell_start is not None:
+                on_cell_start(index, item)
+            futures[pool.submit(call, (fn, index, item))] = (index, item)
+        for future in as_completed(futures):
+            index, item = futures[future]
+            metrics = None
+            try:
+                value = future.result()
+                if collect_metrics:
+                    outcome, metrics = value
+                else:
+                    outcome = value
+            except CellExecutionError as error:
+                if not resilient:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+                outcome = error.as_failure()
+            except BrokenProcessPool:
+                if not resilient:
+                    raise
+                outcome = CellFailure(
+                    index=index,
+                    item=repr(item),
+                    error=(
+                        "BrokenProcessPool: worker process died before "
+                        "the cell finished (out of memory or crashed)"
+                    ),
+                )
+            results[index] = outcome
+            if on_cell_done is not None:
+                on_cell_done(index, item, outcome, metrics)
+    return results

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -116,6 +117,16 @@ class ExperimentResult:
 
     def add_check(self, name: str, passed: bool, detail: str = "") -> None:
         self.checks.append(Check(name=name, passed=passed, detail=detail))
+
+    def digest(self) -> str:
+        """Content digest of the rendered report.
+
+        Recorded in run manifests so two runs (e.g. a clean run and a
+        ``--resume``) can be compared for byte-identical output
+        without storing the report itself.
+        """
+        rendered = self.render().encode("utf-8")
+        return "sha256:" + hashlib.sha256(rendered).hexdigest()
 
     def render(self, chart_width: int = 72, chart_height: int = 20) -> str:
         """Full text report: title, chart, tables, checks, notes."""

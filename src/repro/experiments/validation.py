@@ -16,7 +16,7 @@ from functools import lru_cache
 from typing import Sequence
 
 from repro.core import BASE, DRAGON, BusSystem, CoherenceScheme
-from repro.experiments.parallel import parallel_map
+from repro.experiments.parallel import CellFailure, parallel_map
 from repro.experiments.registry import register
 from repro.experiments.result import ExperimentResult, Series, TableData
 from repro.sim import Machine, SimulationConfig, measure_workload_params
@@ -128,9 +128,19 @@ def model_vs_simulation(
         for cache_bytes in cache_sizes
     ]
     cell_points = parallel_map(_sweep_cell, cells, jobs)
+    # Under a resilient monitor (``swcc run``) a crashed cell comes
+    # back as a CellFailure value instead of aborting the sweep: render
+    # every completed cell and report the casualties as a failing
+    # check.  A clean run takes neither branch, so its output is
+    # untouched (the resume byte-identity guarantee depends on this).
+    failures = [
+        outcome for outcome in cell_points if isinstance(outcome, CellFailure)
+    ]
     rows = []
     worst = 0.0
     for cell, points in zip(cells, cell_points):
+        if isinstance(points, CellFailure):
+            continue
         workload, protocol, cache_bytes = cell[:3]
         tag = _series_tag(
             workload, protocol, cache_bytes,
@@ -180,6 +190,13 @@ def model_vs_simulation(
         f"worst relative error {100 * worst:.1f}% "
         f"(budget {100 * error_budget:.0f}%)",
     )
+    if failures:
+        result.add_check(
+            "sweep-cells-complete",
+            False,
+            f"{len(failures)}/{len(cells)} cells failed: "
+            + "; ".join(str(failure) for failure in failures),
+        )
     return result
 
 

@@ -1,0 +1,73 @@
+"""Run observability and resilient execution (``repro.obs``).
+
+The subsystem the sweep layer reports into: JSONL run manifests
+(:mod:`~repro.obs.manifest`), incremental result checkpoints
+(:mod:`~repro.obs.checkpoint`), per-cell execution metrics
+(:mod:`~repro.obs.metrics`), a live progress line
+(:mod:`~repro.obs.progress`), and the :class:`SweepMonitor` that ties
+them together and implements ``swcc run --resume``
+(:mod:`~repro.obs.monitor`).
+
+Layering: ``repro.obs.metrics`` imports nothing from the rest of
+``repro`` (so even ``repro.sim`` may report into it), and the monitor
+is installed via a context variable, so no experiment or sweep
+signature changes to become observable.
+"""
+
+from repro.obs.checkpoint import (
+    CheckpointEntry,
+    CheckpointWriter,
+    decode_payload,
+    encode_payload,
+    load_checkpoint,
+    payload_digest,
+)
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_VERSION,
+    ManifestWriter,
+    git_state,
+    load_manifest,
+    run_header,
+)
+from repro.obs.metrics import (
+    CellMetrics,
+    measure_call,
+    note_replay,
+    peak_rss_kb,
+    replay_counters,
+)
+from repro.obs.monitor import (
+    ResumeState,
+    SweepMonitor,
+    current_monitor,
+    load_resume_state,
+    use_monitor,
+)
+from repro.obs.progress import ProgressLine
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_VERSION",
+    "CellMetrics",
+    "CheckpointEntry",
+    "CheckpointWriter",
+    "ManifestWriter",
+    "ProgressLine",
+    "ResumeState",
+    "SweepMonitor",
+    "current_monitor",
+    "decode_payload",
+    "encode_payload",
+    "git_state",
+    "load_checkpoint",
+    "load_manifest",
+    "load_resume_state",
+    "measure_call",
+    "note_replay",
+    "payload_digest",
+    "peak_rss_kb",
+    "replay_counters",
+    "run_header",
+    "use_monitor",
+]

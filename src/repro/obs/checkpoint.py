@@ -1,0 +1,143 @@
+"""Incremental sweep checkpoints: completed cell results, on disk.
+
+The checkpoint is the manifest's sidecar (``<manifest>.ckpt``): one
+JSONL record per *completed* sweep cell, appended and flushed the
+moment the cell finishes, so a run killed mid-sweep loses only its
+in-flight cells.  Each record carries the cell's coordinates, the
+``repr`` of its work item (a fingerprint that guards resume against
+configuration drift), and the pickled result:
+
+.. code-block:: json
+
+    {"sweep": 0, "cell": 3, "item": "('pops', 'base', 65536, ...)",
+     "digest": "sha256:4f0c...", "payload": "<base64 pickle>"}
+
+Pickle round-trips every Python float bit-for-bit, which is what lets
+``swcc run --resume`` promise *byte-identical* final output to an
+uninterrupted run: cached cells are the same values, not re-parsed
+approximations.  Like the manifest, a truncated final record (killed
+writer) is tolerated on load; duplicate coordinates resolve to the
+last record written (a resumed run may re-checkpoint a cell).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO
+
+__all__ = [
+    "CheckpointEntry",
+    "CheckpointWriter",
+    "decode_payload",
+    "encode_payload",
+    "load_checkpoint",
+    "payload_digest",
+]
+
+
+def encode_payload(result: object) -> bytes:
+    """Pickle a cell result for checkpointing (values round-trip)."""
+    return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_payload(payload: bytes) -> object:
+    return pickle.loads(payload)
+
+
+def payload_digest(payload: bytes) -> str:
+    """Stable content digest of a cell result's encoded payload."""
+    return "sha256:" + hashlib.sha256(payload).hexdigest()
+
+
+@dataclass(frozen=True)
+class CheckpointEntry:
+    """One completed cell as recovered from a checkpoint file."""
+
+    sweep: int
+    cell: int
+    item: str
+    digest: str
+    payload: bytes
+
+    def result(self) -> object:
+        return decode_payload(self.payload)
+
+
+class CheckpointWriter:
+    """Appends completed-cell records, flushing per record."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream: IO[str] | None = open(
+            self.path, "a", encoding="utf-8"
+        )
+
+    def record(
+        self, sweep: int, cell: int, item: str, payload: bytes
+    ) -> str:
+        """Checkpoint one completed cell; returns the payload digest."""
+        digest = payload_digest(payload)
+        if self._stream is not None:
+            line = json.dumps(
+                {
+                    "sweep": sweep,
+                    "cell": cell,
+                    "item": item,
+                    "digest": digest,
+                    "payload": base64.b64encode(payload).decode("ascii"),
+                }
+            )
+            self._stream.write(line + "\n")
+            self._stream.flush()
+        return digest
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_checkpoint(
+    path: str | Path,
+) -> dict[tuple[int, int], CheckpointEntry]:
+    """Completed cells by ``(sweep, cell)``; empty if the file is absent.
+
+    Tolerates a truncated final line; later duplicates win.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    lines = path.read_text(encoding="utf-8").splitlines()
+    entries: dict[tuple[int, int], CheckpointEntry] = {}
+    for number, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            entry = CheckpointEntry(
+                sweep=int(record["sweep"]),
+                cell=int(record["cell"]),
+                item=str(record["item"]),
+                digest=str(record["digest"]),
+                payload=base64.b64decode(record["payload"]),
+            )
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+            if number == len(lines) - 1:
+                break
+            raise ValueError(
+                f"{path}:{number + 1}: corrupt checkpoint record"
+            ) from None
+        entries[(entry.sweep, entry.cell)] = entry
+    return entries

@@ -1,0 +1,125 @@
+"""Per-cell execution metrics: wall time, replay throughput, peak RSS.
+
+This module sits *below* every other ``repro`` package (it imports
+nothing from them), so the simulator can report into it without
+creating a layering cycle: :meth:`repro.sim.machine.Machine.run` calls
+:func:`note_replay` once per run — one function call per *run*, not
+per record, so the overhead on the committed micro-benchmarks is
+unmeasurable — and the sweep layer brackets each worker call with
+:func:`measure_call` to turn those counters into a
+:class:`CellMetrics`.
+
+The counters are process-global on purpose: sweep cells run in worker
+processes, and each worker measures its own cells against its own
+counters, so no cross-process synchronisation is needed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+__all__ = [
+    "CellMetrics",
+    "measure_call",
+    "note_replay",
+    "peak_rss_kb",
+    "replay_counters",
+]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+#: Records replayed and last engine used in *this* process, updated by
+#: ``Machine.run``.  Read via :func:`replay_counters`.
+_records_replayed = 0
+_last_engine = ""
+
+
+def note_replay(records: int, engine: str) -> None:
+    """Record that a simulation replayed ``records`` with ``engine``.
+
+    Called by :meth:`repro.sim.machine.Machine.run` once per run.
+    """
+    global _records_replayed, _last_engine
+    _records_replayed += records
+    _last_engine = engine
+
+
+def replay_counters() -> tuple[int, str]:
+    """``(records_replayed, last_engine)`` for this process so far."""
+    return _records_replayed, _last_engine
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in kilobytes.
+
+    Returns 0 where :mod:`resource` is unavailable (non-POSIX).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only fallback
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        peak //= 1024
+    return int(peak)
+
+
+@dataclass(frozen=True)
+class CellMetrics:
+    """What one sweep cell cost to execute.
+
+    Attributes:
+        wall_s: wall-clock seconds spent in the cell's worker function.
+        records: trace records replayed by simulations inside the cell
+            (0 for cells that never touch the simulator).
+        engine: replay engine of the cell's last simulation run
+            (``""`` if none ran).
+        peak_rss_kb: peak resident set size of the executing process,
+            in KB.  This is a process-lifetime high-water mark, so for
+            a worker that has already run larger cells it bounds, not
+            measures, the cell's own footprint.
+    """
+
+    wall_s: float
+    records: int
+    engine: str
+    peak_rss_kb: int
+
+    @property
+    def records_per_s(self) -> float:
+        """Replay throughput of the cell (0.0 when nothing replayed)."""
+        if self.wall_s <= 0.0 or self.records == 0:
+            return 0.0
+        return self.records / self.wall_s
+
+    def as_dict(self) -> dict:
+        """JSON-ready form, as embedded in manifest cell events."""
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "records": self.records,
+            "records_per_s": round(self.records_per_s, 1),
+            "engine": self.engine,
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+
+
+def measure_call(
+    fn: Callable[[_ItemT], _ResultT], item: _ItemT
+) -> tuple[_ResultT, CellMetrics]:
+    """Run ``fn(item)`` and measure it into a :class:`CellMetrics`."""
+    records_before, _ = replay_counters()
+    started = time.perf_counter()
+    result = fn(item)
+    wall_s = time.perf_counter() - started
+    records_after, engine = replay_counters()
+    records = records_after - records_before
+    return result, CellMetrics(
+        wall_s=wall_s,
+        records=records,
+        engine=engine if records else "",
+        peak_rss_kb=peak_rss_kb(),
+    )

@@ -1,0 +1,296 @@
+"""The sweep monitor: manifests, checkpoints, progress, and resume.
+
+:class:`SweepMonitor` is the object the CLI threads through a run.  It
+is installed with :func:`use_monitor` (a :mod:`contextvars` scope, so
+no experiment-runner signature has to change) and intercepted by
+:func:`repro.experiments.parallel.parallel_map`: every sweep a run
+executes — whichever layer issues it — is observed, checkpointed, and
+made resumable without the sweep code knowing.
+
+Responsibilities per sweep:
+
+* emit ``sweep-start`` / ``cell-start`` / ``cell-finish`` /
+  ``cell-failed`` / ``sweep-finish`` manifest events with per-cell
+  wall time, replay throughput, peak RSS, engine, and result digest;
+* append each completed cell's pickled result to the checkpoint the
+  moment it finishes;
+* in resilient mode (the CLI default), convert per-cell exceptions to
+  :class:`~repro.experiments.parallel.CellFailure` values instead of
+  aborting the pool, so one bad cell cannot discard its neighbours;
+* on resume, serve cells recorded in a previous run's checkpoint from
+  disk (``cell-cached`` events) and execute only what is missing or
+  failed.  Cached results are pickle round-trips of the original
+  values, so a completed resume renders byte-identical output to an
+  uninterrupted run.
+
+Sweeps are numbered in execution order, which is deterministic for a
+fixed command line; the work-item ``repr`` stored with every
+checkpoint record guards against a resume whose configuration drifted.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.obs.checkpoint import (
+    CheckpointEntry,
+    CheckpointWriter,
+    encode_payload,
+    load_checkpoint,
+    payload_digest,
+)
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    ManifestWriter,
+    load_manifest,
+)
+from repro.obs.metrics import CellMetrics
+from repro.obs.progress import ProgressLine
+
+__all__ = [
+    "ResumeState",
+    "SweepMonitor",
+    "current_monitor",
+    "load_resume_state",
+    "use_monitor",
+]
+
+_ACTIVE: ContextVar["SweepMonitor | None"] = ContextVar(
+    "swcc_sweep_monitor", default=None
+)
+
+
+def current_monitor() -> "SweepMonitor | None":
+    """The monitor installed for the current context, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_monitor(monitor: "SweepMonitor | None") -> Iterator[None]:
+    """Install ``monitor`` for the duration of the ``with`` block."""
+    token = _ACTIVE.set(monitor)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)
+
+
+@dataclass(frozen=True)
+class ResumeState:
+    """What a previous run left behind: its header and its cells."""
+
+    manifest_path: Path
+    header: dict
+    cells: dict[tuple[int, int], CheckpointEntry]
+
+
+def load_resume_state(manifest_path: str | Path) -> ResumeState:
+    """Parse a manifest and its checkpoint into a :class:`ResumeState`.
+
+    Raises:
+        ValueError: if the file is not a run manifest or carries no
+            run header.
+    """
+    manifest_path = Path(manifest_path)
+    events = load_manifest(manifest_path)
+    headers = [e for e in events if e.get("event") == "run-start"]
+    if not headers:
+        raise ValueError(f"{manifest_path}: no run-start header found")
+    header = headers[-1]
+    if header.get("format") != MANIFEST_FORMAT:
+        raise ValueError(f"{manifest_path}: not a {MANIFEST_FORMAT} file")
+    checkpoint = header.get("checkpoint")
+    cells = load_checkpoint(checkpoint) if checkpoint else {}
+    return ResumeState(
+        manifest_path=manifest_path, header=header, cells=cells
+    )
+
+
+class SweepMonitor:
+    """Observes every ``parallel_map`` sweep inside its context.
+
+    Args:
+        manifest: event sink (None = no manifest).
+        checkpoint: completed-cell sink (None = no checkpointing).
+        progress: live progress line (None = silent).
+        resume: a previous run's state; matching cells are served from
+            its checkpoint instead of re-executing.
+        resilient: capture per-cell exceptions as ``CellFailure``
+            values instead of letting them abort the sweep.
+    """
+
+    def __init__(
+        self,
+        manifest: ManifestWriter | None = None,
+        checkpoint: CheckpointWriter | None = None,
+        progress: ProgressLine | None = None,
+        resume: ResumeState | None = None,
+        resilient: bool = True,
+    ):
+        self.manifest = manifest
+        self.checkpoint = checkpoint
+        self.progress = progress
+        self.resume = resume
+        self.resilient = resilient
+        self.label = ""
+        self.failures: list = []
+        self.cells_run = 0
+        self.cells_cached = 0
+        self.cells_failed = 0
+        self._sweep = -1
+
+    # -- event plumbing --------------------------------------------------
+
+    def event(self, event: str, **fields) -> None:
+        """Append an event to the manifest, if one is attached."""
+        if self.manifest is not None:
+            self.manifest.event(event, **fields)
+
+    def note_label(self, label: str) -> None:
+        """Set the progress/sweep label (e.g. the experiment id)."""
+        self.label = label
+
+    def close(self) -> None:
+        if self.progress is not None:
+            self.progress.finish()
+        if self.checkpoint is not None:
+            self.checkpoint.close()
+        if self.manifest is not None:
+            self.manifest.close()
+
+    # -- the sweep interception ------------------------------------------
+
+    def run_sweep(
+        self,
+        fn: Callable,
+        work: list,
+        jobs: int | None,
+        resilient: bool = False,
+        on_cell_done: Callable | None = None,
+    ) -> list:
+        """Execute one sweep under observation (see module docstring)."""
+        from repro.experiments.parallel import CellFailure, execute_map
+
+        self._sweep += 1
+        sweep = self._sweep
+        total = len(work)
+        label = self.label or f"sweep {sweep}"
+        self.event(
+            "sweep-start", sweep=sweep, cells=total, label=self.label
+        )
+        resilient = resilient or self.resilient
+
+        results: list = [None] * total
+        done = 0
+        cached = 0
+        pending_ids: list[int] = []
+        pending_items: list = []
+        for index, item in enumerate(work):
+            entry = (
+                self.resume.cells.get((sweep, index))
+                if self.resume is not None
+                else None
+            )
+            if entry is not None and entry.item == repr(item):
+                results[index] = entry.result()
+                cached += 1
+                done += 1
+                self.event(
+                    "cell-cached",
+                    sweep=sweep,
+                    cell=index,
+                    item=entry.item,
+                    digest=entry.digest,
+                )
+            else:
+                pending_ids.append(index)
+                pending_items.append(item)
+        self.cells_cached += cached
+        if self.progress is not None and cached:
+            self.progress.update(done, total, label)
+
+        ok = 0
+        failed = 0
+
+        def cell_start(position: int, item: object) -> None:
+            self.event(
+                "cell-start",
+                sweep=sweep,
+                cell=pending_ids[position],
+                item=repr(item),
+            )
+
+        def cell_done(
+            position: int,
+            item: object,
+            outcome: object,
+            metrics: CellMetrics | None,
+        ) -> None:
+            nonlocal done, ok, failed
+            index = pending_ids[position]
+            done += 1
+            if isinstance(outcome, CellFailure):
+                failed += 1
+                self.event(
+                    "cell-failed",
+                    sweep=sweep,
+                    cell=index,
+                    item=outcome.item,
+                    error=outcome.error,
+                    traceback=outcome.traceback,
+                )
+            else:
+                ok += 1
+                payload = encode_payload(outcome)
+                if self.checkpoint is not None:
+                    digest = self.checkpoint.record(
+                        sweep, index, repr(item), payload
+                    )
+                else:
+                    digest = payload_digest(payload)
+                fields = metrics.as_dict() if metrics is not None else {}
+                self.event(
+                    "cell-finish",
+                    sweep=sweep,
+                    cell=index,
+                    digest=digest,
+                    **fields,
+                )
+            if self.progress is not None:
+                self.progress.update(done, total, label)
+            if on_cell_done is not None:
+                on_cell_done(index, item, outcome)
+
+        outcomes = execute_map(
+            fn,
+            pending_items,
+            jobs,
+            resilient=resilient,
+            collect_metrics=True,
+            on_cell_start=cell_start,
+            on_cell_done=cell_done,
+        )
+        for position, outcome in enumerate(outcomes):
+            index = pending_ids[position]
+            if isinstance(outcome, CellFailure):
+                # execute_map numbered the pending subset; restore the
+                # cell's coordinates in the full sweep.
+                outcome = replace(outcome, index=index)
+                self.failures.append((sweep, outcome))
+            results[index] = outcome
+        self.cells_run += ok
+        self.cells_failed += failed
+        if self.progress is not None:
+            self.progress.update(done, total, label, force=True)
+        self.event(
+            "sweep-finish",
+            sweep=sweep,
+            ok=ok,
+            failed=failed,
+            cached=cached,
+        )
+        return results

@@ -1,0 +1,68 @@
+"""A single live progress line for long sweeps.
+
+Writes ``\\r``-rewritten status to stderr while a sweep runs, e.g.::
+
+    [figure3] 117/500 cells  3.4 cell/s  eta 112s
+
+The line only appears when stderr is a terminal (or when forced), so
+piped and CI output stays clean; updates are rate-limited so a sweep
+of thousands of sub-millisecond cells does not spend its time painting
+the terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO
+
+__all__ = ["ProgressLine"]
+
+
+class ProgressLine:
+    """Rewrites one status line in place on a terminal stream."""
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        enabled: bool | None = None,
+        min_interval_s: float = 0.1,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            enabled = bool(isatty and isatty())
+        self.enabled = enabled
+        self.min_interval_s = min_interval_s
+        self._started = time.monotonic()
+        self._last_paint = 0.0
+        self._last_width = 0
+
+    def update(
+        self, done: int, total: int, label: str = "", force: bool = False
+    ) -> None:
+        """Repaint the line for ``done`` of ``total`` cells finished."""
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_paint < self.min_interval_s:
+            return
+        self._last_paint = now
+        elapsed = now - self._started
+        rate = done / elapsed if elapsed > 0.0 else 0.0
+        eta = (total - done) / rate if rate > 0.0 and total >= done else 0.0
+        prefix = f"[{label}] " if label else ""
+        text = f"{prefix}{done}/{total} cells  {rate:.1f} cell/s"
+        if 0 < done < total:
+            text += f"  eta {eta:.0f}s"
+        padding = " " * max(self._last_width - len(text), 0)
+        self._last_width = len(text)
+        self.stream.write("\r" + text + padding)
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Terminate the line (newline) if anything was painted."""
+        if self.enabled and self._last_width:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._last_width = 0

@@ -43,6 +43,7 @@ Replay engines
 from __future__ import annotations
 
 import heapq
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from itertools import repeat
@@ -50,6 +51,7 @@ from itertools import repeat
 import numpy as np
 
 from repro.core.operations import CostTable, Operation
+from repro.obs.metrics import note_replay
 from repro.sim.bus import TimedBus
 from repro.sim.cache import Cache, CacheGeometry, LineState
 from repro.sim.protocols import Protocol, protocol_class
@@ -140,6 +142,13 @@ class SimulationResult:
     bus_busy_cycles: float = 0.0
     bus_transactions: int = 0
     protocol_stats: object | None = None
+    # Run provenance (not statistics): which engine replayed the trace,
+    # how many records it consumed, and the host wall time it took.
+    # Excluded from ``repro.verify.differential.stats_signature`` so
+    # engine-equivalence checks compare simulation outcomes only.
+    engine: str = ""
+    records_replayed: int = 0
+    run_wall_s: float = 0.0
 
     # -- reference mix -----------------------------------------------------
 
@@ -308,6 +317,7 @@ class Machine:
             config=self.config,
             cpus=[CpuStats() for _ in range(trace.cpus)],
         )
+        started = time.perf_counter()
         if engine == "columnar":
             self._run_columnar(
                 trace, order, caches, protocol, bus, result,
@@ -321,6 +331,10 @@ class Machine:
         result.bus_busy_cycles = bus.busy_cycles
         result.bus_transactions = bus.transactions
         result.protocol_stats = getattr(protocol, "stats", None)
+        result.engine = engine
+        result.records_replayed = len(trace)
+        result.run_wall_s = time.perf_counter() - started
+        note_replay(len(trace), engine)
         return result
 
     # -- columnar engine (default) --------------------------------------

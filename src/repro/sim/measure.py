@@ -17,6 +17,8 @@ module reproduces that flow:
 
 from __future__ import annotations
 
+import math
+
 from repro.core.params import WorkloadParams
 from repro.sim.machine import Machine, SimulationConfig, SimulationResult
 from repro.sim.protocols.dragon import DragonStats
@@ -56,19 +58,29 @@ def measure_workload_params(
     trace_stats = collect_stats(trace)
     dragon = simulation.protocol_stats
 
-    def probability(value: float) -> float:
-        return min(max(value, 0.0), 1.0)
+    def finite(name: str, value: float) -> float:
+        # NaN slips through min/max clamps unchanged (every comparison
+        # with NaN is false), so a corrupt measurement would silently
+        # poison the model downstream.  Reject it here, by name.
+        if not math.isfinite(value):
+            raise ValueError(
+                f"measured parameter {name!r} is not finite: {value!r}"
+            )
+        return value
+
+    def probability(name: str, value: float) -> float:
+        return min(max(finite(name, value), 0.0), 1.0)
 
     return WorkloadParams(
-        ls=probability(trace_stats.ls),
-        msdat=probability(simulation.data_miss_rate),
-        mains=probability(simulation.instruction_miss_rate),
-        md=probability(simulation.dirty_victim_fraction),
-        shd=probability(trace_stats.shd),
-        wr=probability(trace_stats.wr),
-        apl=max(trace_stats.apl, 1.0),
-        mdshd=probability(trace_stats.mdshd),
-        oclean=probability(dragon.oclean),
-        opres=probability(dragon.opres),
-        nshd=max(dragon.nshd, 0.0),
+        ls=probability("ls", trace_stats.ls),
+        msdat=probability("msdat", simulation.data_miss_rate),
+        mains=probability("mains", simulation.instruction_miss_rate),
+        md=probability("md", simulation.dirty_victim_fraction),
+        shd=probability("shd", trace_stats.shd),
+        wr=probability("wr", trace_stats.wr),
+        apl=max(finite("apl", trace_stats.apl), 1.0),
+        mdshd=probability("mdshd", trace_stats.mdshd),
+        oclean=probability("oclean", dragon.oclean),
+        opres=probability("opres", dragon.opres),
+        nshd=max(finite("nshd", dragon.nshd), 0.0),
     )

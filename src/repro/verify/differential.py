@@ -53,6 +53,7 @@ __all__ = [
     "minimize_failure",
     "oracle_run",
     "run_seed",
+    "seed_worker",
     "stats_signature",
 ]
 
@@ -223,7 +224,7 @@ def run_seed(
     return check_case(case, protocols=protocols, compare_model=compare_model)
 
 
-def _seed_worker(
+def seed_worker(
     item: tuple[int, float, tuple[str, ...], bool]
 ) -> list[FuzzFailure]:
     """Module-level (picklable) worker for parallel fuzz sweeps."""
@@ -231,6 +232,10 @@ def _seed_worker(
     return run_seed(
         seed, scale=scale, protocols=protocols, compare_model=compare_model
     )
+
+
+#: Backwards-compatible alias (the CLI imported the private name).
+_seed_worker = seed_worker
 
 
 def _run(

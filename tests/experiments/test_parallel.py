@@ -1,8 +1,17 @@
 """Unit tests for the parallel experiment runner."""
 
 import os
+import pickle
 
-from repro.experiments.parallel import parallel_map, resolve_workers
+import pytest
+
+from repro.experiments.parallel import (
+    CellExecutionError,
+    CellFailure,
+    parallel_map,
+    resolve_workers,
+    validate_jobs,
+)
 from repro.experiments.validation import model_vs_simulation
 
 
@@ -14,12 +23,32 @@ def _tag_with_pid(x):
     return (x, os.getpid())
 
 
+def _fail_on_five(x):
+    if x == 5:
+        raise ValueError(f"bad cell {x}")
+    return x * 10
+
+
+def _die_on_five(x):
+    if x == 5:
+        os._exit(13)  # simulate a worker OOM-kill/segfault
+    return x * 10
+
+
 class TestResolveWorkers:
     def test_serial_requests(self):
         assert resolve_workers(None, 10) == 1
         assert resolve_workers(0, 10) == 1
         assert resolve_workers(1, 10) == 1
-        assert resolve_workers(-3, 10) == 1
+
+    def test_negative_jobs_raise(self):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            resolve_workers(-3, 10)
+        with pytest.raises(ValueError, match="-1"):
+            validate_jobs(-1)
+        assert validate_jobs(None) is None
+        assert validate_jobs(0) == 0
+        assert validate_jobs(4) == 4
 
     def test_single_item_stays_serial(self):
         assert resolve_workers(8, 1) == 1
@@ -52,6 +81,85 @@ class TestParallelMap:
 
     def test_accepts_any_iterable(self):
         assert parallel_map(_square, (x for x in (2, 3)), jobs=2) == [4, 9]
+
+
+class TestFailureAttribution:
+    """A failing cell names its index and item, serially and in
+    workers; resilient mode keeps every completed result."""
+
+    @pytest.mark.parametrize("jobs", [None, 3])
+    def test_failure_names_cell_and_item(self, jobs):
+        with pytest.raises(CellExecutionError) as excinfo:
+            parallel_map(_fail_on_five, list(range(8)), jobs=jobs)
+        error = excinfo.value
+        assert error.index == 5
+        assert error.item == "5"
+        assert "ValueError: bad cell 5" in str(error)
+        assert "sweep cell 5 (5)" in str(error)
+
+    def test_serial_failure_chains_original(self):
+        with pytest.raises(CellExecutionError) as excinfo:
+            parallel_map(_fail_on_five, list(range(8)))
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_worker_failure_carries_traceback_text(self):
+        with pytest.raises(CellExecutionError) as excinfo:
+            parallel_map(_fail_on_five, list(range(8)), jobs=2)
+        assert "_fail_on_five" in excinfo.value.worker_traceback
+
+    def test_error_survives_pickling(self):
+        error = CellExecutionError(3, "'item'", "ValueError: x", "tb")
+        clone = pickle.loads(pickle.dumps(error))
+        assert (clone.index, clone.item, clone.error) == (
+            3, "'item'", "ValueError: x"
+        )
+        assert clone.worker_traceback == "tb"
+
+    @pytest.mark.parametrize("jobs", [None, 3])
+    def test_resilient_mode_keeps_completed_cells(self, jobs):
+        results = parallel_map(
+            _fail_on_five, list(range(8)), jobs=jobs, resilient=True
+        )
+        for index, outcome in enumerate(results):
+            if index == 5:
+                assert isinstance(outcome, CellFailure)
+                assert outcome.index == 5
+                assert "ValueError: bad cell 5" in outcome.error
+                assert "bad cell" in outcome.traceback
+            else:
+                assert outcome == index * 10
+
+    def test_broken_pool_costs_only_inflight_cells(self):
+        """A worker dying outright (os._exit) must not discard the
+        results that already came back."""
+        results = parallel_map(
+            _die_on_five, list(range(10)), jobs=2, resilient=True
+        )
+        completed = [
+            outcome
+            for outcome in results
+            if not isinstance(outcome, CellFailure)
+        ]
+        casualties = [
+            outcome for outcome in results if isinstance(outcome, CellFailure)
+        ]
+        assert casualties, "the dead worker's cells must be failures"
+        assert completed, "completed results must survive the broken pool"
+        for outcome in casualties:
+            assert "BrokenProcessPool" in outcome.error
+        for index, outcome in enumerate(results):
+            if not isinstance(outcome, CellFailure):
+                assert outcome == index * 10
+
+    def test_on_cell_done_sees_every_cell(self):
+        seen = []
+        parallel_map(
+            _fail_on_five,
+            list(range(8)),
+            resilient=True,
+            on_cell_done=lambda index, item, outcome: seen.append(index),
+        )
+        assert sorted(seen) == list(range(8))
 
 
 class TestSweepEquivalence:

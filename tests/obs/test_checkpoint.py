@@ -1,0 +1,77 @@
+"""Unit tests for incremental sweep checkpoints."""
+
+import math
+
+import pytest
+
+from repro.obs.checkpoint import (
+    CheckpointWriter,
+    decode_payload,
+    encode_payload,
+    load_checkpoint,
+    payload_digest,
+)
+
+
+class TestPayloadCodec:
+    def test_floats_roundtrip_bit_for_bit(self):
+        # The foundation of the byte-identical-resume guarantee.
+        values = [0.1 + 0.2, 1e-300, math.pi, float("inf"), -0.0]
+        clone = decode_payload(encode_payload(values))
+        for original, restored in zip(values, clone):
+            assert math.copysign(1.0, original) == math.copysign(
+                1.0, restored
+            )
+            assert original == restored
+
+    def test_digest_is_content_addressed(self):
+        payload = encode_payload({"x": 1})
+        assert payload_digest(payload).startswith("sha256:")
+        assert payload_digest(payload) == payload_digest(payload)
+        assert payload_digest(payload) != payload_digest(
+            encode_payload({"x": 2})
+        )
+
+
+class TestWriterAndLoader:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with CheckpointWriter(path) as writer:
+            digest = writer.record(0, 2, "('pops', 'base')",
+                                   encode_payload([1.5, 2.5]))
+        entries = load_checkpoint(path)
+        entry = entries[(0, 2)]
+        assert entry.item == "('pops', 'base')"
+        assert entry.digest == digest
+        assert entry.result() == [1.5, 2.5]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_checkpoint(tmp_path / "absent.ckpt") == {}
+
+    def test_last_record_wins(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with CheckpointWriter(path) as writer:
+            writer.record(0, 0, "item", encode_payload("old"))
+            writer.record(0, 0, "item", encode_payload("new"))
+        assert load_checkpoint(path)[(0, 0)].result() == "new"
+
+    def test_truncated_final_record_is_tolerated(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with CheckpointWriter(path) as writer:
+            writer.record(0, 0, "a", encode_payload(1))
+            writer.record(0, 1, "b", encode_payload(2))
+        text = path.read_text()
+        # Chop the final record in half: the kill-mid-write signature.
+        lines = text.splitlines()
+        path.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        entries = load_checkpoint(path)
+        assert set(entries) == {(0, 0)}
+
+    def test_corrupt_interior_record_raises(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with CheckpointWriter(path) as writer:
+            writer.record(0, 1, "b", encode_payload(2))
+        text = path.read_text()
+        path.write_text("garbage\n" + text)
+        with pytest.raises(ValueError, match="corrupt checkpoint record"):
+            load_checkpoint(path)

@@ -1,0 +1,94 @@
+"""Unit tests for run manifests (JSONL event logs)."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_VERSION,
+    ManifestWriter,
+    git_state,
+    load_manifest,
+    run_header,
+)
+
+
+class TestRunHeader:
+    def test_carries_format_and_config(self):
+        header = run_header(
+            "run", config={"experiments": ["figure1"], "fast": True},
+            checkpoint="m.jsonl.ckpt",
+        )
+        assert header["format"] == MANIFEST_FORMAT
+        assert header["version"] == MANIFEST_VERSION
+        assert header["command"] == "run"
+        assert header["config"]["experiments"] == ["figure1"]
+        assert header["checkpoint"] == "m.jsonl.ckpt"
+
+    def test_git_state_never_raises(self, tmp_path):
+        # A non-repository directory yields None, not an exception.
+        assert git_state(tmp_path) is None
+
+
+class TestWriterAndLoader:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with ManifestWriter(path) as manifest:
+            manifest.event("run-start", command="run")
+            manifest.event("cell-finish", sweep=0, cell=1, wall_s=0.5)
+        events = load_manifest(path)
+        assert [e["event"] for e in events] == ["run-start", "cell-finish"]
+        assert events[1]["cell"] == 1
+        assert all("ts" in e for e in events)
+
+    def test_every_line_is_flushed(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        manifest = ManifestWriter(path)
+        manifest.event("run-start")
+        # Visible on disk before close: the kill-mid-run guarantee.
+        assert len(path.read_text().splitlines()) == 1
+        manifest.close()
+
+    def test_append_only_across_writers(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with ManifestWriter(path) as manifest:
+            manifest.event("run-start")
+        with ManifestWriter(path) as manifest:
+            manifest.event("run-start", resumed_from=str(path))
+        assert len(load_manifest(path)) == 2
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with ManifestWriter(path) as manifest:
+            manifest.event("run-start")
+            manifest.event("cell-finish", cell=0)
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"event": "cell-fin')  # killed mid-write
+        events = load_manifest(path)
+        assert [e["event"] for e in events] == ["run-start", "cell-finish"]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        lines = [
+            json.dumps({"event": "run-start"}),
+            "not json at all",
+            json.dumps({"event": "run-finish"}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt manifest line"):
+            load_manifest(path)
+
+    def test_event_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        manifest = ManifestWriter(path)
+        manifest.event("run-start")
+        manifest.close()
+        manifest.event("late")  # must not raise or write
+        assert len(load_manifest(path)) == 1
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "m.jsonl"
+        with ManifestWriter(path) as manifest:
+            manifest.event("run-start")
+        assert path.exists()

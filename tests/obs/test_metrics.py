@@ -1,0 +1,94 @@
+"""Unit tests for per-cell execution metrics."""
+
+import pytest
+
+from repro.obs.metrics import (
+    CellMetrics,
+    measure_call,
+    note_replay,
+    peak_rss_kb,
+    replay_counters,
+)
+
+
+class TestReplayCounters:
+    def test_note_replay_accumulates(self):
+        before, _ = replay_counters()
+        note_replay(1000, "columnar")
+        note_replay(500, "legacy")
+        after, engine = replay_counters()
+        assert after - before == 1500
+        assert engine == "legacy"
+
+    def test_machine_run_reports(self):
+        from repro.sim import Machine
+        from repro.trace import TraceConfig, generate_trace
+
+        trace = generate_trace(
+            TraceConfig(cpus=2, records_per_cpu=400, seed=7)
+        )
+        before, _ = replay_counters()
+        result = Machine("base").run(trace)
+        after, engine = replay_counters()
+        assert after - before == len(trace)
+        assert engine == "columnar"
+        assert result.engine == "columnar"
+        assert result.records_replayed == len(trace)
+        assert result.run_wall_s > 0.0
+
+
+class TestPeakRss:
+    def test_positive_kilobytes(self):
+        # Any Python process has at least a few MB resident.
+        assert peak_rss_kb() > 1024
+
+
+class TestMeasureCall:
+    def test_returns_result_and_metrics(self):
+        outcome, metrics = measure_call(lambda x: x * 2, 21)
+        assert outcome == 42
+        assert isinstance(metrics, CellMetrics)
+        assert metrics.wall_s >= 0.0
+        assert metrics.peak_rss_kb > 0
+
+    def test_counts_replays_inside_the_call(self):
+        def fake_cell(_item):
+            note_replay(250, "columnar")
+            return "done"
+
+        _, metrics = measure_call(fake_cell, None)
+        assert metrics.records == 250
+        assert metrics.engine == "columnar"
+
+    def test_exceptions_propagate(self):
+        def bad_cell(_item):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            measure_call(bad_cell, None)
+
+
+class TestCellMetrics:
+    def test_records_per_s(self):
+        metrics = CellMetrics(
+            wall_s=2.0, records=1000, engine="columnar", peak_rss_kb=100
+        )
+        assert metrics.records_per_s == 500.0
+
+    def test_zero_wall_time_is_zero_rate(self):
+        metrics = CellMetrics(
+            wall_s=0.0, records=1000, engine="", peak_rss_kb=0
+        )
+        assert metrics.records_per_s == 0.0
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        metrics = CellMetrics(
+            wall_s=1.23456789, records=100, engine="legacy", peak_rss_kb=42
+        )
+        payload = metrics.as_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["engine"] == "legacy"
+        assert payload["records"] == 100
+        assert payload["wall_s"] == pytest.approx(1.234568)

@@ -1,0 +1,170 @@
+"""Unit tests for the sweep monitor: events, resilience, resume."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.parallel import CellFailure, parallel_map
+from repro.obs import (
+    CheckpointWriter,
+    ManifestWriter,
+    SweepMonitor,
+    current_monitor,
+    load_manifest,
+    load_resume_state,
+    use_monitor,
+)
+
+_FAIL_ON = set()
+
+
+def _cell(x):
+    if x in _FAIL_ON:
+        raise ValueError(f"cell {x} told to fail")
+    return {"x": x, "y": x * 0.1}
+
+
+def _make_monitor(tmp_path, resume=None):
+    path = tmp_path / "m.jsonl"
+    monitor = SweepMonitor(
+        manifest=ManifestWriter(path),
+        checkpoint=CheckpointWriter(str(path) + ".ckpt"),
+        resume=resume,
+    )
+    monitor.event(
+        "run-start",
+        format="swcc-run-manifest",
+        version=1,
+        config={},
+        checkpoint=str(path) + ".ckpt",
+    )
+    return monitor, path
+
+
+class TestInstallation:
+    def test_context_scoped(self):
+        monitor = SweepMonitor()
+        assert current_monitor() is None
+        with use_monitor(monitor):
+            assert current_monitor() is monitor
+        assert current_monitor() is None
+
+    def test_parallel_map_routes_through_monitor(self, tmp_path):
+        monitor, path = _make_monitor(tmp_path)
+        with use_monitor(monitor):
+            results = parallel_map(_cell, [0, 1, 2])
+        monitor.close()
+        assert results == [_cell(x) for x in [0, 1, 2]]
+        events = [e["event"] for e in load_manifest(path)]
+        assert events.count("sweep-start") == 1
+        assert events.count("cell-start") == 3
+        assert events.count("cell-finish") == 3
+        assert events.count("sweep-finish") == 1
+
+    def test_cell_finish_carries_metrics_and_digest(self, tmp_path):
+        monitor, path = _make_monitor(tmp_path)
+        with use_monitor(monitor):
+            parallel_map(_cell, [0, 1])
+        monitor.close()
+        finishes = [
+            e for e in load_manifest(path) if e["event"] == "cell-finish"
+        ]
+        for event in finishes:
+            assert event["digest"].startswith("sha256:")
+            assert event["wall_s"] >= 0.0
+            assert event["peak_rss_kb"] > 0
+
+
+class TestResilience:
+    def test_monitored_sweeps_are_resilient_by_default(self, tmp_path):
+        monitor, path = _make_monitor(tmp_path)
+        _FAIL_ON.clear()
+        _FAIL_ON.add(1)
+        try:
+            with use_monitor(monitor):
+                results = parallel_map(_cell, [0, 1, 2])
+        finally:
+            _FAIL_ON.clear()
+        monitor.close()
+        assert isinstance(results[1], CellFailure)
+        assert results[1].index == 1
+        assert results[0] == _cell(0)
+        assert results[2] == _cell(2)
+        assert [s for s, _ in monitor.failures] == [0]
+        events = [e["event"] for e in load_manifest(path)]
+        assert events.count("cell-failed") == 1
+        assert events.count("cell-finish") == 2
+
+
+class TestResume:
+    def test_resume_serves_cached_cells(self, tmp_path):
+        monitor, path = _make_monitor(tmp_path)
+        with use_monitor(monitor):
+            first = parallel_map(_cell, [0, 1, 2])
+        monitor.close()
+
+        state = load_resume_state(path)
+        assert set(state.cells) == {(0, 0), (0, 1), (0, 2)}
+        second_monitor, _ = _make_monitor(tmp_path, resume=state)
+        with use_monitor(second_monitor):
+            second = parallel_map(_cell, [0, 1, 2])
+        second_monitor.close()
+        assert second_monitor.cells_cached == 3
+        assert second_monitor.cells_run == 0
+        # The byte-identity guarantee, at the value level: cached
+        # results pickle to the same bytes as the originals.
+        assert pickle.dumps(second) == pickle.dumps(first)
+
+    def test_resume_reruns_failed_cells(self, tmp_path):
+        monitor, path = _make_monitor(tmp_path)
+        _FAIL_ON.add(1)
+        try:
+            with use_monitor(monitor):
+                parallel_map(_cell, [0, 1, 2])
+        finally:
+            _FAIL_ON.clear()
+        monitor.close()
+
+        second_monitor, _ = _make_monitor(
+            tmp_path, resume=load_resume_state(path)
+        )
+        with use_monitor(second_monitor):
+            results = parallel_map(_cell, [0, 1, 2])
+        second_monitor.close()
+        assert results == [_cell(x) for x in [0, 1, 2]]
+        assert second_monitor.cells_cached == 2
+        assert second_monitor.cells_run == 1
+
+    def test_changed_item_repr_forces_rerun(self, tmp_path):
+        monitor, path = _make_monitor(tmp_path)
+        with use_monitor(monitor):
+            parallel_map(_cell, [0, 1, 2])
+        monitor.close()
+
+        # Same cell coordinates, drifted work items: the checkpoint's
+        # repr fingerprint must refuse to serve stale results.
+        second_monitor, _ = _make_monitor(
+            tmp_path, resume=load_resume_state(path)
+        )
+        with use_monitor(second_monitor):
+            results = parallel_map(_cell, [0, 5, 2])
+        second_monitor.close()
+        assert results[1] == _cell(5)
+        assert second_monitor.cells_cached == 2
+        assert second_monitor.cells_run == 1
+
+    def test_resume_state_requires_a_header(self, tmp_path):
+        path = tmp_path / "headerless.jsonl"
+        with ManifestWriter(path) as manifest:
+            manifest.event("cell-finish", sweep=0, cell=0)
+        with pytest.raises(ValueError, match="no run-start header"):
+            load_resume_state(path)
+
+    def test_sweeps_numbered_across_calls(self, tmp_path):
+        monitor, path = _make_monitor(tmp_path)
+        with use_monitor(monitor):
+            parallel_map(_cell, [0, 1])
+            parallel_map(_cell, [2, 3])
+        monitor.close()
+        state = load_resume_state(path)
+        assert set(state.cells) == {(0, 0), (0, 1), (1, 0), (1, 1)}

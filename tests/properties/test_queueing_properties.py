@@ -109,3 +109,20 @@ class TestDeltaProperties:
         network = DeltaNetwork(stages=stages)
         result = closed_loop_utilization(network, request_rate)
         assert result.thinking_fraction <= 1.0 / (1.0 + request_rate) + 1e-6
+
+    @settings(max_examples=60)
+    @given(rates, rates, st.integers(min_value=0, max_value=10))
+    def test_thinking_fraction_nonincreasing_in_request_rate(
+        self, rate_a, rate_b, stages
+    ):
+        """More network demand can only lower the fraction of time a
+        processor spends thinking (tolerance covers the bisection's
+        1e-12 stopping criterion amplified through U * r)."""
+        network = DeltaNetwork(stages=stages)
+        low_rate, high_rate = sorted((rate_a, rate_b))
+        relaxed = closed_loop_utilization(network, low_rate)
+        loaded = closed_loop_utilization(network, high_rate)
+        assert (
+            loaded.thinking_fraction
+            <= relaxed.thinking_fraction + 1e-5
+        )

@@ -79,3 +79,64 @@ class TestGeneralServiceSolver:
         result = solve_machine_repairman_general(8, 3.0, 1.0, 0.3)
         in_system = result.queue_length + result.throughput * 3.0
         assert in_system == pytest.approx(8.0, rel=1e-9)
+
+
+class TestSaturationClampEdgeCases:
+    """``service_cv2=0`` drives the residual-life approximation below
+    the hard bound ``R(k) >= k*S - Z`` near saturation; the clamp must
+    hold the bound exactly, not approximately."""
+
+    @pytest.mark.parametrize(
+        "population,think,service",
+        [(12, 4.0, 1.0), (20, 4.0, 1.0), (8, 1.0, 1.0)],
+    )
+    def test_clamp_binds_exactly_in_saturation(
+        self, population, think, service
+    ):
+        result = solve_machine_repairman_general(
+            population, think, service, service_cv2=0.0
+        )
+        # Deep in saturation deterministic service pins the response
+        # time to the bound itself (no slack, no overshoot).
+        assert result.response_time == population * service - think
+
+    @pytest.mark.parametrize("cv2", [0.0, 0.2, 1.0, 3.0])
+    @pytest.mark.parametrize("population", range(1, 16))
+    def test_bound_never_violated(self, population, cv2):
+        think, service = 4.0, 1.0
+        result = solve_machine_repairman_general(
+            population, think, service, service_cv2=cv2
+        )
+        assert (
+            result.response_time >= population * service - think - 1e-12
+        )
+
+    def test_clamp_inactive_below_saturation(self):
+        # n* = (Z + S) / S = 5: at population 3 the bound (3*S - Z < 0)
+        # cannot bind and the recursion's own value must survive.
+        result = solve_machine_repairman_general(3, 4.0, 1.0, 0.0)
+        assert result.response_time > 3 * 1.0 - 4.0
+        assert result.response_time >= 1.0  # at least one service time
+
+
+class TestCustomerUtilizationEdgeCases:
+    def test_zero_cycle_time_is_zero_not_nan(self):
+        from repro.queueing.mva import MvaResult
+
+        degenerate = MvaResult(
+            population=1,
+            think_time=0.0,
+            service_time=0.0,
+            response_time=0.0,
+            throughput=0.0,
+            queue_length=0.0,
+        )
+        assert degenerate.customer_utilization == 0.0
+
+    def test_zero_think_zero_service_via_solver(self):
+        result = solve_machine_repairman(1, 0.0, 0.0)
+        assert result.customer_utilization == 0.0
+
+    def test_normal_cycle_unaffected(self):
+        result = solve_machine_repairman(1, 9.0, 1.0)
+        assert result.customer_utilization == pytest.approx(0.9)

@@ -65,3 +65,26 @@ class TestMeasureWorkloadParams:
     def test_sharing_measured_from_region(self, trace, config):
         params = measure_workload_params(trace, config)
         assert 0.05 < params.shd < 0.5
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_measurement_rejected_by_name(
+        self, trace, config, monkeypatch, bad
+    ):
+        """NaN passes straight through a min/max clamp (every NaN
+        comparison is false), so a corrupt measurement must be caught
+        explicitly — and the error must name the parameter."""
+        from repro.sim import measure as measure_module
+
+        real_stats = measure_module.collect_stats(trace)
+
+        class PoisonedStats:
+            wr = bad
+
+            def __getattr__(self, name):
+                return getattr(real_stats, name)
+
+        monkeypatch.setattr(
+            measure_module, "collect_stats", lambda _trace: PoisonedStats()
+        )
+        with pytest.raises(ValueError, match="'wr' is not finite"):
+            measure_workload_params(trace, config)

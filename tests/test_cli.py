@@ -26,7 +26,7 @@ class TestListCommand:
 
 class TestRunCommand:
     def test_run_single_experiment(self, capsys):
-        assert main(["run", "table1"]) == 0
+        assert main(["run", "table1", "--no-manifest"]) == 0
         out = capsys.readouterr().out
         assert "table1" in out
         assert "[PASS]" in out
@@ -34,6 +34,23 @@ class TestRunCommand:
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
             main(["run", "figure99"])
+
+    def test_no_experiments_and_no_resume_exits_two(self, capsys):
+        assert main(["run"]) == 2
+        assert "no experiments" in capsys.readouterr().err
+
+    def test_manifest_records_the_run(self, tmp_path, capsys):
+        manifest = tmp_path / "m.jsonl"
+        assert main(["run", "table1", "--manifest", str(manifest)]) == 0
+        capsys.readouterr()
+        from repro.obs import load_manifest
+
+        events = load_manifest(manifest)
+        assert events[0]["event"] == "run-start"
+        assert events[0]["config"]["experiments"] == ["table1"]
+        names = [e["event"] for e in events]
+        assert "experiment-finish" in names
+        assert names[-1] == "run-finish"
 
 
 class TestPredictCommand:
@@ -62,7 +79,7 @@ class TestPredictCommand:
 class TestCsvExport:
     def test_run_with_csv_dir(self, tmp_path, capsys):
         assert main(
-            ["run", "figure4", "--csv-dir", str(tmp_path)]
+            ["run", "figure4", "--no-manifest", "--csv-dir", str(tmp_path)]
         ) == 0
         series_csv = tmp_path / "figure4_series.csv"
         assert series_csv.exists()
@@ -71,7 +88,7 @@ class TestCsvExport:
         assert "Dragon" in header
 
     def test_tables_exported(self, tmp_path):
-        main(["run", "table8", "--csv-dir", str(tmp_path)])
+        main(["run", "table8", "--no-manifest", "--csv-dir", str(tmp_path)])
         table_csv = tmp_path / "table8_table0.csv"
         assert table_csv.exists()
         assert "parameter" in table_csv.read_text().splitlines()[0]

@@ -66,14 +66,16 @@ class TestJobsValidation:
         assert args.jobs == 0
 
     def test_resolver_defined_behaviour(self):
-        # 0/None/negative collapse to serial; oversubscription clamps
-        # to the item count; nothing ever returns < 1 worker.
+        # 0/None collapse to serial; oversubscription clamps to the
+        # item count; nothing ever returns < 1 worker; negative
+        # requests raise the same rejection the CLI gives.
         assert resolve_workers(0, 10) == 1
         assert resolve_workers(None, 10) == 1
-        assert resolve_workers(-3, 10) == 1
         assert resolve_workers(4, 10) == 4
         assert resolve_workers(64, 3) == 3
         assert resolve_workers(5, 0) == 1
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            resolve_workers(-3, 10)
 
 
 class TestFuzzCommand:
@@ -81,6 +83,7 @@ class TestFuzzCommand:
         code = main(
             [
                 "fuzz", "--seeds", "2", "--scale", "0.2", "--no-model",
+                "--no-manifest",
                 "--artifact-dir", str(tmp_path / "artifacts"),
             ]
         )
@@ -94,7 +97,7 @@ class TestFuzzCommand:
         code = main(
             [
                 "fuzz", "--seeds", "2", "--scale", "0.2", "--no-model",
-                "--jobs", "16",
+                "--no-manifest", "--jobs", "16",
                 "--artifact-dir", str(tmp_path / "artifacts"),
             ]
         )
@@ -153,8 +156,18 @@ class TestFuzzReplay:
 @pytest.mark.slow
 class TestFuzzSmoke:
     def test_smoke_preset_is_clean(self, capsys, tmp_path):
+        manifest = tmp_path / "fuzz-smoke.jsonl"
         code = main(
-            ["fuzz", "--smoke", "--artifact-dir", str(tmp_path)]
+            [
+                "fuzz", "--smoke", "--artifact-dir", str(tmp_path / "a"),
+                "--manifest", str(manifest),
+            ]
         )
         assert code == 0
         assert "24 seeds" in capsys.readouterr().out
+        # The manifest recorded the whole sweep.
+        from repro.obs import load_manifest
+
+        events = [e["event"] for e in load_manifest(manifest)]
+        assert events.count("cell-finish") == 24
+        assert events[-1] == "run-finish"

@@ -1,0 +1,127 @@
+"""End-to-end tests for ``swcc run`` manifests and ``--resume``.
+
+The acceptance property: a run that loses cells (a crash, a kill)
+and is then resumed renders **byte-identical** stdout to a clean
+serial run of the same command line.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.parallel import CellFailure, parallel_map
+from repro.experiments.registry import EXPERIMENTS, register
+from repro.experiments.result import ExperimentResult, TableData
+
+#: Cells listed here raise inside the sweep worker (serial execution,
+#: so plain module state controls it).
+_BROKEN_CELLS = set()
+
+_CELLS = ("alpha", "beta", "gamma", "delta")
+
+
+def _resume_cell(name):
+    if name in _BROKEN_CELLS:
+        raise RuntimeError(f"{name} exploded")
+    return (name, len(name) * 0.5)
+
+
+def _resume_experiment(fast=False, jobs=None, **_):
+    outcomes = parallel_map(_resume_cell, list(_CELLS), jobs)
+    failures = [o for o in outcomes if isinstance(o, CellFailure)]
+    completed = [o for o in outcomes if not isinstance(o, CellFailure)]
+    result = ExperimentResult(
+        experiment_id="resumetest", title="resume fixture"
+    )
+    result.tables.append(
+        TableData(
+            title="cells",
+            headers=("cell", "value"),
+            rows=tuple(
+                (name, f"{value:.1f}") for name, value in completed
+            ),
+        )
+    )
+    result.add_check("all-cells", not failures, f"{len(failures)} failed")
+    return result
+
+
+@pytest.fixture()
+def resume_experiment():
+    register("resumetest", "resume fixture", "none")(_resume_experiment)
+    _BROKEN_CELLS.clear()
+    try:
+        yield
+    finally:
+        _BROKEN_CELLS.clear()
+        del EXPERIMENTS["resumetest"]
+
+
+class TestResumeByteIdentity:
+    def test_failed_then_resumed_run_matches_clean_run(
+        self, resume_experiment, tmp_path, capsys
+    ):
+        # Reference: a clean, unmonitored serial run.
+        assert main(["run", "resumetest", "--no-manifest"]) == 0
+        clean = capsys.readouterr().out
+
+        # A run that loses a cell mid-sweep: non-zero exit, resume
+        # hint, completed cells checkpointed.
+        manifest = tmp_path / "m.jsonl"
+        _BROKEN_CELLS.add("gamma")
+        code = main(["run", "resumetest", "--manifest", str(manifest)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "resume with: swcc run --resume" in captured.err
+        assert "gamma" in captured.err
+
+        # The resume re-executes only the failed cell and renders the
+        # exact bytes of the clean run.
+        _BROKEN_CELLS.clear()
+        assert main(["run", "--resume", str(manifest)]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == clean
+
+        from repro.obs import load_manifest
+
+        events = [e for e in load_manifest(manifest)]
+        cached = [e for e in events if e["event"] == "cell-cached"]
+        assert len(cached) == 3  # alpha, beta, delta served from disk
+        headers = [e for e in events if e["event"] == "run-start"]
+        assert len(headers) == 2
+        assert headers[1]["resumed_from"] == str(manifest)
+
+    def test_resume_after_killed_checkpoint_write(
+        self, resume_experiment, tmp_path, capsys
+    ):
+        """A checkpoint whose final record was chopped mid-write (the
+        kill signature) must still resume cleanly."""
+        assert main(["run", "resumetest", "--no-manifest"]) == 0
+        clean = capsys.readouterr().out
+
+        manifest = tmp_path / "m.jsonl"
+        assert main(["run", "resumetest", "--manifest", str(manifest)]) == 0
+        capsys.readouterr()
+        checkpoint = tmp_path / "m.jsonl.ckpt"
+        lines = checkpoint.read_text().splitlines()
+        checkpoint.write_text(
+            "\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2]
+        )
+
+        assert main(["run", "--resume", str(manifest)]) == 0
+        assert capsys.readouterr().out == clean
+
+    def test_resume_takes_experiments_from_header(
+        self, resume_experiment, tmp_path, capsys
+    ):
+        manifest = tmp_path / "m.jsonl"
+        assert main(["run", "resumetest", "--manifest", str(manifest)]) == 0
+        capsys.readouterr()
+        # No experiment ids on the resume command line at all.
+        assert main(["run", "--resume", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "resumetest" in out
+
+    def test_resume_of_missing_manifest_exits_two(self, tmp_path, capsys):
+        code = main(["run", "--resume", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "cannot resume" in capsys.readouterr().err
