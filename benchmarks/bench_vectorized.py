@@ -1,0 +1,191 @@
+"""Vectorized grid sweeps vs the scalar evaluate loop.
+
+The tentpole claim of the vectorized substrate is *figure-scale*
+throughput: one ``sweep_grid`` call replaces thousands of scalar
+``BusSystem.evaluate`` / ``NetworkSystem.evaluate`` calls and must be
+at least 10x faster while returning bit-identical numbers.  The
+pytest-benchmark entries here track both paths; ``test_grid_speedup``
+records the measured ratio (``extra_info["speedup"]``) and enforces
+the 10x floor.
+
+The module also runs standalone for CI::
+
+    python benchmarks/bench_vectorized.py --smoke
+
+which checks vectorized-vs-scalar equivalence on a small grid for all
+four schemes (bus and network) and prints a quick timing — seconds,
+not minutes, suitable for ``scripts/check.sh``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import ALL_SCHEMES, BusSystem, NetworkSystem, WorkloadParams
+from repro.experiments import GridSpec, sweep_grid
+
+#: Figure-scale benchmark grid: 24 x 24 workload cells, 16 system
+#: sizes — 9216 bus model evaluations per scheme.
+_BENCH_SHD = tuple(float(v) for v in np.linspace(0.0, 0.6, 24))
+_BENCH_APL = tuple(float(v) for v in np.linspace(1.0, 100.0, 24))
+_BENCH_PROCESSORS = tuple(range(1, 17))
+
+#: Small smoke grid: all four schemes, bus + network, < 1 s total.
+_SMOKE_SHD = (0.0, 0.05, 0.25, 0.6)
+_SMOKE_APL = (1.0, 7.7, 100.0)
+_SMOKE_PROCESSORS = (1, 4, 16)
+_SMOKE_STAGES = (2, 5)
+
+
+def _spec(shd, apl) -> GridSpec:
+    return GridSpec.of(WorkloadParams.middle(), shd=shd, apl=apl)
+
+
+def _scalar_bus_sweep(scheme, spec: GridSpec, processors) -> np.ndarray:
+    """The reference path: one ``evaluate`` call per grid cell."""
+    bus = BusSystem()
+    power = np.empty((len(processors),) + spec.shape)
+    for count_index, count in enumerate(processors):
+        for index in np.ndindex(spec.shape):
+            params = spec.workload_at(index)
+            power[(count_index,) + index] = bus.evaluate(
+                scheme, params, count
+            ).processing_power
+    return power
+
+
+def _scalar_network_sweep(scheme, spec: GridSpec, stages) -> np.ndarray:
+    power = np.empty((len(stages),) + spec.shape)
+    for stage_index, count in enumerate(stages):
+        network = NetworkSystem(count)
+        for index in np.ndindex(spec.shape):
+            params = spec.workload_at(index)
+            power[(stage_index,) + index] = network.evaluate(
+                scheme, params
+            ).processing_power
+    return power
+
+
+def _identical(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool(np.all((a == b) | (np.isnan(a) & np.isnan(b))))
+
+
+# -- pytest-benchmark entries -------------------------------------------
+
+
+def test_bus_grid_scalar(benchmark):
+    spec = _spec(_BENCH_SHD, _BENCH_APL)
+    benchmark.pedantic(
+        lambda: _scalar_bus_sweep(
+            ALL_SCHEMES[0], spec, _BENCH_PROCESSORS
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bus_grid_vectorized(benchmark):
+    spec = _spec(_BENCH_SHD, _BENCH_APL)
+    benchmark(
+        lambda: sweep_grid(
+            ALL_SCHEMES[0], spec, processors=_BENCH_PROCESSORS
+        )
+    )
+
+
+def test_network_grid_vectorized(benchmark):
+    spec = _spec(_BENCH_SHD, _BENCH_APL)
+    scheme = next(s for s in ALL_SCHEMES if not s.requires_broadcast)
+    benchmark(
+        lambda: sweep_grid(
+            scheme, spec, machine="network", stages=_SMOKE_STAGES
+        )
+    )
+
+
+def test_grid_speedup(benchmark):
+    """Record and enforce the >= 10x figure-scale speedup."""
+    spec = _spec(_BENCH_SHD, _BENCH_APL)
+    scheme = ALL_SCHEMES[0]
+
+    start = time.perf_counter()
+    scalar = _scalar_bus_sweep(scheme, spec, _BENCH_PROCESSORS)
+    scalar_seconds = time.perf_counter() - start
+
+    surface = benchmark(
+        lambda: sweep_grid(scheme, spec, processors=_BENCH_PROCESSORS)
+    )
+    vector_seconds = benchmark.stats.stats.min
+
+    assert _identical(surface.power, scalar)
+    speedup = scalar_seconds / vector_seconds
+    benchmark.extra_info["scalar_seconds"] = scalar_seconds
+    benchmark.extra_info["vectorized_seconds"] = vector_seconds
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["grid_cells"] = int(scalar.size)
+    assert speedup >= 10.0, (
+        f"vectorized sweep only {speedup:.1f}x faster than scalar "
+        f"({scalar_seconds:.3f}s vs {vector_seconds:.3f}s)"
+    )
+
+
+# -- standalone smoke mode ----------------------------------------------
+
+
+def run_smoke() -> int:
+    """Small-grid equivalence + timing for all four schemes; 0 if ok."""
+    spec = _spec(_SMOKE_SHD, _SMOKE_APL)
+    failures = 0
+    for scheme in ALL_SCHEMES:
+        surface = sweep_grid(scheme, spec, processors=_SMOKE_PROCESSORS)
+        scalar = _scalar_bus_sweep(scheme, spec, _SMOKE_PROCESSORS)
+        if not _identical(surface.power, scalar):
+            print(f"MISMATCH bus/{scheme.name}", file=sys.stderr)
+            failures += 1
+        if scheme.requires_broadcast:
+            continue
+        net_surface = sweep_grid(
+            scheme, spec, machine="network", stages=_SMOKE_STAGES
+        )
+        net_scalar = _scalar_network_sweep(scheme, spec, _SMOKE_STAGES)
+        if not _identical(net_surface.power, net_scalar):
+            print(f"MISMATCH network/{scheme.name}", file=sys.stderr)
+            failures += 1
+    if failures:
+        return 1
+
+    bench_spec = _spec(_BENCH_SHD, _BENCH_APL)
+    scheme = ALL_SCHEMES[0]
+    start = time.perf_counter()
+    scalar = _scalar_bus_sweep(scheme, bench_spec, _BENCH_PROCESSORS)
+    scalar_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    surface = sweep_grid(
+        scheme, bench_spec, processors=_BENCH_PROCESSORS
+    )
+    vector_seconds = time.perf_counter() - start
+    if not _identical(surface.power, scalar):
+        print("MISMATCH bus benchmark grid", file=sys.stderr)
+        return 1
+    speedup = scalar_seconds / vector_seconds
+    print(
+        f"vectorized smoke ok: {scalar.size} cells, scalar "
+        f"{scalar_seconds:.3f}s, vectorized {vector_seconds:.3f}s "
+        f"({speedup:.0f}x)"
+    )
+    if speedup < 10.0:
+        print(f"speedup {speedup:.1f}x below the 10x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        raise SystemExit(run_smoke())
+    print(__doc__)
+    raise SystemExit(
+        "run under pytest (--benchmark-only) or with --smoke"
+    )

@@ -48,4 +48,9 @@ echo "== benchmark smoke (micro substrates) =="
 python -m pytest benchmarks/bench_micro.py --benchmark-only \
     --benchmark-disable-gc -q
 
+echo "== vectorized kernels: equivalence + speedup smoke =="
+# Small-grid bit-exactness against the scalar path for all four
+# schemes (bus and network), then the figure-scale 10x speedup floor.
+python benchmarks/bench_vectorized.py --smoke
+
 echo "== all checks passed =="

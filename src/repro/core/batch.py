@@ -1,28 +1,28 @@
-"""Vectorised model evaluation over parameter grids.
+"""Vectorised model evaluation over parameter grids (compat facade).
 
-Extension for design-space work: the scalar API
-(:class:`~repro.core.bus.BusSystem`) evaluates one workload at a time,
-which is fine for the paper's figures but slow for dense contour maps
-(e.g. power over a 200x200 ``shd`` x ``apl`` grid).  This module
-evaluates the same model with numpy arrays: every workload-model
-formula (Tables 3-6) is plain arithmetic, so scheme frequency code is
-reused verbatim via duck typing — arrays flow through unchanged — and
-the MVA and network fixed points are solved element-wise.
-
-Equivalence with the scalar path is property-tested
-(``tests/core/test_batch.py``).
+This module predates :mod:`repro.core.vectorized` and now delegates to
+it: the grid container (:class:`ParameterGrid`) and the full kernels
+live there, together with the batched queueing engines in
+:mod:`repro.queueing.batch`.  The functions below are the original
+convenience API (arrays in, a power array out) and are kept because
+analysis code and tests use them; they inherit the new kernels'
+bit-for-bit equivalence with the scalar model (the old implementations
+were only approximately equal on the network path).
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, fields
 
 import numpy as np
 
 from repro.core.model import InstructionCost
 from repro.core.operations import CostTable
-from repro.core.params import WorkloadParams
 from repro.core.schemes import CoherenceScheme
+from repro.core.vectorized import (
+    ParameterGrid,
+    bus_surface_arrays,
+    instruction_cost_arrays,
+    network_surface_arrays,
+)
 
 __all__ = [
     "ParameterGrid",
@@ -32,79 +32,14 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class ParameterGrid:
-    """Workload parameters as (broadcastable) numpy arrays.
-
-    Field names mirror :class:`~repro.core.params.WorkloadParams`;
-    each may be a scalar or an array, and they are broadcast together.
-    Unlike ``WorkloadParams`` there is no per-element validation —
-    grids are for exploration, and validation would dominate runtime.
-    Use :meth:`from_params` to spread a validated base point and
-    override the swept axes.
-    """
-
-    ls: np.ndarray
-    msdat: np.ndarray
-    mains: np.ndarray
-    md: np.ndarray
-    shd: np.ndarray
-    wr: np.ndarray
-    apl: np.ndarray
-    mdshd: np.ndarray
-    oclean: np.ndarray
-    opres: np.ndarray
-    nshd: np.ndarray
-
-    @classmethod
-    def from_params(cls, base: WorkloadParams, **axes) -> "ParameterGrid":
-        """A grid anchored at ``base`` with some fields replaced.
-
-        Args:
-            base: the validated point supplying un-swept parameters.
-            axes: ``name=array`` pairs for the swept parameters; all
-                arrays must be mutually broadcastable.
-        """
-        values = {}
-        for field in fields(cls):
-            if field.name in axes:
-                values[field.name] = np.asarray(axes[field.name], dtype=float)
-            else:
-                values[field.name] = np.asarray(
-                    getattr(base, field.name), dtype=float
-                )
-        unknown = set(axes) - {field.name for field in fields(cls)}
-        if unknown:
-            raise ValueError(f"unknown parameters: {sorted(unknown)}")
-        return cls(**values)
-
-    @property
-    def shape(self) -> tuple[int, ...]:
-        """The broadcast shape of all fields."""
-        return np.broadcast_shapes(
-            *(np.shape(getattr(self, field.name)) for field in fields(self))
-        )
-
-
 def instruction_cost_grid(
     scheme: CoherenceScheme,
     grid: ParameterGrid,
     costs: CostTable | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Equations 1-2 element-wise: arrays ``(c, b)`` over the grid.
-
-    The scheme's scalar frequency formulas run unmodified on arrays.
-    """
-    costs = costs if costs is not None else CostTable.bus()
-    shape = grid.shape
-    cpu_cycles = np.zeros(shape)
-    channel_cycles = np.zeros(shape)
-    for operation, frequency in scheme.operation_frequencies(grid).items():
-        cost = costs[operation]
-        frequency = np.broadcast_to(np.asarray(frequency, dtype=float), shape)
-        cpu_cycles = cpu_cycles + frequency * cost.cpu_cycles
-        channel_cycles = channel_cycles + frequency * cost.channel_cycles
-    return cpu_cycles, channel_cycles
+    """Equations 1-2 element-wise: arrays ``(c, b)`` over the grid."""
+    cost = instruction_cost_arrays(scheme, grid, costs)
+    return cost.cpu_cycles, cost.channel_cycles
 
 
 def bus_power_grid(
@@ -115,23 +50,13 @@ def bus_power_grid(
 ) -> np.ndarray:
     """Bus processing power over a parameter grid (exact MVA).
 
-    Matches ``BusSystem().evaluate(...).processing_power`` at every
-    grid point.
+    Matches ``BusSystem().evaluate(...).processing_power`` bit-for-bit
+    at every grid point.
     """
     if processors < 1:
         raise ValueError(f"processors must be >= 1, got {processors}")
-    cpu_cycles, service = instruction_cost_grid(scheme, grid, costs)
-    think = cpu_cycles - service
-
-    queue = np.zeros_like(service)
-    response = np.array(service, copy=True)
-    for population in range(1, processors + 1):
-        response = service * (1.0 + queue)
-        throughput = population / (think + response)
-        queue = throughput * response
-    waiting = response - service
-    utilization = 1.0 / (cpu_cycles + waiting)
-    return processors * utilization
+    surface = bus_surface_arrays(scheme, grid, (processors,), costs)
+    return surface.processing_power[0]
 
 
 def network_power_grid(
@@ -139,48 +64,15 @@ def network_power_grid(
     grid: ParameterGrid,
     stages: int,
     costs: CostTable | None = None,
-    bisection_steps: int = 60,
 ) -> np.ndarray:
     """Network processing power over a grid (Section 6.2 fixed point).
 
     Matches ``NetworkSystem(stages).evaluate(...).processing_power``
-    element-wise; Dragon (broadcast) schemes are rejected as in the
+    bit-for-bit; Dragon (broadcast) schemes are rejected as in the
     scalar path.
     """
-    if scheme.requires_broadcast:
-        from repro.core.network import UnsupportedSchemeError
-
-        raise UnsupportedSchemeError(
-            f"{scheme.name} requires a broadcast medium"
-        )
-    if stages < 1:
-        raise ValueError(f"stages must be >= 1, got {stages}")
-    from repro.core.operations import derive_network_costs
-
-    costs = costs if costs is not None else derive_network_costs(stages)
-    cpu_cycles, demand = instruction_cost_grid(scheme, grid, costs)
-    think = cpu_cycles - demand
-    with np.errstate(divide="ignore", invalid="ignore"):
-        request_rate = np.where(think > 0, demand / think, np.inf)
-
-    low = np.zeros_like(cpu_cycles)
-    high = np.ones_like(cpu_cycles)
-    for _ in range(bisection_steps):
-        middle = 0.5 * (low + high)
-        accepted = 1.0 - middle
-        for _ in range(stages):
-            accepted = 1.0 - (1.0 - accepted / 2.0) ** 2
-        surplus = accepted - middle * request_rate
-        low = np.where(surplus > 0.0, middle, low)
-        high = np.where(surplus > 0.0, high, middle)
-    thinking = 0.5 * (low + high)
-
-    with np.errstate(divide="ignore", invalid="ignore"):
-        time_per_instruction = np.where(
-            demand > 0.0, think / thinking, cpu_cycles
-        )
-    processors = 2**stages
-    return processors / time_per_instruction
+    surface = network_surface_arrays(scheme, grid, stages, costs)
+    return surface.processing_power
 
 
 def cost_at(

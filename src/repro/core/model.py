@@ -63,11 +63,17 @@ class InstructionCost:
     def transaction_rate(self) -> float:
         """Transactions per busy CPU cycle, ``1 / (c - b)``.
 
-        Infinite if the instruction mix spends all its time on the
-        channel (``c == b``), which only happens for degenerate inputs.
+        Defined as 0.0 when the instruction mix spends all its time on
+        the channel (``c == b``): a processor that is pure channel
+        demand has no think time, so it never completes a think period
+        and never *initiates* a new transaction — the saturated channel
+        is the server, not the processor.  (Returning ``inf`` here, as
+        this property once did, poisoned downstream products such as
+        ``rate * waiting`` with ``inf``/``nan`` in saturation cells;
+        the vectorised kernels agree with the 0.0 convention exactly.)
         """
         if self.think_time == 0.0:
-            return float("inf")
+            return 0.0
         return 1.0 / self.think_time
 
     @property

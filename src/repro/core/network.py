@@ -99,6 +99,26 @@ class NetworkSystem:
                 processing_power=self.processors * cost.uncontended_utilization,
             )
 
+        if think == 0.0:
+            # Saturation: the instruction mix is pure channel demand
+            # (c == b), so the processor never thinks and never makes
+            # forward progress.  Mirrors the transaction_rate == 0.0
+            # convention in repro.core.model for the same cells.
+            return NetworkPrediction(
+                scheme=scheme_name,
+                params=params,
+                stages=self.stages,
+                processors=self.processors,
+                cost=cost,
+                request_rate=float("inf"),
+                thinking_fraction=0.0,
+                offered_rate=1.0,
+                accepted_rate=self.network.accepted_rate(1.0),
+                time_per_instruction=float("inf"),
+                utilization=0.0,
+                processing_power=0.0,
+            )
+
         # Unit-request approximation: m = 1/(c-b) transactions per busy
         # cycle of size t = b, i.e. r = m*t unit requests per thinking
         # cycle.

@@ -29,6 +29,7 @@ from repro.experiments.result import (
     Series,
     TableData,
 )
+from repro.experiments.surface import GridSpec, ModelSurface, sweep_grid
 
 # Importing these modules populates the registry.
 from repro.experiments import bus_figures  # noqa: F401  (registration)
@@ -42,9 +43,12 @@ __all__ = [
     "EXPERIMENTS",
     "Experiment",
     "ExperimentResult",
+    "GridSpec",
+    "ModelSurface",
     "Series",
     "TableData",
     "get_experiment",
+    "sweep_grid",
     "list_experiments",
     "register",
 ]

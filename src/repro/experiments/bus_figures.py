@@ -8,6 +8,13 @@ over Table 7 parameter settings:
 * Figure 7: the drastic effect of ``apl`` on Software-Flush.
 * Figures 8-9: processing power versus ``apl`` at low and middle
   sharing.
+
+The sweeps run on :func:`repro.experiments.surface.sweep_grid` (one
+batched MVA pass per scheme instead of a scalar ``evaluate`` call per
+cell); ``BusSystem.sweep`` remains the scalar reference and
+``tests/test_vectorized_equivalence.py`` pins the two paths to
+bit-identical values, so every figure check below is unaffected by the
+port.
 """
 
 from __future__ import annotations
@@ -23,8 +30,10 @@ from repro.core import (
     BusSystem,
     WorkloadParams,
 )
+from repro.core.schemes import CoherenceScheme
 from repro.experiments.registry import register
 from repro.experiments.result import ExperimentResult, Series
+from repro.experiments.surface import GridSpec, sweep_grid
 
 __all__ = [
     "scheme_comparison",
@@ -33,6 +42,25 @@ __all__ = [
 ]
 
 _PROCESSOR_RANGE = tuple(range(1, 17))
+
+
+def _bus_power_series(
+    label: str,
+    scheme: CoherenceScheme,
+    params: WorkloadParams,
+    processors: Sequence[int],
+    bus: BusSystem,
+) -> Series:
+    """Power-vs-processors series from one vectorised grid sweep."""
+    surface = sweep_grid(
+        scheme,
+        params,
+        processors=processors,
+        costs=bus.costs,
+        service_model=bus.service_model,
+    )
+    x, y = surface.series("processors")
+    return Series(label, x, y)
 
 
 def scheme_comparison(
@@ -62,13 +90,8 @@ def scheme_comparison(
                tuple(float(n) for n in processors))
     )
     for scheme in ALL_SCHEMES:
-        predictions = bus.sweep(scheme, params, processors)
         result.series.append(
-            Series(
-                scheme.name,
-                tuple(float(p.processors) for p in predictions),
-                tuple(p.processing_power for p in predictions),
-            )
+            _bus_power_series(scheme.name, scheme, params, processors, bus)
         )
     _check_ordering(result, processors[-1])
     return result
@@ -215,24 +238,18 @@ def apl_effect(
         ylabel="processing power",
     )
     for scheme in (DRAGON, NO_CACHE):
-        predictions = bus.sweep(scheme, middle, processors)
         result.series.append(
-            Series(
-                scheme.name,
-                tuple(float(p.processors) for p in predictions),
-                tuple(p.processing_power for p in predictions),
-            )
+            _bus_power_series(scheme.name, scheme, middle, processors, bus)
         )
+    # One 2-D surface (processors x apl) covers every Flush curve.
+    flush = sweep_grid(
+        SOFTWARE_FLUSH,
+        GridSpec.of(middle, apl=apl_values),
+        processors=processors,
+    )
     for apl in apl_values:
-        params = middle.replace(apl=apl)
-        predictions = bus.sweep(SOFTWARE_FLUSH, params, processors)
-        result.series.append(
-            Series(
-                f"Flush apl={apl:g}",
-                tuple(float(p.processors) for p in predictions),
-                tuple(p.processing_power for p in predictions),
-            )
-        )
+        x, y = flush.series("processors", apl=float(apl))
+        result.series.append(Series(f"Flush apl={apl:g}", x, y))
     n = processors[-1]
     flush_worst = result.series_by_label("Flush apl=1").y_at(n)
     nocache = result.series_by_label("No-Cache").y_at(n)
@@ -263,7 +280,6 @@ def power_vs_apl(
     """Processing power versus ``apl`` for fixed system sizes."""
     if apl_values is None:
         apl_values = (1, 2, 3, 4, 6, 8, 12, 16, 25, 40, 60, 100)
-    bus = BusSystem()
     from repro.core import PARAMETER_RANGES
 
     shd = PARAMETER_RANGES["shd"].at(shd_level)
@@ -273,15 +289,15 @@ def power_vs_apl(
         xlabel="apl",
         ylabel="processing power",
     )
+    # One surface: all system sizes solved by a single batched MVA pass.
+    surface = sweep_grid(
+        SOFTWARE_FLUSH,
+        GridSpec.of(WorkloadParams.middle(shd=shd), apl=apl_values),
+        processors=processors,
+    )
     for n in processors:
-        points = []
-        for apl in apl_values:
-            params = WorkloadParams.middle(shd=shd, apl=float(apl))
-            points.append(
-                (float(apl),
-                 bus.evaluate(SOFTWARE_FLUSH, params, n).processing_power)
-            )
-        result.series.append(Series(f"n={n}", *zip(*points)))
+        x, y = surface.series("apl", processors=float(n))
+        result.series.append(Series(f"n={n}", x, y))
 
     largest = f"n={processors[-1]}"
     curve = result.series_by_label(largest)

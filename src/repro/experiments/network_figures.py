@@ -4,23 +4,32 @@ Figure 10 compares buses against circuit-switched multistage networks
 in the small scale; Figure 11 maps the 256-processor network's
 utilisation surface and places the Base / Software-Flush / No-Cache
 schemes on it at Table 7's low/middle/high parameter ranges.
+
+The curve sweeps run on the vectorised kernels — Figure 10 through
+:func:`repro.experiments.surface.sweep_grid`, Figure 11 through the
+lock-step fixed-point solver in :mod:`repro.queueing.batch` — and are
+bit-identical to the scalar ``evaluate`` loops they replaced (the
+scheme marker points on Figure 11 still use the scalar path directly).
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core import (
     BASE,
     DRAGON,
     NO_CACHE,
     SOFTWARE_FLUSH,
-    BusSystem,
     NetworkSystem,
     WorkloadParams,
 )
 from repro.experiments.registry import register
 from repro.experiments.result import ExperimentResult, Series
+from repro.experiments.surface import sweep_grid
+from repro.queueing.batch import closed_loop_thinking_grid
 
 __all__ = ["bus_versus_network", "network_utilization_map"]
 
@@ -37,7 +46,6 @@ def bus_versus_network(
     Base, Software-Flush, and No-Cache schemes appear on both.
     """
     params = WorkloadParams.middle()
-    bus = BusSystem()
     result = ExperimentResult(
         experiment_id="figure10",
         title="Buses versus networks in the small scale (middle workload)",
@@ -45,21 +53,23 @@ def bus_versus_network(
         ylabel="processing power",
     )
     for scheme in (BASE, DRAGON, SOFTWARE_FLUSH, NO_CACHE):
-        predictions = bus.sweep(scheme, params, bus_processors)
+        surface = sweep_grid(scheme, params, processors=bus_processors)
+        x, y = surface.series("processors")
+        result.series.append(Series(f"bus {scheme.name}", x, y))
+    for scheme in (BASE, SOFTWARE_FLUSH, NO_CACHE):
+        surface = sweep_grid(
+            scheme, params, machine="network", stages=network_stages
+        )
         result.series.append(
             Series(
-                f"bus {scheme.name}",
-                tuple(float(p.processors) for p in predictions),
-                tuple(p.processing_power for p in predictions),
+                f"net {scheme.name}",
+                tuple(
+                    float(ports)
+                    for ports in surface.extras["processors"].ravel()
+                ),
+                tuple(float(power) for power in surface.power.ravel()),
             )
         )
-    for scheme in (BASE, SOFTWARE_FLUSH, NO_CACHE):
-        points = []
-        for stages in network_stages:
-            prediction = NetworkSystem(stages).evaluate(scheme, params)
-            points.append((float(prediction.processors),
-                           prediction.processing_power))
-        result.series.append(Series(f"net {scheme.name}", *zip(*points)))
 
     # Section 6.3 claims, checked at the largest common size.
     top = float(2 ** network_stages[-1])
@@ -134,12 +144,24 @@ def network_utilization_map(
     )
     for size in message_sizes:
         service = size + 2.0 * stages
-        points = []
-        for rate in request_rates:
-            transaction_rate = rate / service
-            prediction = network.evaluate_message_load(size, transaction_rate)
-            points.append((rate, prediction.thinking_fraction))
-        result.series.append(Series(f"size={size:g}w", *zip(*points)))
+        # Vectorised sweep: mirror evaluate_message_load's arithmetic
+        # element-wise, then drive every rate's fixed point in
+        # lock-step.  Bit-identical to the scalar loop it replaced.
+        transaction_rate = np.asarray(request_rates, dtype=float) / service
+        demand = size + 2.0 * stages
+        # think_time is recovered as (think + demand) - demand in the
+        # scalar path (InstructionCost stores c, not c - b); keep the
+        # same rounding.
+        think = (1.0 / transaction_rate + demand) - demand
+        unit_request_rate = demand / think
+        thinking = closed_loop_thinking_grid(unit_request_rate, stages)
+        result.series.append(
+            Series(
+                f"size={size:g}w",
+                tuple(float(rate) for rate in request_rates),
+                tuple(float(value) for value in thinking),
+            )
+        )
 
     marker_points: dict[str, tuple[float, float]] = {}
     for code, scheme in (("B", BASE), ("S", SOFTWARE_FLUSH), ("N", NO_CACHE)):

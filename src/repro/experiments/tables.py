@@ -19,7 +19,6 @@ from repro.core import (
     PARAMETER_RANGES,
     SOFTWARE_FLUSH,
     BufferedNetworkSystem,
-    BusSystem,
     NetworkSystem,
     WorkloadParams,
     derive_bus_costs,
@@ -29,6 +28,7 @@ from repro.core import (
 from repro.core.operations import Operation
 from repro.experiments.registry import register
 from repro.experiments.result import ExperimentResult, Series, TableData
+from repro.experiments.surface import sweep_grid
 
 __all__ = []
 
@@ -308,7 +308,6 @@ def ablation_dragon_terms(processors: int = 16, **_) -> ExperimentResult:
     stealing] are small and could have been omitted from the model
     without significantly affecting our results."
     """
-    bus = BusSystem()
     full = WorkloadParams.middle()
     # oclean=1: no misses supplied from caches; nshd=0: no stealing.
     stripped = full.replace(oclean=1.0, nshd=0.0)
@@ -320,14 +319,9 @@ def ablation_dragon_terms(processors: int = 16, **_) -> ExperimentResult:
     )
     counts = tuple(range(1, processors + 1))
     for label, params in (("full", full), ("stripped", stripped)):
-        predictions = bus.sweep(DRAGON, params, counts)
-        result.series.append(
-            Series(
-                label,
-                tuple(float(p.processors) for p in predictions),
-                tuple(p.processing_power for p in predictions),
-            )
-        )
+        surface = sweep_grid(DRAGON, params, processors=counts)
+        x, y = surface.series("processors")
+        result.series.append(Series(label, x, y))
     full_power = result.series_by_label("full").y_at(processors)
     stripped_power = result.series_by_label("stripped").y_at(processors)
     change = abs(stripped_power - full_power) / full_power

@@ -26,6 +26,11 @@ Responsibilities per sweep:
 Sweeps are numbered in execution order, which is deterministic for a
 fixed command line; the work-item ``repr`` stored with every
 checkpoint record guards against a resume whose configuration drifted.
+A checkpoint cell whose stored ``repr`` does not match the work item
+now at its coordinates — or whose payload no longer decodes — is
+*stale*: it is never served, a ``cell-stale`` warning event (with the
+stored and expected reprs) is appended to the manifest, and the cell
+re-executes.
 """
 
 from __future__ import annotations
@@ -195,18 +200,46 @@ class SweepMonitor:
                 if self.resume is not None
                 else None
             )
-            if entry is not None and entry.item == repr(item):
-                results[index] = entry.result()
-                cached += 1
-                done += 1
+            if entry is not None and entry.item != repr(item):
+                # The run being resumed recorded a different work item
+                # at these coordinates: the command line (or the work
+                # ordering it produces) drifted since the checkpoint
+                # was written.  Serving the stored result would be
+                # silently wrong, so warn and re-execute the cell.
                 self.event(
-                    "cell-cached",
+                    "cell-stale",
                     sweep=sweep,
                     cell=index,
-                    item=entry.item,
-                    digest=entry.digest,
+                    item=repr(item),
+                    checkpoint_item=entry.item,
+                    reason="item-mismatch",
                 )
-            else:
+                entry = None
+            if entry is not None:
+                try:
+                    result = entry.result()
+                except Exception as error:  # corrupt/undecodable payload
+                    self.event(
+                        "cell-stale",
+                        sweep=sweep,
+                        cell=index,
+                        item=repr(item),
+                        checkpoint_item=entry.item,
+                        reason=f"payload-error: {error}",
+                    )
+                    entry = None
+                else:
+                    results[index] = result
+                    cached += 1
+                    done += 1
+                    self.event(
+                        "cell-cached",
+                        sweep=sweep,
+                        cell=index,
+                        item=entry.item,
+                        digest=entry.digest,
+                    )
+            if entry is None:
                 pending_ids.append(index)
                 pending_items.append(item)
         self.cells_cached += cached

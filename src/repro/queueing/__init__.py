@@ -14,6 +14,10 @@ models are built on:
 * :mod:`repro.queueing.asymptotic` — operational-analysis bounds
   (saturation point, asymptotic processing power) used to locate the
   knees of the processing-power curves.
+* :mod:`repro.queueing.batch` — numpy-batched versions of both
+  engines that solve whole grids of ``(Z, S)`` pairs (all populations
+  ``1..n`` in one MVA pass; all grid cells' network fixed points in
+  lock-step), bit-identical to the scalar solvers per cell.
 
 The engines are deliberately independent of cache-coherence concepts;
 they take (think time, service time) style inputs so they can be tested
@@ -25,22 +29,41 @@ from repro.queueing.asymptotic import (
     machine_repairman_bounds,
     saturation_population,
 )
+from repro.queueing.batch import (
+    MvaGridSolution,
+    accepted_rate_grid,
+    closed_loop_thinking_grid,
+    solve_machine_repairman_general_grid,
+    solve_machine_repairman_grid,
+    stage_rates_grid,
+)
 from repro.queueing.delta import (
     DeltaNetwork,
     FixedPointResult,
     closed_loop_utilization,
     stage_rates,
 )
-from repro.queueing.mva import MvaResult, solve_machine_repairman
+from repro.queueing.mva import (
+    MvaResult,
+    solve_machine_repairman,
+    solve_machine_repairman_general,
+)
 
 __all__ = [
     "DeltaNetwork",
     "FixedPointResult",
+    "MvaGridSolution",
     "MvaResult",
+    "accepted_rate_grid",
     "asymptotic_throughput",
+    "closed_loop_thinking_grid",
     "closed_loop_utilization",
     "machine_repairman_bounds",
     "saturation_population",
     "solve_machine_repairman",
+    "solve_machine_repairman_general",
+    "solve_machine_repairman_general_grid",
+    "solve_machine_repairman_grid",
     "stage_rates",
+    "stage_rates_grid",
 ]

@@ -54,8 +54,16 @@ class MvaResult:
 
     @property
     def waiting_time(self) -> float:
-        """Mean contention (pure queueing) time per request."""
-        return self.response_time - self.service_time
+        """Mean contention (pure queueing) time per request.
+
+        Clamped at 0.0: analytically ``R(k) >= S`` always (and
+        ``R(1) == S`` exactly), but the subtraction can land ~1 ulp
+        below zero when ``R`` was produced by a chain of rounded float
+        operations.  The clamp may bind only within float tolerance of
+        zero — a property test (``tests/queueing/test_mva.py``)
+        asserts the raw difference never goes materially negative.
+        """
+        return max(self.response_time - self.service_time, 0.0)
 
     @property
     def server_utilization(self) -> float:

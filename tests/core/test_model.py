@@ -1,5 +1,7 @@
 """Unit tests for equations 1-2 (per-instruction cost)."""
 
+import math
+
 import pytest
 
 from repro.core import (
@@ -36,8 +38,18 @@ class TestInstructionCost:
         assert cost.uncontended_utilization == pytest.approx(1 / 1.5)
 
     def test_degenerate_all_channel(self):
+        # Regression: c == b used to return inf, which poisoned every
+        # downstream product (rate * waiting, rate * service) with
+        # inf/nan in saturation cells.  A processor that is pure
+        # channel demand never thinks, so it initiates no transactions.
         cost = InstructionCost(cpu_cycles=2.0, channel_cycles=2.0)
-        assert cost.transaction_rate == float("inf")
+        assert cost.think_time == 0.0
+        assert cost.transaction_rate == 0.0
+
+    def test_saturated_rate_products_stay_finite(self):
+        cost = InstructionCost(cpu_cycles=2.0, channel_cycles=2.0)
+        assert cost.transaction_rate * 123.0 == 0.0
+        assert not math.isnan(cost.transaction_rate * 0.0)
 
     def test_validation(self):
         with pytest.raises(ValueError):

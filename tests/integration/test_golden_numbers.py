@@ -108,3 +108,63 @@ class TestGoldenNetworkNumbers:
         assert bus.saturation_processing_power(
             NO_CACHE, middle
         ) == pytest.approx(3.504, rel=5e-3)
+
+
+#: The full Figure 4 sweep (low ls/shd, processors 1..16), recorded
+#: from the scalar ``BusSystem.evaluate`` path.  ``sweep_grid`` — the
+#: vectorized path every figure now runs on — must land on these exact
+#: curves; the loose-tolerance cells above only spot-check endpoints.
+GOLDEN_FIGURE4_POWER = {
+    "Base": (
+        0.9487666034155597, 1.8949387695662763, 2.8382513243983905, 3.7784047909327994,
+        4.715060206090195, 5.647833085674529, 6.576286399575999, 7.499922402478595,
+        8.418173150080408, 9.330389519579523, 10.235828549909787, 11.133638927954426,
+        12.022844480610374, 12.90232560185905, 13.770798666603882, 14.626793682617912,
+    ),
+    "No-Cache": (
+        0.8931914516576204, 1.775101683777069, 2.643524304145549, 3.495765209689276,
+        4.328544777493379, 5.1378955564678295, 5.919068690140582, 6.6664729937371465,
+        7.373684983049624, 8.033583954350695, 8.63867679070028, 9.181669695375133,
+        9.656301145152048, 10.058359750800346, 10.386684721942505, 10.643840484708702,
+    ),
+    "Software-Flush": (
+        0.9269780281349488, 1.84904563437787, 2.7655294791566174, 3.6756428908667926,
+        4.578464736701243, 5.472914486930843, 6.357723050936597, 7.231399111941896,
+        8.092190995740575, 8.93804466538473, 9.766559357539233, 10.574943812059853,
+        11.359978144506101, 12.117989272970322, 12.844851379861218, 13.536026772415553,
+    ),
+    "Dragon": (
+        0.9403408637835764, 1.8777354915040385, 2.8118636057270616, 3.742361083781149,
+        4.668813002645997, 5.5907455020769845, 6.507616275811363, 7.4188034822186415,
+        8.323592853287913, 9.221162780178929, 10.110567173558472, 10.990715950726024,
+        11.860353107954644, 12.718032521669024, 13.562091920749413, 14.390625927839716,
+    ),
+}
+
+
+class TestGoldenFigure4Sweep:
+    """Locks one full figure sweep produced through ``sweep_grid``.
+
+    The committed literals are scalar-path outputs; the tight relative
+    tolerance (1e-12, far below the 0.5% used elsewhere) is what the
+    bit-exactness contract of the vectorized path buys.  A change here
+    means the model output moved, not just an internal refactor.
+    """
+
+    @pytest.mark.parametrize(
+        "scheme", ALL_SCHEMES, ids=lambda scheme: scheme.name
+    )
+    def test_figure4_curve_via_sweep_grid(self, scheme):
+        from repro.core import PARAMETER_RANGES
+        from repro.experiments import sweep_grid
+
+        params = WorkloadParams.middle(
+            ls=PARAMETER_RANGES["ls"].at("low"),
+            shd=PARAMETER_RANGES["shd"].at("low"),
+        )
+        surface = sweep_grid(scheme, params, processors=range(1, 17))
+        _, power = surface.series("processors")
+        golden = GOLDEN_FIGURE4_POWER[scheme.name]
+        assert len(power) == len(golden) == 16
+        for got, want in zip(power, golden):
+            assert got == pytest.approx(want, rel=1e-12)

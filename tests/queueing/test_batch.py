@@ -1,0 +1,197 @@
+"""Batched queueing kernels vs their scalar references, bit-for-bit.
+
+Every solver in :mod:`repro.queueing.batch` promises *bit-identical*
+results to the scalar solver it mirrors — not approximate agreement.
+The tests here sweep the same (Z, S) / (r, n) points through both
+paths and compare with ``==`` (NaN-aware), including the degenerate
+and saturating cells: zero service, zero think time, zero stages,
+zero and enormous request rates.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    DeltaNetwork,
+    closed_loop_thinking_grid,
+    closed_loop_utilization,
+    solve_machine_repairman,
+    solve_machine_repairman_general,
+    solve_machine_repairman_general_grid,
+    solve_machine_repairman_grid,
+    stage_rates,
+    stage_rates_grid,
+)
+
+#: (think, service) points, including degenerate rows: S = 0 (never
+#: queues), Z = 0 with S > 0 (all customers always at the server), and
+#: nearly-equal Z and S.
+_ZS_POINTS = [
+    (4.0, 1.0),
+    (10.0, 0.25),
+    (1.0, 1.0),
+    (0.5, 8.0),
+    (100.0, 0.0),
+    (0.0, 1.0),
+    (1e-9, 1e3),
+    (3.0, 0.0),
+]
+
+
+def _identical(a, b):
+    a, b = float(a), float(b)
+    return a == b or (math.isnan(a) and math.isnan(b))
+
+
+class TestMachineRepairmanGrid:
+    @pytest.mark.parametrize("population", [1, 2, 7, 16])
+    def test_bit_identical_to_scalar(self, population):
+        think = np.array([zs[0] for zs in _ZS_POINTS])
+        service = np.array([zs[1] for zs in _ZS_POINTS])
+        grid = solve_machine_repairman_grid(population, think, service)
+        for index, (z, s) in enumerate(_ZS_POINTS):
+            scalar = solve_machine_repairman(population, z, s)
+            assert _identical(
+                grid.response_time[population][index], scalar.response_time
+            )
+            assert _identical(
+                grid.throughput[population][index], scalar.throughput
+            )
+            assert _identical(
+                grid.queue_length[population][index], scalar.queue_length
+            )
+            assert _identical(
+                grid.waiting_time(population)[index], scalar.waiting_time
+            )
+
+    def test_all_prefix_populations_are_exact(self):
+        # One batched pass to n solves every population 1..n: row k
+        # must equal an independent scalar solve at population k.
+        think = np.array([4.0, 0.5, 100.0])
+        service = np.array([1.0, 8.0, 0.0])
+        grid = solve_machine_repairman_grid(16, think, service)
+        for population in range(1, 17):
+            for index in range(3):
+                scalar = solve_machine_repairman(
+                    population, float(think[index]), float(service[index])
+                )
+                assert _identical(
+                    grid.throughput[population][index], scalar.throughput
+                )
+
+    def test_zero_population_row(self):
+        grid = solve_machine_repairman_grid(0, 4.0, 1.0)
+        scalar = solve_machine_repairman(0, 4.0, 1.0)
+        assert _identical(grid.throughput[0], scalar.throughput)
+        assert _identical(grid.response_time[0], scalar.response_time)
+
+    def test_degenerate_server_with_zero_think(self):
+        # S = 0 and Z = 0: the scalar solver returns X = inf, R = 0.
+        grid = solve_machine_repairman_grid(
+            4, np.array([0.0, 2.0]), np.array([0.0, 0.0])
+        )
+        scalar_inf = solve_machine_repairman(4, 0.0, 0.0)
+        scalar_fin = solve_machine_repairman(4, 2.0, 0.0)
+        assert _identical(grid.throughput[4][0], scalar_inf.throughput)
+        assert _identical(grid.throughput[4][1], scalar_fin.throughput)
+        assert _identical(grid.response_time[4][0], scalar_inf.response_time)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            solve_machine_repairman_grid(-1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            solve_machine_repairman_grid(2, np.array([-1.0]), 1.0)
+        with pytest.raises(ValueError):
+            solve_machine_repairman_grid(2, 1.0, np.array([-0.5]))
+
+
+class TestGeneralServiceGrid:
+    @pytest.mark.parametrize("cv2", [0.0, 0.5, 1.0, 2.0])
+    def test_bit_identical_to_scalar(self, cv2):
+        think = np.array([zs[0] for zs in _ZS_POINTS])
+        service = np.array([zs[1] for zs in _ZS_POINTS])
+        grid = solve_machine_repairman_general_grid(
+            12, think, service, service_cv2=cv2
+        )
+        for index, (z, s) in enumerate(_ZS_POINTS):
+            scalar = solve_machine_repairman_general(
+                12, z, s, service_cv2=cv2
+            )
+            assert _identical(
+                grid.response_time[12][index], scalar.response_time
+            )
+            assert _identical(grid.throughput[12][index], scalar.throughput)
+            assert _identical(
+                grid.queue_length[12][index], scalar.queue_length
+            )
+
+    def test_per_cell_cv2_array(self):
+        cv2 = np.array([0.0, 1.0, 3.0])
+        grid = solve_machine_repairman_general_grid(
+            6, 4.0, np.array([1.0, 1.0, 1.0]), service_cv2=cv2
+        )
+        for index in range(3):
+            scalar = solve_machine_repairman_general(
+                6, 4.0, 1.0, service_cv2=float(cv2[index])
+            )
+            assert _identical(
+                grid.response_time[6][index], scalar.response_time
+            )
+
+
+class TestStageRatesGrid:
+    @pytest.mark.parametrize("stages", [0, 1, 3, 8])
+    @pytest.mark.parametrize("switch_size", [2, 4])
+    def test_bit_identical_to_scalar(self, stages, switch_size):
+        offered = np.array([0.0, 0.05, 0.5, 0.9, 1.0])
+        grid = stage_rates_grid(offered, stages, switch_size)
+        assert grid.shape == (stages + 1, offered.size)
+        for index, m0 in enumerate(offered):
+            scalar = stage_rates(float(m0), stages, switch_size)
+            for stage in range(stages + 1):
+                assert grid[stage][index] == scalar[stage]
+
+    def test_rejects_out_of_range_load(self):
+        with pytest.raises(ValueError):
+            stage_rates_grid(np.array([1.5]), 2)
+        with pytest.raises(ValueError):
+            stage_rates_grid(np.array([-0.1]), 2)
+
+
+class TestClosedLoopThinkingGrid:
+    #: Request rates including the quiet (r = 0), saturating, and
+    #: astronomically large cells.
+    _RATES = [0.0, 1e-6, 0.05, 0.5, 1.0, 5.0, 1e6, 1e300]
+
+    @pytest.mark.parametrize("stages", [0, 1, 4, 8])
+    def test_bit_identical_to_scalar(self, stages):
+        rates = np.array(self._RATES)
+        thinking = closed_loop_thinking_grid(rates, stages)
+        network = DeltaNetwork(stages=stages)
+        for index, rate in enumerate(self._RATES):
+            scalar = closed_loop_utilization(network, rate)
+            assert thinking[index] == scalar.thinking_fraction
+
+    def test_lockstep_matches_cellwise(self):
+        # Freezing cells one at a time must not perturb the others:
+        # solving each rate alone gives the same bits as the batch.
+        rates = np.array(self._RATES)
+        batch = closed_loop_thinking_grid(rates, 6)
+        for index, rate in enumerate(self._RATES):
+            alone = closed_loop_thinking_grid(np.array([rate]), 6)
+            assert batch[index] == alone[0]
+
+    def test_all_cells_in_unit_interval(self):
+        rates = np.array(self._RATES)
+        for stages in (0, 1, 8):
+            thinking = closed_loop_thinking_grid(rates, stages)
+            assert np.all(thinking >= 0.0)
+            assert np.all(thinking <= 1.0)
+
+    def test_rejects_negative_rate_and_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            closed_loop_thinking_grid(np.array([-0.5]), 2)
+        with pytest.raises(ValueError):
+            closed_loop_thinking_grid(np.array([0.5]), 2, tolerance=0.0)

@@ -129,3 +129,73 @@ class TestClosedLoopUtilization:
     def test_rejects_negative_rate(self):
         with pytest.raises(ValueError):
             closed_loop_utilization(DeltaNetwork(stages=2), -0.5)
+
+
+class _CountingNetwork(DeltaNetwork):
+    """Counts fixed-point function evaluations (bisection steps)."""
+
+    calls: list = []
+
+    def accepted_rate(self, offered):
+        type(self).calls.append(offered)
+        return super().accepted_rate(offered)
+
+
+class TestClosedLoopEdgeCases:
+    """Regression pins for the stages=0 / exact-saturation edge cases.
+
+    ``closed_loop_utilization`` used to spin the full bisection budget
+    for ``stages=0`` (where ``m_n == m_0`` makes the fixed point
+    analytic) and for tolerances below ~1 ulp, and could hand back a
+    midpoint fractionally outside ``[0, 1]``.
+    """
+
+    def test_zero_stages_is_analytic_and_exact(self):
+        # m_n == m_0, so U * r = 1 - U solves in closed form; the
+        # result must be that closed form exactly, not a bisection
+        # approximation of it.
+        for rate in (0.25, 1.0, 3.0, 1e6):
+            result = closed_loop_utilization(DeltaNetwork(stages=0), rate)
+            assert result.thinking_fraction == 1.0 / (1.0 + rate)
+            assert result.offered_rate == 1.0 - result.thinking_fraction
+            assert result.accepted_rate == result.offered_rate
+
+    def test_zero_stages_runs_no_bisection(self):
+        _CountingNetwork.calls = []
+        closed_loop_utilization(_CountingNetwork(stages=0), 2.0)
+        assert _CountingNetwork.calls == []
+
+    def test_saturating_load_stays_in_unit_interval(self):
+        # As r -> inf the offered load pins at exactly 1.0 and U at 0;
+        # utilisation must never escape [0, 1].
+        for stages in (0, 1, 8):
+            for rate in (1e6, 1e12, 1e300):
+                result = closed_loop_utilization(
+                    DeltaNetwork(stages=stages), rate
+                )
+                assert 0.0 <= result.thinking_fraction <= 1.0
+                assert 0.0 <= result.offered_rate <= 1.0
+                assert 0.0 <= result.accepted_rate <= 1.0
+
+    def test_sub_ulp_tolerance_breaks_before_step_budget(self):
+        # A tolerance below float resolution can never be met; the
+        # loop must stop once the interval no longer separates
+        # (~55 halvings) instead of spinning all 200 steps.
+        _CountingNetwork.calls = []
+        result = closed_loop_utilization(
+            _CountingNetwork(stages=4), 0.8, tolerance=5e-324
+        )
+        assert len(_CountingNetwork.calls) < 100
+        assert 0.0 <= result.thinking_fraction <= 1.0
+
+    def test_rejects_nonpositive_tolerance(self):
+        for tolerance in (0.0, -1e-9):
+            with pytest.raises(ValueError):
+                closed_loop_utilization(
+                    DeltaNetwork(stages=2), 0.5, tolerance=tolerance
+                )
+
+    def test_zero_stage_rates_identity(self):
+        # stages=0: the "network" is a wire; m_n == m_0 exactly.
+        assert stage_rates(0.7, stages=0) == [0.7]
+        assert DeltaNetwork(stages=0).accepted_rate(0.7) == 0.7

@@ -125,3 +125,84 @@ class TestResumeByteIdentity:
         code = main(["run", "--resume", str(tmp_path / "absent.jsonl")])
         assert code == 2
         assert "cannot resume" in capsys.readouterr().err
+
+
+class TestStaleCheckpointCells:
+    """A drifted or corrupt checkpoint cell must re-execute loudly.
+
+    Regression: a ``.ckpt`` record whose item repr no longer matches
+    the work item at its coordinates used to be skipped *silently*,
+    leaving no trace in the manifest that the resumed run had thrown
+    recorded work away (and a record whose payload failed to unpickle
+    crashed the resume outright).
+    """
+
+    def _checkpointed_run(self, tmp_path, capsys):
+        assert main(["run", "resumetest", "--no-manifest"]) == 0
+        clean = capsys.readouterr().out
+        manifest = tmp_path / "m.jsonl"
+        assert main(["run", "resumetest", "--manifest", str(manifest)]) == 0
+        capsys.readouterr()
+        return clean, manifest, tmp_path / "m.jsonl.ckpt"
+
+    def _mutate_record(self, checkpoint, cell, **replacements):
+        import json
+
+        lines = checkpoint.read_text().splitlines()
+        for number, line in enumerate(lines):
+            record = json.loads(line)
+            if record["cell"] == cell:
+                record.update(replacements)
+                lines[number] = json.dumps(record)
+        checkpoint.write_text("\n".join(lines) + "\n")
+
+    def _stale_events(self, manifest):
+        from repro.obs import load_manifest
+
+        events = load_manifest(manifest)
+        return (
+            [e for e in events if e["event"] == "cell-stale"],
+            [e for e in events if e["event"] == "cell-cached"],
+        )
+
+    def test_mutated_item_repr_warns_and_reexecutes(
+        self, resume_experiment, tmp_path, capsys
+    ):
+        clean, manifest, checkpoint = self._checkpointed_run(
+            tmp_path, capsys
+        )
+        # Cell 2 ("gamma") now claims it was computed for another item,
+        # as if the sweep's work list drifted between runs.
+        self._mutate_record(checkpoint, 2, item="'gamma-of-another-run'")
+
+        assert main(["run", "--resume", str(manifest)]) == 0
+        assert capsys.readouterr().out == clean
+
+        stale, cached = self._stale_events(manifest)
+        assert len(stale) == 1
+        assert stale[0]["cell"] == 2
+        assert stale[0]["reason"] == "item-mismatch"
+        assert stale[0]["checkpoint_item"] == "'gamma-of-another-run'"
+        assert stale[0]["item"] == repr("gamma")
+        # The other three cells are still served from the checkpoint.
+        assert len(cached) == 3
+
+    def test_undecodable_payload_warns_and_reexecutes(
+        self, resume_experiment, tmp_path, capsys
+    ):
+        import base64
+
+        clean, manifest, checkpoint = self._checkpointed_run(
+            tmp_path, capsys
+        )
+        garbage = base64.b64encode(b"not a pickle").decode("ascii")
+        self._mutate_record(checkpoint, 1, payload=garbage)
+
+        assert main(["run", "--resume", str(manifest)]) == 0
+        assert capsys.readouterr().out == clean
+
+        stale, cached = self._stale_events(manifest)
+        assert len(stale) == 1
+        assert stale[0]["cell"] == 1
+        assert stale[0]["reason"].startswith("payload-error")
+        assert len(cached) == 3
