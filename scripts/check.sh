@@ -53,4 +53,10 @@ echo "== vectorized kernels: equivalence + speedup smoke =="
 # schemes (bus and network), then the figure-scale 10x speedup floor.
 python benchmarks/bench_vectorized.py --smoke
 
+echo "== one-pass geometry families: equivalence + speedup smoke =="
+# Family-vs-per-config bit-exactness for the three geometry-local
+# protocols, then the sweep-scale speedup floor on the benchmark
+# family (2x in smoke; the recorded baseline enforces 3x).
+python benchmarks/bench_onepass.py --smoke
+
 echo "== all checks passed =="

@@ -30,6 +30,7 @@ from repro.experiments.result import (
     TableData,
 )
 from repro.experiments.surface import GridSpec, ModelSurface, sweep_grid
+from repro.experiments.geometry import sweep_geometries
 
 # Importing these modules populates the registry.
 from repro.experiments import bus_figures  # noqa: F401  (registration)
@@ -48,6 +49,7 @@ __all__ = [
     "Series",
     "TableData",
     "get_experiment",
+    "sweep_geometries",
     "sweep_grid",
     "list_experiments",
     "register",

@@ -88,6 +88,56 @@ def directory_vs_flush(stages: int = 8, **_) -> ExperimentResult:
             for level in ("low", "middle", "high")
         ),
     )
+
+    # Ground the remark in *measured* workloads too: simulate a
+    # cache-size family through the geometry-sweep API (Dragon is
+    # geometry-coupled, so each cell is an exact per-config replay that
+    # still shares the trace's derived columns) and evaluate both
+    # schemes on the parameters measured from each simulated cell.
+    from repro.experiments.geometry import sweep_geometries
+    from repro.sim import SimulationConfig, measure_workload_params
+    from repro.trace import preset
+
+    trace = preset("pops").generate(records_per_cpu=8_000)
+    cache_sizes = (16384, 65536, 262144)
+    grid = sweep_geometries("dragon", trace, cache_sizes)
+    measured_rows = []
+    measured: dict[tuple[str, int], float] = {}
+    for cache_bytes in cache_sizes:
+        run = grid[(cache_bytes, 16)]
+        config = SimulationConfig(cache_bytes=cache_bytes)
+        params = measure_workload_params(trace, config, run)
+        for scheme in (SOFTWARE_FLUSH, DIRECTORY):
+            prediction = network.evaluate(scheme, params)
+            measured[scheme.name, cache_bytes] = prediction.processing_power
+            measured_rows.append(
+                (
+                    f"{cache_bytes // 1024}K",
+                    scheme.name,
+                    f"{prediction.processing_power:.1f}",
+                    f"{prediction.utilization:.3f}",
+                )
+            )
+    result.tables.append(
+        TableData(
+            title="measured pops workloads (simulated cache-size family)",
+            headers=("cache", "scheme", "power", "utilization"),
+            rows=tuple(measured_rows),
+        )
+    )
+    result.add_check(
+        "directory-tracks-flush-on-measured-workloads",
+        all(
+            measured["Directory", size]
+            >= 0.9 * measured["Software-Flush", size]
+            for size in cache_sizes
+        ),
+        "; ".join(
+            f"{size // 1024}K: dir {measured['Directory', size]:.1f} vs "
+            f"flush {measured['Software-Flush', size]:.1f}"
+            for size in cache_sizes
+        ),
+    )
     return result
 
 
@@ -112,7 +162,8 @@ def block_size_effect(fast: bool = True, **_) -> ExperimentResult:
     sweet spot.
     """
     from repro.core.operations import derive_bus_costs
-    from repro.sim import Machine, SimulationConfig
+    from repro.experiments.geometry import sweep_geometries
+    from repro.sim import SimulationConfig
     from repro.trace import preset
 
     records = 40_000 if fast else None
@@ -128,10 +179,18 @@ def block_size_effect(fast: bool = True, **_) -> ExperimentResult:
     rows = []
     miss_rates = []
     powers = {}
-    for block_bytes in (8, 16, 32, 64):
-        config = SimulationConfig(block_bytes=block_bytes)
+    cache_bytes = SimulationConfig().cache_bytes
+    block_sizes = (8, 16, 32, 64)
+    # One sweep call covers the whole block-size axis; Dragon is
+    # geometry-coupled, so each cell is an exact per-config replay —
+    # but the sweep still shares the trace's derived columns per block
+    # size with every other study in the process.
+    grid = sweep_geometries(
+        "dragon", trace, (cache_bytes,), block_sizes=block_sizes
+    )
+    for block_bytes in block_sizes:
         costs = derive_bus_costs(block_words=block_bytes // 4)
-        run = Machine("dragon", config, costs).run(trace)
+        run = grid[(cache_bytes, block_bytes)]
         miss_rates.append(run.data_miss_rate)
         powers[block_bytes] = run.processing_power
         rows.append(

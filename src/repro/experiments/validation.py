@@ -19,10 +19,14 @@ from repro.core import BASE, DRAGON, BusSystem, CoherenceScheme
 from repro.experiments.parallel import CellFailure, parallel_map
 from repro.experiments.registry import register
 from repro.experiments.result import ExperimentResult, Series, TableData
-from repro.sim import Machine, SimulationConfig, measure_workload_params
+from repro.sim import (
+    SimulationConfig,
+    measure_workload_params,
+    run_geometry_family,
+)
 from repro.trace import Trace, preset
 
-__all__ = ["model_vs_simulation", "validation_points"]
+__all__ = ["model_vs_simulation", "validation_points", "validation_sweep"]
 
 _SCHEME_BY_PROTOCOL: dict[str, CoherenceScheme] = {
     "base": BASE,
@@ -41,6 +45,74 @@ def _trace(workload: str, records_per_cpu: int | None) -> Trace:
     return recipe.generate(records_per_cpu=records_per_cpu)
 
 
+@lru_cache(maxsize=32)
+def _restricted(
+    workload: str, records_per_cpu: int | None, cpus: int
+) -> Trace:
+    """The workload trace restricted to ``cpus`` processors.
+
+    Hoisted out of the sweep loops: every (protocol, cache-size) cell
+    at the same processor count shares one restriction (and, through
+    the derived-column memo in :mod:`repro.trace.derived`, one set of
+    decoded column arrays) instead of re-deriving both per cell.
+    """
+    trace = _trace(workload, records_per_cpu)
+    return trace.restricted_to(cpus) if cpus != trace.cpus else trace
+
+
+def validation_sweep(
+    workload: str,
+    protocol: str,
+    cache_sizes: Sequence[int],
+    cpu_counts: Sequence[int],
+    records_per_cpu: int | None = None,
+) -> dict[int, list[dict]]:
+    """Simulated and predicted performance over a cache-size family.
+
+    The whole ``cache_sizes`` axis is simulated per processor count
+    with :func:`repro.sim.run_geometry_family` — a single trace
+    traversal for the geometry-local protocols, per-config replay for
+    the coupled ones — with statistics identical to per-cell
+    ``Machine.run`` either way.
+
+    Returns:
+        ``{cache_bytes: [point per processor count]}`` where each
+        point has keys ``cpus``, ``simulated_power``,
+        ``predicted_power``, ``relative_error``, and the measured miss
+        rates.
+    """
+    scheme = _SCHEME_BY_PROTOCOL[protocol]
+    bus = BusSystem()
+    points: dict[int, list[dict]] = {size: [] for size in cache_sizes}
+    for cpus in cpu_counts:
+        restricted = _restricted(workload, records_per_cpu, cpus)
+        family = run_geometry_family(protocol, restricted, cache_sizes)
+        for cache_bytes in cache_sizes:
+            simulated = family[cache_bytes]
+            config = SimulationConfig(cache_bytes=cache_bytes)
+            # Dragon measurement run reused when the protocol is dragon.
+            measurement = simulated if protocol == "dragon" else None
+            params = measure_workload_params(restricted, config, measurement)
+            predicted = bus.evaluate(scheme, params, cpus)
+            simulated_power = simulated.processing_power
+            predicted_power = predicted.processing_power
+            points[cache_bytes].append(
+                {
+                    "cpus": cpus,
+                    "simulated_power": simulated_power,
+                    "predicted_power": predicted_power,
+                    "relative_error": (
+                        (predicted_power - simulated_power) / simulated_power
+                        if simulated_power
+                        else 0.0
+                    ),
+                    "msdat": params.msdat,
+                    "mains": params.mains,
+                }
+            )
+    return points
+
+
 def validation_points(
     workload: str,
     protocol: str,
@@ -48,52 +120,22 @@ def validation_points(
     cpu_counts: Sequence[int],
     records_per_cpu: int | None = None,
 ) -> list[dict]:
-    """Simulated and predicted performance for one configuration sweep.
-
-    Returns:
-        One dict per processor count with keys ``cpus``,
-        ``simulated_power``, ``predicted_power``, ``relative_error``,
-        and the measured miss rates.
-    """
-    scheme = _SCHEME_BY_PROTOCOL[protocol]
-    trace = _trace(workload, records_per_cpu)
-    config = SimulationConfig(cache_bytes=cache_bytes)
-    machine = Machine(protocol, config)
-    bus = BusSystem()
-    points = []
-    for cpus in cpu_counts:
-        restricted = trace.restricted_to(cpus) if cpus != trace.cpus else trace
-        simulated = machine.run(restricted)
-        # Dragon measurement run reused when the protocol is dragon.
-        measurement = simulated if protocol == "dragon" else None
-        params = measure_workload_params(restricted, config, measurement)
-        predicted = bus.evaluate(scheme, params, cpus)
-        simulated_power = simulated.processing_power
-        predicted_power = predicted.processing_power
-        points.append(
-            {
-                "cpus": cpus,
-                "simulated_power": simulated_power,
-                "predicted_power": predicted_power,
-                "relative_error": (
-                    (predicted_power - simulated_power) / simulated_power
-                    if simulated_power
-                    else 0.0
-                ),
-                "msdat": params.msdat,
-                "mains": params.mains,
-            }
-        )
-    return points
+    """Single-cache-size convenience wrapper over
+    :func:`validation_sweep`."""
+    sweep = validation_sweep(
+        workload, protocol, (cache_bytes,), cpu_counts, records_per_cpu
+    )
+    return sweep[cache_bytes]
 
 
-def _sweep_cell(cell: tuple) -> list[dict]:
-    """Worker for :func:`parallel_map`: one (workload, protocol,
-    cache-size) cell of a validation sweep.  Module-level and fed a
-    plain tuple so it pickles into worker processes."""
-    workload, protocol, cache_bytes, cpu_counts, records_per_cpu = cell
-    return validation_points(
-        workload, protocol, cache_bytes, cpu_counts, records_per_cpu
+def _sweep_cell(cell: tuple) -> dict[int, list[dict]]:
+    """Worker for :func:`parallel_map`: one (workload, protocol) group
+    of a validation sweep, covering its whole cache-size family in one
+    traversal per processor count.  Module-level and fed a plain tuple
+    so it pickles into worker processes."""
+    workload, protocol, cache_sizes, cpu_counts, records_per_cpu = cell
+    return validation_sweep(
+        workload, protocol, cache_sizes, cpu_counts, records_per_cpu
     )
 
 
@@ -121,11 +163,21 @@ def model_vs_simulation(
         xlabel="processors",
         ylabel="processing power",
     )
+    # One cell per (workload, protocol): the cache-size axis is swept
+    # inside the cell by ``run_geometry_family`` — a single trace
+    # traversal per processor count on the one-pass protocols — so
+    # cells stay coarse enough to amortize and the rendered output is
+    # identical to the old per-cache-size cells.
     cells = [
-        (workload, protocol, cache_bytes, tuple(cpu_counts), records_per_cpu)
+        (
+            workload,
+            protocol,
+            tuple(cache_sizes),
+            tuple(cpu_counts),
+            records_per_cpu,
+        )
         for workload in workloads
         for protocol in protocols
-        for cache_bytes in cache_sizes
     ]
     cell_points = parallel_map(_sweep_cell, cells, jobs)
     # Under a resilient monitor (``swcc run``) a crashed cell comes
@@ -138,42 +190,44 @@ def model_vs_simulation(
     ]
     rows = []
     worst = 0.0
-    for cell, points in zip(cells, cell_points):
-        if isinstance(points, CellFailure):
+    for cell, sweep in zip(cells, cell_points):
+        if isinstance(sweep, CellFailure):
             continue
-        workload, protocol, cache_bytes = cell[:3]
-        tag = _series_tag(
-            workload, protocol, cache_bytes,
-            len(workloads) > 1, len(protocols) > 1,
-            len(cache_sizes) > 1,
-        )
-        result.series.append(
-            Series(
-                f"sim {tag}".strip(),
-                tuple(float(p["cpus"]) for p in points),
-                tuple(p["simulated_power"] for p in points),
+        workload, protocol = cell[:2]
+        for cache_bytes in cache_sizes:
+            points = sweep[cache_bytes]
+            tag = _series_tag(
+                workload, protocol, cache_bytes,
+                len(workloads) > 1, len(protocols) > 1,
+                len(cache_sizes) > 1,
             )
-        )
-        result.series.append(
-            Series(
-                f"model {tag}".strip(),
-                tuple(float(p["cpus"]) for p in points),
-                tuple(p["predicted_power"] for p in points),
-            )
-        )
-        for point in points:
-            worst = max(worst, abs(point["relative_error"]))
-            rows.append(
-                (
-                    workload,
-                    protocol,
-                    f"{cache_bytes // 1024}K",
-                    str(point["cpus"]),
-                    f"{point['simulated_power']:.3f}",
-                    f"{point['predicted_power']:.3f}",
-                    f"{100 * point['relative_error']:+.1f}%",
+            result.series.append(
+                Series(
+                    f"sim {tag}".strip(),
+                    tuple(float(p["cpus"]) for p in points),
+                    tuple(p["simulated_power"] for p in points),
                 )
             )
+            result.series.append(
+                Series(
+                    f"model {tag}".strip(),
+                    tuple(float(p["cpus"]) for p in points),
+                    tuple(p["predicted_power"] for p in points),
+                )
+            )
+            for point in points:
+                worst = max(worst, abs(point["relative_error"]))
+                rows.append(
+                    (
+                        workload,
+                        protocol,
+                        f"{cache_bytes // 1024}K",
+                        str(point["cpus"]),
+                        f"{point['simulated_power']:.3f}",
+                        f"{point['predicted_power']:.3f}",
+                        f"{100 * point['relative_error']:+.1f}%",
+                    )
+                )
     result.tables.append(
         TableData(
             title="model vs simulation",

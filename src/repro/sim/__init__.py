@@ -23,6 +23,11 @@ from repro.sim.cache import Cache, CacheGeometry, LineState
 from repro.sim.bus import TimedBus
 from repro.sim.machine import Machine, SimulationConfig, SimulationResult
 from repro.sim.measure import measure_workload_params
+from repro.sim.onepass import (
+    ONEPASS_PROTOCOLS,
+    run_geometry_family,
+    supports_onepass,
+)
 from repro.sim.netsim import NetworkSimResult, OmegaNetworkSimulator
 from repro.sim.protocols import (
     PROTOCOLS,
@@ -45,6 +50,7 @@ __all__ = [
     "Machine",
     "NetworkSimResult",
     "NoCacheProtocol",
+    "ONEPASS_PROTOCOLS",
     "PROTOCOLS",
     "OmegaNetworkSimulator",
     "Protocol",
@@ -54,4 +60,6 @@ __all__ = [
     "TimedBus",
     "measure_workload_params",
     "protocol_class",
+    "run_geometry_family",
+    "supports_onepass",
 ]

@@ -19,6 +19,14 @@ closest synthetic equivalent:
 """
 
 from repro.trace.records import AccessType, Trace, TraceRecord
+from repro.trace.derived import (
+    DerivedColumns,
+    clear_derived_cache,
+    derived_cache_info,
+    derived_columns,
+    set_derived_cache_size,
+    trace_digest,
+)
 from repro.trace.synthetic import SyntheticWorkload, TraceConfig, generate_trace
 from repro.trace.flushing import FLUSH_POLICIES, apply_flush_policy, implied_apl
 from repro.trace.io import load_trace, save_trace
@@ -27,7 +35,13 @@ from repro.trace.workloads import WORKLOAD_PRESETS, preset
 
 __all__ = [
     "AccessType",
+    "DerivedColumns",
     "FLUSH_POLICIES",
+    "clear_derived_cache",
+    "derived_cache_info",
+    "derived_columns",
+    "set_derived_cache_size",
+    "trace_digest",
     "apply_flush_policy",
     "implied_apl",
     "SyntheticWorkload",

@@ -1,0 +1,226 @@
+"""Memoized derived column arrays shared across simulation runs.
+
+Every trace replay — whichever engine, protocol, or cache geometry —
+starts from the same preprocessing of the raw trace columns: block
+indices at a block size, the shared-block mask, the stable per-CPU
+sort that splits the interleaved stream into program-order streams,
+the per-(CPU, kind) reference mix, and the fetch prefix sums the
+event-driven merges advance clocks with.  None of that depends on the
+cache size, the protocol, or the replay order, so a geometry sweep
+re-deriving it per cell is pure waste.
+
+:func:`derived_columns` computes the bundle once per
+``(trace content, block size)`` and memoizes it in a bounded LRU
+cache.  The key is a **content digest** of the trace (columns plus
+CPU count and shared region), not the object identity: a trace that
+is mutated in place or rebuilt with different records hashes
+differently and gets fresh columns, while two distinct ``Trace``
+objects with identical content share one entry.  The digest is
+recomputed on every call — hashing ~11 bytes per record is orders of
+magnitude cheaper than the argsort it guards.
+
+All derived arrays are treated as immutable by convention; callers
+must not write to them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.records import Trace
+
+__all__ = [
+    "DerivedColumns",
+    "derived_cache_info",
+    "derived_columns",
+    "clear_derived_cache",
+    "set_derived_cache_size",
+    "trace_digest",
+]
+
+
+@dataclass(frozen=True)
+class DerivedColumns:
+    """Preprocessing of one trace at one block size.
+
+    Trace-order arrays (aligned with the raw columns):
+
+    Attributes:
+        digest: content digest of the source trace.
+        block_shift: log2 of the block size the columns were derived at.
+        shared_low: first shared block number.
+        shared_high: one past the last shared block number.
+        blocks: block index of every record (``address >> block_shift``).
+        shared: whether each record's block lies in the shared region.
+        order: stable argsort of the ``cpu`` column — the permutation
+            that groups records into per-CPU program-order streams.
+        cpus_sorted: ``cpu`` column under ``order``.
+        kinds_sorted: ``kind`` column under ``order``.
+        blocks_sorted: ``blocks`` under ``order``.
+        shared_sorted: ``shared`` under ``order``.
+        counts: records issued by each CPU (stream lengths).
+        offsets: start of each CPU's stream in the sorted arrays.
+        mix: per-(CPU, kind) reference histogram, shape ``(cpus, 4)``.
+        shared_loads: loads whose block is shared, whole trace.
+        shared_stores: stores whose block is shared, whole trace.
+        is_fetch_sorted: ``kinds_sorted == INST_FETCH``.
+        fetch_prefix: length ``total + 1`` prefix sums of
+            ``is_fetch_sorted`` (``fetch_prefix[i]`` = fetches among
+            the first ``i`` sorted records).
+    """
+
+    digest: str
+    block_shift: int
+    shared_low: int
+    shared_high: int
+    blocks: np.ndarray
+    shared: np.ndarray
+    order: np.ndarray
+    cpus_sorted: np.ndarray
+    kinds_sorted: np.ndarray
+    blocks_sorted: np.ndarray
+    shared_sorted: np.ndarray
+    counts: tuple[int, ...]
+    offsets: tuple[int, ...]
+    mix: np.ndarray
+    shared_loads: int
+    shared_stores: int
+    is_fetch_sorted: np.ndarray
+    fetch_prefix: np.ndarray
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content digest of a trace: columns + CPU count + shared region.
+
+    Two traces with equal digests produce identical derived columns at
+    every block size; a mutated or rebuilt trace digests differently.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(
+        f"{trace.cpus}:{trace.shared_region.start}:"
+        f"{trace.shared_region.stop}:".encode()
+    )
+    hasher.update(np.ascontiguousarray(trace.cpu).tobytes())
+    hasher.update(np.ascontiguousarray(trace.kind).tobytes())
+    hasher.update(np.ascontiguousarray(trace.address).tobytes())
+    return hasher.hexdigest()
+
+
+def _derive(trace: Trace, block_shift: int, digest: str) -> DerivedColumns:
+    block_bytes = 1 << block_shift
+    shared_low = trace.shared_region.start >> block_shift
+    shared_high = (
+        trace.shared_region.stop + block_bytes - 1
+    ) >> block_shift
+
+    n = trace.cpus
+    kind_np = trace.kind
+    blocks = trace.block_index(block_shift)
+    shared = (blocks >= shared_low) & (blocks < shared_high)
+
+    # Identical expressions to the ones Machine._run_columnar used
+    # inline before this module existed — the engine-equivalence suite
+    # pins the numbers, so keep the arithmetic bit-for-bit.
+    mix = np.bincount(
+        trace.cpu.astype(np.int64) * 4 + kind_np, minlength=4 * n
+    ).reshape(n, 4)
+    shared_loads = int(np.count_nonzero(shared & (kind_np == 1)))
+    shared_stores = int(np.count_nonzero(shared & (kind_np == 2)))
+
+    order = trace.cpu.argsort(kind="stable")
+    cpus_sorted = trace.cpu[order]
+    kinds_sorted = kind_np[order]
+    blocks_sorted = blocks[order]
+    shared_sorted = shared[order]
+    counts = tuple(int(c) for c in mix.sum(axis=1))
+    offsets = []
+    offset = 0
+    for count in counts:
+        offsets.append(offset)
+        offset += count
+    is_fetch_sorted = kinds_sorted == 0
+    total = len(trace)
+    fetch_prefix = np.zeros(total + 1, dtype=np.int64)
+    np.cumsum(is_fetch_sorted, out=fetch_prefix[1:])
+
+    return DerivedColumns(
+        digest=digest,
+        block_shift=block_shift,
+        shared_low=shared_low,
+        shared_high=shared_high,
+        blocks=blocks,
+        shared=shared,
+        order=order,
+        cpus_sorted=cpus_sorted,
+        kinds_sorted=kinds_sorted,
+        blocks_sorted=blocks_sorted,
+        shared_sorted=shared_sorted,
+        counts=counts,
+        offsets=tuple(offsets),
+        mix=mix,
+        shared_loads=shared_loads,
+        shared_stores=shared_stores,
+        is_fetch_sorted=is_fetch_sorted,
+        fetch_prefix=fetch_prefix,
+    )
+
+
+#: Bounded LRU memo: ``(digest, block_shift) -> DerivedColumns``.
+_cache: OrderedDict[tuple[str, int], DerivedColumns] = OrderedDict()
+_maxsize = 8
+_hits = 0
+_misses = 0
+
+
+def derived_columns(trace: Trace, block_shift: int) -> DerivedColumns:
+    """The memoized preprocessing of ``trace`` at ``block_shift``.
+
+    Keyed on trace *content* (see :func:`trace_digest`), so in-place
+    mutation or rebuilding the trace never serves stale columns.
+    """
+    global _hits, _misses
+    digest = trace_digest(trace)
+    key = (digest, block_shift)
+    cached = _cache.get(key)
+    if cached is not None:
+        _cache.move_to_end(key)
+        _hits += 1
+        return cached
+    _misses += 1
+    derived = _derive(trace, block_shift, digest)
+    _cache[key] = derived
+    while len(_cache) > _maxsize:
+        _cache.popitem(last=False)
+    return derived
+
+
+def derived_cache_info() -> dict:
+    """Cache observability: hits, misses, current and maximum size."""
+    return {
+        "hits": _hits,
+        "misses": _misses,
+        "size": len(_cache),
+        "maxsize": _maxsize,
+    }
+
+
+def clear_derived_cache() -> None:
+    """Drop every memoized entry and reset the hit/miss counters."""
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0
+
+
+def set_derived_cache_size(maxsize: int) -> None:
+    """Bound the memo at ``maxsize`` entries (evicting LRU overflow)."""
+    global _maxsize
+    if maxsize < 1:
+        raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+    _maxsize = maxsize
+    while len(_cache) > _maxsize:
+        _cache.popitem(last=False)

@@ -1,6 +1,6 @@
 """Differential runner: engines vs oracles vs the analytical model.
 
-For each fuzzed case and protocol, four checks run in order (first
+For each fuzzed case and protocol, five checks run in order (first
 failure wins for that protocol):
 
 1. **Engine diff** — the columnar and legacy engines must produce
@@ -8,11 +8,17 @@ failure wins for that protocol):
    both replay orders.
 2. **Invariants** — the columnar results must satisfy the global
    conservation laws of :mod:`repro.verify.invariants`.
-3. **Oracle shadow** — the protocol re-runs with every fast-path
+3. **One-pass diff** — for geometry-local protocols
+   (:func:`repro.sim.supports_onepass`), a
+   :func:`repro.sim.run_geometry_family` call covering the case's
+   cache size plus a 4x larger one must engage the one-pass engine,
+   reproduce the columnar statistics exactly at the case's size, and
+   satisfy the invariants at the larger size — both replay orders.
+4. **Oracle shadow** — the protocol re-runs with every fast-path
    contract flag disabled while a per-line reference state machine
    (:mod:`repro.verify.oracles`) validates each transition and then
    reconciles its independently derived counters with the result.
-4. **Shadow diff** — the shadowed run's statistics must equal the
+5. **Shadow diff** — the shadowed run's statistics must equal the
    unshadowed columnar run's.  The shadow took the everything-is-slow
    path, so this differentially validates the fast-path contract
    flags (``read_hit_is_free``, ``store_hit_is_local``, …) and the
@@ -36,6 +42,7 @@ from typing import Callable, Sequence
 from repro.core import BASE, DRAGON, NO_CACHE, SOFTWARE_FLUSH, BusSystem
 from repro.sim.machine import Machine, SimulationConfig, SimulationResult
 from repro.sim.measure import measure_workload_params
+from repro.sim.onepass import run_geometry_family, supports_onepass
 from repro.trace.records import Trace
 from repro.verify.fuzzer import FuzzCase, generate_case
 from repro.verify.invariants import (
@@ -95,8 +102,8 @@ class FuzzFailure:
     """One reproducible divergence, in picklable primitives.
 
     ``check`` identifies the failing stage: ``engine-diff:<order>``,
-    ``invariants:<order>``, ``oracle``, ``shadow-diff``, or
-    ``model-band``.
+    ``invariants:<order>``, ``onepass-diff:<order>``, ``oracle``,
+    ``shadow-diff``, or ``model-band``.
     """
 
     seed: int
@@ -248,6 +255,48 @@ def _run(
     return Machine(protocol, config).run(trace, order=order, engine=engine)
 
 
+def _onepass_divergence(
+    trace: Trace,
+    config: SimulationConfig,
+    protocol: str,
+    order: str,
+    columnar: SimulationResult,
+) -> str | None:
+    """Why the one-pass family diverges from ``columnar`` (None = ok).
+
+    The family spans the case's cache size plus a 4x larger one so the
+    incremental per-geometry prefilter actually runs; the case size is
+    compared bit-for-bit against the columnar result and the extra
+    size is invariant-checked.
+    """
+    sizes = (config.cache_bytes, config.cache_bytes * 4)
+    family = run_geometry_family(
+        protocol,
+        trace,
+        sizes,
+        block_bytes=config.block_bytes,
+        associativity=config.associativity,
+        order=order,
+    )
+    run = family[config.cache_bytes]
+    if run.engine != "onepass":
+        return (
+            f"fast path not engaged (engine={run.engine!r}) for a "
+            "supported protocol"
+        )
+    left = stats_signature(run)
+    right = stats_signature(columnar)
+    if left != right:
+        return "one-pass family vs columnar: " + _describe_divergence(
+            left, right
+        )
+    try:
+        check_result_invariants(family[sizes[1]], trace=trace)
+    except InvariantViolation as violation:
+        return f"invariants at {sizes[1]}B family member: {violation}"
+    return None
+
+
 def _check_protocol(
     case: FuzzCase, protocol: str
 ) -> tuple[FuzzFailure | None, SimulationResult | None]:
@@ -281,6 +330,12 @@ def _check_protocol(
             check_result_invariants(columnar, trace=case.trace)
         except InvariantViolation as violation:
             return failure(f"invariants:{order}", str(violation)), None
+        if supports_onepass(protocol):
+            message = _onepass_divergence(
+                case.trace, case.config, protocol, order, columnar
+            )
+            if message is not None:
+                return failure(f"onepass-diff:{order}", message), None
         if order == "time":
             time_result = columnar
 
@@ -367,6 +422,17 @@ def _failure_predicate(
             except InvariantViolation:
                 return True
             return False
+
+        return predicate
+    if check.startswith("onepass-diff:"):
+        order = check.split(":", 1)[1]
+
+        def predicate(trace: Trace) -> bool:
+            columnar = _run(trace, config, protocol, order)
+            return (
+                _onepass_divergence(trace, config, protocol, order, columnar)
+                is not None
+            )
 
         return predicate
     if check in ("oracle", "shadow-diff"):

@@ -1,0 +1,251 @@
+"""One-pass geometry-family engine vs per-config ``Machine.run``.
+
+``run_geometry_family`` is an optimisation, not a re-specification:
+for every geometry-local protocol, replay order, and geometry family
+it must produce statistics identical — including exact float clocks
+and bus grants — to one ``Machine.run`` per configuration, while
+traversing the trace once per family instead of once per cell.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operations import CostTable, Operation, OperationCost
+from repro.obs.metrics import replay_counters
+from repro.sim import (
+    ONEPASS_PROTOCOLS,
+    Machine,
+    SimulationConfig,
+    run_geometry_family,
+    supports_onepass,
+)
+from repro.trace import TraceConfig, generate_trace
+from repro.trace.records import Trace
+from repro.verify.fuzzer import generate_case
+
+SIZES = [4096, 16384, 65536, 262144]
+
+
+@pytest.fixture(scope="module")
+def seeded_trace():
+    # Small caches + a real seeded workload: plenty of misses, dirty
+    # victims, flushes, and shared traffic to exercise every branch.
+    return generate_trace(TraceConfig(cpus=4, records_per_cpu=4_000, seed=7))
+
+
+def stats_dict(result):
+    """Every statistic a run produces, exact (no approx)."""
+    return {
+        "per_cpu": [
+            (
+                cpu.instructions,
+                cpu.loads,
+                cpu.stores,
+                cpu.flushes,
+                cpu.clock,
+                cpu.wait_cycles,
+                cpu.stolen_cycles,
+            )
+            for cpu in result.cpus
+        ],
+        "operation_counts": dict(result.operation_counts),
+        "fetch_misses": result.fetch_misses,
+        "data_misses": result.data_misses,
+        "dirty_victim_misses": result.dirty_victim_misses,
+        "shared_loads": result.shared_loads,
+        "shared_stores": result.shared_stores,
+        "shared_data_misses": result.shared_data_misses,
+        "bus_busy_cycles": result.bus_busy_cycles,
+        "bus_transactions": result.bus_transactions,
+    }
+
+
+def assert_family_matches_machine(
+    trace, protocol, sizes, block_bytes=16, associativity=2, order="time"
+):
+    family = run_geometry_family(
+        protocol,
+        trace,
+        sizes,
+        block_bytes=block_bytes,
+        associativity=associativity,
+        order=order,
+    )
+    assert sorted(family) == sorted(set(sizes))
+    for size in sizes:
+        config = SimulationConfig(
+            cache_bytes=size,
+            block_bytes=block_bytes,
+            associativity=associativity,
+        )
+        reference = Machine(protocol, config).run(trace, order=order)
+        assert stats_dict(family[size]) == stats_dict(reference), (
+            f"{protocol} {order} b{block_bytes} a{associativity} {size}"
+        )
+
+
+class TestOnepassMatchesMachine:
+    @pytest.mark.parametrize("protocol", ONEPASS_PROTOCOLS)
+    @pytest.mark.parametrize("order", ["time", "trace"])
+    def test_identical_statistics(self, seeded_trace, protocol, order):
+        assert_family_matches_machine(seeded_trace, protocol, SIZES, order=order)
+
+    # Classifier rules must hold on direct-mapped and highly
+    # associative caches and at every paper block size, not just the
+    # default geometry.
+    @pytest.mark.parametrize("block_bytes", [8, 32, 64])
+    @pytest.mark.parametrize("associativity", [1, 4])
+    @pytest.mark.parametrize("protocol", ONEPASS_PROTOCOLS)
+    def test_identical_across_geometry_families(
+        self, seeded_trace, protocol, block_bytes, associativity
+    ):
+        assert_family_matches_machine(
+            seeded_trace,
+            protocol,
+            [4096, 65536],
+            block_bytes=block_bytes,
+            associativity=associativity,
+        )
+
+    @pytest.mark.parametrize("protocol", ONEPASS_PROTOCOLS)
+    def test_single_cpu_trace(self, protocol):
+        trace = generate_trace(
+            TraceConfig(cpus=1, records_per_cpu=3_000, seed=11)
+        )
+        for order in ("time", "trace"):
+            assert_family_matches_machine(
+                trace, protocol, [1024, 8192, 65536], order=order
+            )
+
+    def test_cpu_restriction_matches(self, seeded_trace):
+        family = run_geometry_family(
+            "swflush", seeded_trace, [4096, 65536], cpus=2
+        )
+        restricted = seeded_trace.restricted_to(2)
+        for size in (4096, 65536):
+            config = SimulationConfig(cache_bytes=size)
+            reference = Machine("swflush", config).run(restricted)
+            assert stats_dict(family[size]) == stats_dict(reference)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fuzz_traces(self, seed):
+        case = generate_case(seed, scale=0.3)
+        for protocol in ONEPASS_PROTOCOLS:
+            assert_family_matches_machine(
+                case.trace, protocol, [2048, 16384, 131072]
+            )
+
+    def test_rejects_bad_order(self, seeded_trace):
+        with pytest.raises(ValueError, match="order"):
+            run_geometry_family("base", seeded_trace, [4096], order="clock")
+
+
+class TestFastPathGate:
+    def test_fast_path_provenance(self, seeded_trace):
+        family = run_geometry_family("base", seeded_trace, SIZES)
+        for result in family.values():
+            assert result.engine == "onepass"
+            assert result.protocol_stats is None
+            assert result.records_replayed == len(seeded_trace)
+            assert result.run_wall_s > 0.0
+
+    def test_geometry_coupled_protocol_falls_back(self, seeded_trace):
+        assert not supports_onepass("dragon")
+        family = run_geometry_family("dragon", seeded_trace, [4096, 16384])
+        for size, result in family.items():
+            assert result.engine == "columnar"
+            config = SimulationConfig(cache_bytes=size)
+            reference = Machine("dragon", config).run(seeded_trace)
+            assert stats_dict(result) == stats_dict(reference)
+            assert result.protocol_stats == reference.protocol_stats
+
+    def test_non_integral_costs_fall_back(self, seeded_trace):
+        table = CostTable.bus()
+        costs = dict(table.items())
+        costs[Operation.CLEAN_MISS_MEMORY] = OperationCost(
+            cpu_cycles=19.5, channel_cycles=19.5
+        )
+        fractional = CostTable(costs, name="fractional")
+        assert not supports_onepass("base", fractional)
+        family = run_geometry_family(
+            "base", seeded_trace, [4096], costs=fractional
+        )
+        assert family[4096].engine == "columnar"
+        reference = Machine(
+            "base", SimulationConfig(cache_bytes=4096), fractional
+        ).run(seeded_trace)
+        assert stats_dict(family[4096]) == stats_dict(reference)
+
+    def test_supported_combinations(self):
+        for protocol in ONEPASS_PROTOCOLS:
+            assert supports_onepass(protocol)
+        for protocol in ("dragon", "wti", "directory"):
+            assert not supports_onepass(protocol)
+
+
+class TestTraversalSavings:
+    def test_family_is_one_traversal(self, seeded_trace):
+        before, _ = replay_counters()
+        run_geometry_family("base", seeded_trace, SIZES)
+        after, engine = replay_counters()
+        # Four cache sizes, one traversal: the per-config loop would
+        # have replayed 4 * len(trace) records.
+        assert after - before == len(seeded_trace)
+        assert engine == "onepass"
+
+
+# -- Hypothesis: exactness + LRU inclusion on arbitrary tiny traces ----
+
+references = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # cpu (of 3)
+        st.integers(min_value=0, max_value=3),  # kind incl. FLUSH
+        st.integers(min_value=0, max_value=23),  # block
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def build_trace(refs):
+    cpu = np.array([r[0] for r in refs], dtype=np.uint16)
+    kind = np.array([r[1] for r in refs], dtype=np.uint8)
+    address = np.array([r[2] * 16 for r in refs], dtype=np.uint64)
+    # Blocks 12..23 are shared.
+    return Trace.from_arrays(
+        name="hyp",
+        cpus=3,
+        shared_region=range(12 * 16, 24 * 16),
+        cpu=cpu,
+        kind=kind,
+        address=address,
+    )
+
+
+class TestOnepassProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(references)
+    def test_exact_equality_and_monotone_hits(self, refs):
+        trace = build_trace(refs)
+        # Tiny caches so the 24-block working set overflows them.
+        sizes = [64, 128, 256, 512]
+        for protocol in ONEPASS_PROTOCOLS:
+            family = run_geometry_family(
+                protocol, trace, sizes, block_bytes=16, associativity=2
+            )
+            misses = []
+            for size in sizes:
+                config = SimulationConfig(
+                    cache_bytes=size, block_bytes=16, associativity=2
+                )
+                reference = Machine(protocol, config).run(trace)
+                assert stats_dict(family[size]) == stats_dict(reference)
+                misses.append(family[size].total_misses)
+            # LRU inclusion: a larger cache's contents are a superset,
+            # so hit counts are monotone non-decreasing in cache size —
+            # equivalently misses are non-increasing.  Flush
+            # invalidations remove a block from every geometry
+            # symmetrically, so inclusion survives them.
+            assert misses == sorted(misses, reverse=True)

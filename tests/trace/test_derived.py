@@ -1,0 +1,104 @@
+"""Memoized derived columns: content keying, bounds, reuse."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    TraceConfig,
+    clear_derived_cache,
+    derived_cache_info,
+    derived_columns,
+    generate_trace,
+    set_derived_cache_size,
+    trace_digest,
+)
+from repro.trace.records import Trace
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_derived_cache()
+    yield
+    clear_derived_cache()
+    set_derived_cache_size(8)
+
+
+def small_trace(seed=5):
+    return generate_trace(TraceConfig(cpus=2, records_per_cpu=300, seed=seed))
+
+
+class TestContentKeying:
+    def test_same_object_hits(self):
+        trace = small_trace()
+        first = derived_columns(trace, 4)
+        second = derived_columns(trace, 4)
+        assert second is first
+        info = derived_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_equal_content_shares_entry(self):
+        trace = small_trace()
+        clone = Trace.from_arrays(
+            name="clone",
+            cpus=trace.cpus,
+            shared_region=trace.shared_region,
+            cpu=trace.cpu.copy(),
+            kind=trace.kind.copy(),
+            address=trace.address.copy(),
+        )
+        assert trace_digest(clone) == trace_digest(trace)
+        assert derived_columns(clone, 4) is derived_columns(trace, 4)
+
+    def test_mutated_trace_gets_fresh_columns(self):
+        # Regression: keying on object identity served stale columns
+        # after in-place mutation.  The digest must observe content.
+        trace = small_trace()
+        stale = derived_columns(trace, 4)
+        trace.address[0] = int(trace.address[0]) + 4096
+        fresh = derived_columns(trace, 4)
+        assert fresh is not stale
+        assert fresh.digest != stale.digest
+        assert fresh.blocks[0] != stale.blocks[0]
+
+    def test_block_shift_is_part_of_the_key(self):
+        trace = small_trace()
+        at16 = derived_columns(trace, 4)
+        at32 = derived_columns(trace, 5)
+        assert at32 is not at16
+        assert np.array_equal(at32.blocks, at16.blocks >> 1)
+
+    def test_digest_observes_shared_region(self):
+        trace = small_trace()
+        moved = Trace.from_arrays(
+            name="moved",
+            cpus=trace.cpus,
+            shared_region=range(
+                trace.shared_region.start + 64, trace.shared_region.stop + 64
+            ),
+            cpu=trace.cpu,
+            kind=trace.kind,
+            address=trace.address,
+        )
+        assert trace_digest(moved) != trace_digest(trace)
+
+
+class TestBoundedCache:
+    def test_lru_eviction_at_bound(self):
+        set_derived_cache_size(2)
+        trace = small_trace()
+        derived_columns(trace, 3)
+        derived_columns(trace, 4)
+        derived_columns(trace, 5)  # evicts shift 3
+        assert derived_cache_info()["size"] == 2
+        derived_columns(trace, 3)
+        assert derived_cache_info()["misses"] == 4
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            set_derived_cache_size(0)
+
+    def test_clear_resets_counters(self):
+        derived_columns(small_trace(), 4)
+        clear_derived_cache()
+        info = derived_cache_info()
+        assert info == {"hits": 0, "misses": 0, "size": 0, "maxsize": 8}

@@ -82,6 +82,52 @@ class TestModelBands:
         assert "wti" not in _MODEL_SCHEMES
 
 
+class TestOnepassDiff:
+    def test_stage_runs_for_geometry_local_protocols(self, monkeypatch):
+        import repro.verify.differential as diff
+
+        calls = []
+        real = diff.run_geometry_family
+
+        def spy(protocol, trace, sizes, **kwargs):
+            calls.append((protocol, kwargs.get("order")))
+            return real(protocol, trace, sizes, **kwargs)
+
+        monkeypatch.setattr(diff, "run_geometry_family", spy)
+        assert run_seed(0, scale=0.3) == []
+        assert set(calls) == {
+            (protocol, order)
+            for protocol in ("swflush", "nocache")
+            for order in ("time", "trace")
+        }
+
+    def test_forced_divergence_is_caught_and_minimizable(
+        self, monkeypatch
+    ):
+        import repro.verify.differential as diff
+
+        case = generate_case(3, scale=0.3)
+        real = diff.run_geometry_family
+
+        def corrupted(protocol, trace, sizes, **kwargs):
+            family = real(protocol, trace, sizes, **kwargs)
+            for result in family.values():
+                result.fetch_misses += 1
+            return family
+
+        monkeypatch.setattr(diff, "run_geometry_family", corrupted)
+        failures = [
+            f
+            for f in check_case(case, compare_model=False)
+            if f.check.startswith("onepass-diff:")
+        ]
+        assert failures
+        assert "fetch_misses" in failures[0].message
+        minimized = minimize_failure(failures[0], case, max_checks=8)
+        assert minimized is not None
+        assert len(minimized) <= len(case.trace)
+
+
 class TestFailurePlumbing:
     def test_failures_are_picklable(self):
         failure = FuzzFailure(
