@@ -59,4 +59,10 @@ echo "== one-pass geometry families: equivalence + speedup smoke =="
 # family (2x in smoke; the recorded baseline enforces 3x).
 python benchmarks/bench_onepass.py --smoke
 
+echo "== epoch families (dragon/wti) + segment engine: smoke =="
+# Family-vs-per-config bit-exactness for both geometry-coupled
+# protocols and the segment-scan engine, then the eight-size sweep
+# speedup floor (1.6x in smoke; the recorded baseline enforces 2x).
+python benchmarks/bench_coupled.py --smoke
+
 echo "== all checks passed =="

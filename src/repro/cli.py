@@ -11,6 +11,10 @@ Subcommands:
 * ``fuzz`` — differential fuzzing: adversarial traces through both
   replay engines, the protocol oracles, and the analytical model;
   failures are minimized and written as JSON artifacts.
+* ``bench`` — run the pytest micro-benchmarks and print a regression
+  diff against the committed baseline
+  (``benchmarks/baseline_micro.json``); speedup floors asserted
+  inside the benchmarks fail the run.
 """
 
 from __future__ import annotations
@@ -503,6 +507,153 @@ def _command_fuzz(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _repo_paths() -> tuple[str, str]:
+    """Locate the repo root and its ``benchmarks/`` directory.
+
+    Prefers the current directory (normal invocation from a checkout);
+    falls back to the source tree this module lives in (``src/repro``
+    is two levels below the root).
+    """
+    import os
+
+    here = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..")
+    )
+    for root in (os.getcwd(), here):
+        bench_dir = os.path.join(root, "benchmarks")
+        if os.path.isdir(bench_dir):
+            return root, bench_dir
+    raise FileNotFoundError(
+        "cannot locate the benchmarks/ directory (run from the repo root)"
+    )
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.2f}ms"
+    return f"{seconds:8.3f}s "
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import subprocess
+    import tempfile
+
+    try:
+        root, bench_dir = _repo_paths()
+    except FileNotFoundError as error:
+        print(error, file=sys.stderr)
+        return 2
+    files = args.files or sorted(
+        os.path.join("benchmarks", name)
+        for name in os.listdir(bench_dir)
+        if name.startswith("bench_") and name.endswith(".py")
+    )
+    baseline_path = args.baseline or os.path.join(
+        bench_dir, "baseline_micro.json"
+    )
+    try:
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = {
+                entry["name"]: entry
+                for entry in json.load(handle)["benchmarks"]
+            }
+    except (OSError, ValueError, KeyError) as error:
+        print(
+            f"cannot read baseline {baseline_path}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+
+    descriptor, json_path = tempfile.mkstemp(
+        suffix=".json", prefix="swcc-bench-"
+    )
+    os.close(descriptor)
+    try:
+        env = dict(os.environ)
+        src = os.path.join(root, "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        outcome = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", *files,
+                "--benchmark-only", "--benchmark-disable-gc", "-q",
+                f"--benchmark-json={json_path}",
+            ],
+            cwd=root,
+            env=env,
+        )
+        try:
+            with open(json_path, encoding="utf-8") as handle:
+                measured = json.load(handle)["benchmarks"]
+        except (OSError, ValueError, KeyError):
+            print("benchmark run produced no JSON report", file=sys.stderr)
+            return outcome.returncode or 1
+    finally:
+        os.unlink(json_path)
+
+    # Regression diff: this run's min wall time vs the committed
+    # baseline.  Absolute times are machine-dependent, so the ratio is
+    # informational unless --max-regression opts into a hard gate; the
+    # speedup floors (which *are* machine-independent claims) were
+    # already asserted inside the benchmarks themselves.
+    print(
+        f"\n{'benchmark':44s} {'min':>10s} {'baseline':>10s} "
+        f"{'ratio':>6s}  speedup"
+    )
+    regressions = []
+    for entry in measured:
+        name = entry["name"]
+        minimum = entry["stats"]["min"]
+        speedup = entry.get("extra_info", {}).get("speedup")
+        reference = baseline.get(name)
+        if reference is None:
+            line = (
+                f"{name:44s} {_format_seconds(minimum)} "
+                f"{'(new)':>10s} {'':>6s}"
+            )
+        else:
+            base_min = reference["stats"]["min"]
+            ratio = minimum / base_min if base_min > 0 else float("inf")
+            flag = ""
+            if args.max_regression and ratio > args.max_regression:
+                regressions.append((name, ratio))
+                flag = "  REGRESSION"
+            line = (
+                f"{name:44s} {_format_seconds(minimum)} "
+                f"{_format_seconds(base_min)} {ratio:5.2f}x{flag}"
+            )
+        if speedup is not None:
+            base_speedup = (reference or {}).get("extra_info", {}).get(
+                "speedup"
+            )
+            line += f"  {speedup:.2f}x"
+            if base_speedup is not None:
+                line += f" (baseline {base_speedup:.2f}x)"
+        print(line)
+    missing = sorted(
+        set(baseline) - {entry["name"] for entry in measured}
+    )
+    if missing and not args.files:
+        print(f"\nnot measured this run: {', '.join(missing)}")
+
+    if outcome.returncode:
+        print("\nbenchmark floor violations (see pytest output above)")
+        return outcome.returncode
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"{args.max_regression:.1f}x the baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _jobs_count(value: str) -> int:
     """``--jobs`` argument type: a non-negative integer.
 
@@ -710,6 +861,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the run manifest and resilient seed execution",
     )
     fuzz_parser.set_defaults(handler=_command_fuzz)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the micro-benchmarks and diff against the baseline",
+    )
+    bench_parser.add_argument(
+        "files", nargs="*", metavar="FILE",
+        help="benchmark files to run (default: benchmarks/bench_*.py)",
+    )
+    bench_parser.add_argument(
+        "--baseline", default="", metavar="FILE",
+        help="baseline pytest-benchmark JSON (default: "
+             "benchmarks/baseline_micro.json)",
+    )
+    bench_parser.add_argument(
+        "--max-regression", type=float, default=None, metavar="F",
+        help="exit non-zero when any benchmark's min wall time exceeds "
+             "F times its baseline (default: report only — absolute "
+             "times are machine-dependent)",
+    )
+    bench_parser.set_defaults(handler=_command_bench)
     return parser
 
 

@@ -90,10 +90,11 @@ def directory_vs_flush(stages: int = 8, **_) -> ExperimentResult:
     )
 
     # Ground the remark in *measured* workloads too: simulate a
-    # cache-size family through the geometry-sweep API (Dragon is
-    # geometry-coupled, so each cell is an exact per-config replay that
-    # still shares the trace's derived columns) and evaluate both
-    # schemes on the parameters measured from each simulated cell.
+    # cache-size family through the geometry-sweep API (Dragon runs on
+    # the epoch-partitioned engine, so the whole family costs one trace
+    # traversal and each cell's statistics are exactly those of a
+    # per-config replay) and evaluate both schemes on the parameters
+    # measured from each simulated cell.
     from repro.experiments.geometry import sweep_geometries
     from repro.sim import SimulationConfig, measure_workload_params
     from repro.trace import preset
@@ -181,9 +182,9 @@ def block_size_effect(fast: bool = True, **_) -> ExperimentResult:
     powers = {}
     cache_bytes = SimulationConfig().cache_bytes
     block_sizes = (8, 16, 32, 64)
-    # One sweep call covers the whole block-size axis; Dragon is
-    # geometry-coupled, so each cell is an exact per-config replay —
-    # but the sweep still shares the trace's derived columns per block
+    # One sweep call covers the whole block-size axis; Dragon runs on
+    # the epoch-partitioned engine, one exact trace traversal per block
+    # size — and the sweep shares the trace's derived columns per block
     # size with every other study in the process.
     grid = sweep_geometries(
         "dragon", trace, (cache_bytes,), block_sizes=block_sizes
@@ -249,7 +250,7 @@ def why_dragon(fast: bool = True, **_) -> ExperimentResult:
     that WTI's write-through traffic saturates the bus far earlier.
     """
     from repro.core import WRITE_THROUGH_INVALIDATE
-    from repro.sim import Machine, SimulationConfig
+    from repro.sim import SimulationConfig, run_geometry_family
     from repro.trace import preset
 
     params = WorkloadParams.middle()
@@ -295,9 +296,15 @@ def why_dragon(fast: bool = True, **_) -> ExperimentResult:
         if records
         else preset("thor").generate()
     )
+    # Both cells ride the epoch-partitioned family path: exact
+    # per-config statistics from one trace traversal per protocol.
     config = SimulationConfig()
-    dragon_sim = Machine("dragon", config).run(trace)
-    wti_sim = Machine("wti", config).run(trace)
+    dragon_sim = run_geometry_family(
+        "dragon", trace, (config.cache_bytes,)
+    )[config.cache_bytes]
+    wti_sim = run_geometry_family(
+        "wti", trace, (config.cache_bytes,)
+    )[config.cache_bytes]
     result.tables.append(
         TableData(
             title="simulation at 4 processors (thor)",

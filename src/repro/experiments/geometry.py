@@ -6,9 +6,11 @@ geometries.  :func:`sweep_geometries` is the experiment-layer API for
 that pattern: for each block size it builds the matching bus cost
 table and hands the whole cache-size axis to
 :func:`repro.sim.run_geometry_family`, which traverses the trace once
-per (protocol, block size) family for the geometry-local protocols and
-falls back to per-config ``Machine.run`` for the coupled ones — either
-way returning statistics bit-identical to a per-cell replay.
+per (protocol, block size) family — via the vectorised one-pass engine
+for the geometry-local protocols and the epoch-partitioned engine for
+Dragon and WTI — and falls back to per-config ``Machine.run`` only for
+protocols with neither (recording the structured reason).  Either way
+the statistics are bit-identical to a per-cell replay.
 """
 
 from __future__ import annotations
@@ -23,8 +25,8 @@ from repro.sim import (
     Machine,
     SimulationConfig,
     SimulationResult,
+    family_support,
     run_geometry_family,
-    supports_onepass,
 )
 from repro.trace import Trace, preset
 
@@ -145,11 +147,12 @@ def geometry_sweep(
         )
     )
 
-    fast_path = supports_onepass(protocol)
+    expected_engine, _ = family_support(protocol)
+    fast_path = expected_engine != "fallback"
     engines = {run.engine for run in grid.values()}
     result.add_check(
         "one-pass-fast-path-used",
-        engines == ({"onepass"} if fast_path else {"columnar"}),
+        engines == ({expected_engine} if fast_path else {"columnar"}),
         f"engines: {sorted(engines)}",
     )
     replayed = replayed_after - replayed_before

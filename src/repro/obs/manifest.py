@@ -15,7 +15,14 @@ per-cell events, each a single JSON object on its own line:
     {"event": "cell-start",  "sweep": 0, "cell": 0, "item": "('pops', ...)"}
     {"event": "cell-finish", "sweep": 0, "cell": 0, "wall_s": 1.92,
      "records": 480000, "records_per_s": 250133.1, "engine": "columnar",
-     "peak_rss_kb": 181240, "digest": "sha256:ab12..."}
+     "peak_rss_kb": 181240, "fallback_reason": "", "digest": "sha256:ab12..."}
+
+``engine`` is the replay engine of the cell's last simulation
+(``columnar``, ``legacy``, ``segment``, ``onepass``, or ``epoch``) and
+``fallback_reason`` is the structured ``category:detail`` reason when
+a geometry-family call inside the cell fell back to per-config replay
+(empty when nothing fell back) — so a sweep that silently lost its
+one-pass speedup is visible in the flight log.
     {"event": "cell-failed", "sweep": 0, "cell": 1, "item": "...",
      "error": "ValueError: boom", "traceback": "Traceback ..."}
     {"event": "sweep-finish", "sweep": 0, "ok": 2, "failed": 1, "cached": 0}

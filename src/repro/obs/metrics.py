@@ -23,7 +23,9 @@ from typing import Callable, TypeVar
 
 __all__ = [
     "CellMetrics",
+    "fallback_counters",
     "measure_call",
+    "note_family_fallback",
     "note_replay",
     "peak_rss_kb",
     "replay_counters",
@@ -51,6 +53,30 @@ def note_replay(records: int, engine: str) -> None:
 def replay_counters() -> tuple[int, str]:
     """``(records_replayed, last_engine)`` for this process so far."""
     return _records_replayed, _last_engine
+
+
+#: Why geometry-family runs fell back to per-config replay, updated by
+#: ``repro.sim.onepass.run_geometry_family``.  Structured
+#: ``category:detail`` strings (``protocol:...``, ``costs:...``,
+#: ``associativity:...``).  Read via :func:`fallback_counters`.
+_fallbacks = 0
+_last_fallback_reason = ""
+
+
+def note_family_fallback(reason: str) -> None:
+    """Record that a geometry-family run fell back, and why.
+
+    Called by :func:`repro.sim.onepass.run_geometry_family` once per
+    fallback, with the structured reason from ``family_support``.
+    """
+    global _fallbacks, _last_fallback_reason
+    _fallbacks += 1
+    _last_fallback_reason = reason
+
+
+def fallback_counters() -> tuple[int, str]:
+    """``(fallbacks, last_reason)`` for this process so far."""
+    return _fallbacks, _last_fallback_reason
 
 
 def peak_rss_kb() -> int:
@@ -82,12 +108,16 @@ class CellMetrics:
             in KB.  This is a process-lifetime high-water mark, so for
             a worker that has already run larger cells it bounds, not
             measures, the cell's own footprint.
+        fallback_reason: why a geometry-family run inside the cell
+            fell back to per-config replay (structured
+            ``category:detail``), or ``""`` when nothing fell back.
     """
 
     wall_s: float
     records: int
     engine: str
     peak_rss_kb: int
+    fallback_reason: str = ""
 
     @property
     def records_per_s(self) -> float:
@@ -104,6 +134,7 @@ class CellMetrics:
             "records_per_s": round(self.records_per_s, 1),
             "engine": self.engine,
             "peak_rss_kb": self.peak_rss_kb,
+            "fallback_reason": self.fallback_reason,
         }
 
 
@@ -112,14 +143,19 @@ def measure_call(
 ) -> tuple[_ResultT, CellMetrics]:
     """Run ``fn(item)`` and measure it into a :class:`CellMetrics`."""
     records_before, _ = replay_counters()
+    fallbacks_before, _ = fallback_counters()
     started = time.perf_counter()
     result = fn(item)
     wall_s = time.perf_counter() - started
     records_after, engine = replay_counters()
     records = records_after - records_before
+    fallbacks_after, fallback_reason = fallback_counters()
     return result, CellMetrics(
         wall_s=wall_s,
         records=records,
         engine=engine if records else "",
         peak_rss_kb=peak_rss_kb(),
+        fallback_reason=(
+            fallback_reason if fallbacks_after > fallbacks_before else ""
+        ),
     )

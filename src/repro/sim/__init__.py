@@ -21,12 +21,20 @@ Protocols:
 
 from repro.sim.cache import Cache, CacheGeometry, LineState
 from repro.sim.bus import TimedBus
+from repro.sim.family import FAMILY_PROTOCOLS, run_coupled_family
 from repro.sim.machine import Machine, SimulationConfig, SimulationResult
 from repro.sim.measure import measure_workload_params
 from repro.sim.onepass import (
     ONEPASS_PROTOCOLS,
+    family_support,
     run_geometry_family,
     supports_onepass,
+)
+from repro.sim.segment import (
+    SEGMENT_PROTOCOLS,
+    classify_lru,
+    segment_events,
+    segment_reason,
 )
 from repro.sim.netsim import NetworkSimResult, OmegaNetworkSimulator
 from repro.sim.protocols import (
@@ -46,6 +54,7 @@ __all__ = [
     "Cache",
     "CacheGeometry",
     "DragonProtocol",
+    "FAMILY_PROTOCOLS",
     "LineState",
     "Machine",
     "NetworkSimResult",
@@ -54,12 +63,18 @@ __all__ = [
     "PROTOCOLS",
     "OmegaNetworkSimulator",
     "Protocol",
+    "SEGMENT_PROTOCOLS",
     "SimulationConfig",
     "SimulationResult",
     "SoftwareFlushProtocol",
     "TimedBus",
+    "classify_lru",
+    "family_support",
     "measure_workload_params",
     "protocol_class",
+    "run_coupled_family",
     "run_geometry_family",
+    "segment_events",
+    "segment_reason",
     "supports_onepass",
 ]

@@ -1,0 +1,1090 @@
+"""Epoch-partitioned one-pass simulation for geometry-coupled protocols.
+
+Dragon and WTI couple geometries through *sharing state*: what a miss
+or store costs depends on which other caches hold the block, and
+residency differs per cache size.  A cache-size sweep therefore
+replayed the whole trace once per size.  This module lifts that
+restriction by **epoch-partitioning** each CPU's stream at the
+sharing-state-changing references and carrying only the sharer/owner
+state of the *contended* blocks across epoch boundaries:
+
+* **Dragon** (write-update): remote traffic never evicts
+  (``remote_traffic_preserves_residency``), so residency and LRU
+  order are functions of each CPU's own stream — classified per
+  geometry by the :mod:`repro.sim.segment` kernel.  Only the
+  *outcome labels* are coupled: whether a miss is supplied from a
+  cache and whether a store hit broadcasts depend on the holders of
+  the block, and holders can change only at **epoch boundaries** —
+  misses (fills and evictions) and stores to contended blocks
+  (broadcast state transitions).  Blocks referenced by a single CPU
+  can never have remote holders, so their misses are pre-labelled
+  vectorised; the merge carries a per-CPU map of contended-block
+  line states (the sharer/owner columns) and resolves boundary
+  events in the exact legacy replay order, including Dragon's
+  cycle-steal key-staleness rules.
+* **WTI** (write-through invalidate): invalidations remove lines,
+  but only of contended blocks — so only the cache sets that ever
+  hold a contended block in a CPU's own stream ("coupled sets") need
+  simulating at the merge.  All other sets classify locally via the
+  segment kernel; within coupled sets, references whose immediate
+  same-set predecessor touched the same non-contended block are
+  provable MRU-identity hits and skip the merge entirely.  Every
+  store is an epoch boundary (each one posts a write-through).
+
+Within an epoch every geometry sees identical sharer sets, which is
+what makes per-geometry replays collapsible into per-geometry event
+merges over one shared classification pass.  Statistics — including
+``DragonStats``/``WtiStats`` and exact float clocks — are
+bit-identical to per-config ``Machine.run`` (enforced by
+``tests/sim/test_family.py``).
+
+Exactness has the same gates as the one-pass engine (integral costs)
+plus the segment kernel's associativity-1-or-2 bound;
+``repro.sim.onepass.family_support`` routes anything else to the
+per-config fallback with a recorded reason.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+import numpy as np
+
+from repro.core.operations import CostTable, Operation
+from repro.obs.metrics import note_replay
+from repro.sim.machine import (
+    _DIRTY_VICTIM_OPERATIONS,
+    _MISS_OPERATIONS,
+    CpuStats,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.sim.protocols.dragon import DragonStats
+from repro.sim.protocols.wti import WtiStats
+from repro.sim.segment import classify_lru, dirty_flags, stream_positions
+from repro.trace.derived import DerivedColumns, derived_columns
+from repro.trace.records import Trace
+
+__all__ = ["FAMILY_PROTOCOLS", "run_coupled_family"]
+
+#: Geometry-coupled protocols the epoch engine handles.
+FAMILY_PROTOCOLS = ("dragon", "wti")
+
+# Contended-block line states carried across epochs (Dragon).  DIRTY
+# and SHARED_DIRTY are odd so ``state & 1`` is the is-dirty/is-owner
+# predicate.
+_CLEAN = 0
+_DIRTY = 1
+_SHARED_CLEAN = 2
+_SHARED_DIRTY = 3
+
+_MISS_OP = {
+    # (supplied_from_cache, dirty_victim) — mirror of dragon._MISS_OPERATION.
+    (False, False): Operation.CLEAN_MISS_MEMORY,
+    (False, True): Operation.DIRTY_MISS_MEMORY,
+    (True, False): Operation.CLEAN_MISS_CACHE,
+    (True, True): Operation.DIRTY_MISS_CACHE,
+}
+
+_WTI_OPS = (
+    (Operation.CLEAN_MISS_MEMORY,),                           # miss
+    (Operation.CLEAN_MISS_MEMORY, Operation.WRITE_THROUGH),   # store miss
+    (Operation.WRITE_THROUGH,),                               # store hit
+)
+
+
+def run_coupled_family(
+    name: str,
+    trace: Trace,
+    configs: dict[int, SimulationConfig],
+    costs: CostTable,
+    order: str,
+) -> dict[int, SimulationResult]:
+    """One-pass cache-size sweep for a geometry-coupled protocol.
+
+    Callers (``repro.sim.onepass.run_geometry_family``) have already
+    validated the protocol, order, cost integrality, and geometry
+    family.
+    """
+    started = time.perf_counter()
+    block_shift = next(iter(configs.values())).geometry.block_shift
+    derived = derived_columns(trace, block_shift)
+    n = trace.cpus
+    spos = stream_positions(derived)
+    contended = _contended_blocks(derived, n)
+    if len(contended):
+        contended_sorted = np.isin(derived.blocks_sorted, contended)
+    else:
+        contended_sorted = np.zeros(len(derived.blocks_sorted), dtype=bool)
+    run_one = _run_dragon if name == "dragon" else _run_wti
+    results = {
+        size: run_one(
+            trace, config, costs, order, derived, spos,
+            contended, contended_sorted,
+        )
+        for size, config in configs.items()
+    }
+    note_replay(len(trace), "epoch")
+    wall = time.perf_counter() - started
+    for result in results.values():
+        result.run_wall_s = wall
+    return results
+
+
+def _contended_blocks(derived: DerivedColumns, n: int) -> np.ndarray:
+    """Blocks referenced by more than one CPU (uint64, sorted unique).
+
+    Only these can ever have remote holders; everything else is
+    provably private to its single referencing CPU.
+    """
+    pair = derived.blocks_sorted * np.uint64(n)
+    pair += derived.cpus_sorted.astype(np.uint64)
+    pair_blocks = np.unique(pair) // np.uint64(n)
+    return np.unique(pair_blocks[1:][pair_blocks[1:] == pair_blocks[:-1]])
+
+
+def _cpu_prefixes(derived: DerivedColumns, n: int) -> list[list[int]]:
+    """Per-CPU fetch prefix sums (clock cost of an event-free epoch)."""
+    prefixes = []
+    for cpu in range(n):
+        start = derived.offsets[cpu]
+        stop = start + derived.counts[cpu]
+        prefix_slice = derived.fetch_prefix[start : stop + 1]
+        prefixes.append((prefix_slice - prefix_slice[0]).tolist())
+    return prefixes
+
+
+def _gather(array: np.ndarray, idx: np.ndarray) -> list:
+    return array[idx].tolist()
+
+
+# -- Dragon --------------------------------------------------------------
+
+
+def _run_dragon(
+    trace: Trace,
+    config: SimulationConfig,
+    costs: CostTable,
+    order: str,
+    derived: DerivedColumns,
+    spos: np.ndarray,
+    contended: np.ndarray,
+    contended_sorted: np.ndarray,
+) -> SimulationResult:
+    n = trace.cpus
+    geometry = config.geometry
+    kinds = derived.kinds_sorted
+    total = len(kinds)
+    touches = kinds != 3  # Dragon ignores flushes entirely
+    cls = classify_lru(derived, geometry.sets, geometry.associativity, touches)
+    miss = cls.miss
+    is_store = kinds == 2
+    # Region-based, all kinds: DragonProtocol computes sharedness from
+    # the block alone, so fetch misses on shared blocks count too.
+    shared_sorted = derived.shared_sorted
+
+    # Epoch boundaries: every miss (fills/evictions change holder
+    # sets) plus every store to a contended block (may broadcast).
+    ev_mask = miss | (is_store & contended_sorted & touches)
+
+    # Store hits on non-contended blocks are provably exclusive: they
+    # dirty the line locally and only bump the shared-write-hit
+    # counter — countable vectorised, never epoch boundaries.
+    untracked_write_hits = int(
+        np.count_nonzero(
+            is_store & touches & ~miss & ~contended_sorted & shared_sorted
+        )
+    )
+
+    # Victim dirtiness: contended victims carry merge state; private
+    # victims are dirty iff stored into while resident (they can only
+    # ever be CLEAN/DIRTY — a SHARED fill needs holders).
+    victim_block = cls.victim_block
+    victim_dirty = np.zeros(total, dtype=bool)
+    victim_contended = np.zeros(total, dtype=bool)
+    v_idx = np.flatnonzero(victim_block >= 0)
+    if len(v_idx):
+        v_is_contended = np.isin(
+            victim_block[v_idx].astype(np.uint64), contended
+        )
+        victim_contended[v_idx] = v_is_contended
+        private = v_idx[~v_is_contended]
+        if len(private):
+            victim_dirty[private] = dirty_flags(
+                derived,
+                touches,
+                spos,
+                derived.cpus_sorted[private],
+                victim_block[private],
+                cls.victim_pos[private],
+                spos[private],
+            )
+
+    offsets = derived.offsets
+    counts = derived.counts
+    epos: list[list[int]] = []
+    ekind: list[list[int]] = []
+    eblock: list[list[int]] = []
+    emiss: list[list[bool]] = []
+    eshared: list[list[bool]] = []
+    etracked: list[list[bool]] = []
+    evictim: list[list[int]] = []
+    evictim_tracked: list[list[bool]] = []
+    evictim_dirty: list[list[bool]] = []
+    blocks_i64 = derived.blocks_sorted.astype(np.int64)
+    for cpu in range(n):
+        start = offsets[cpu]
+        idx = np.flatnonzero(ev_mask[start : start + counts[cpu]]) + start
+        epos.append((idx - start).tolist())
+        ekind.append(_gather(kinds, idx))
+        eblock.append(_gather(blocks_i64, idx))
+        emiss.append(_gather(miss, idx))
+        eshared.append(_gather(shared_sorted, idx))
+        etracked.append(_gather(contended_sorted, idx))
+        evictim.append(_gather(victim_block, idx))
+        evictim_tracked.append(_gather(victim_contended, idx))
+        evictim_dirty.append(_gather(victim_dirty, idx))
+
+    # Sharer/owner state of contended blocks, per CPU, carried across
+    # epoch boundaries.
+    tstate: list[dict[int, int]] = [{} for _ in range(n)]
+    stats = DragonStats()
+    stats.shared_write_hits = untracked_write_hits
+    cpu_range = range(n)
+    write_broadcast = Operation.WRITE_BROADCAST
+
+    def make_resolver(op_info):
+        bcast = op_info[write_broadcast]
+        miss_info = {key: (op_info[op],) for key, op in _MISS_OP.items()}
+        miss_bcast_info = {
+            key: (op_info[op], bcast) for key, op in _MISS_OP.items()
+        }
+        bcast_info = (bcast,)
+
+        # Static pre-resolution: a miss on an untracked block with an
+        # untracked victim can have no holders and touches no carried
+        # state — its operations (and its shared-miss count) are fixed
+        # before the merge, so the hot loop skips ``resolve`` for it.
+        static_shared = 0
+        estatic: list[list] = []
+        for c in range(n):
+            missed = emiss[c]
+            tracked = etracked[c]
+            vtracked = evictim_tracked[c]
+            vdirty = evictim_dirty[c]
+            shared_flags = eshared[c]
+            row = []
+            for i in range(len(missed)):
+                if missed[i] and not tracked[i] and not vtracked[i]:
+                    row.append(miss_info[False, vdirty[i]])
+                    if shared_flags[i]:
+                        static_shared += 1
+                else:
+                    row.append(None)
+            estatic.append(row)
+        stats.shared_misses += static_shared
+
+        # Hot-loop tuning: common outcome pairs are preallocated and
+        # captured names are bound as default arguments (locals, not
+        # closure cells).
+        empty_ret = ((), ())
+        miss_ret = {key: (info, ()) for key, info in miss_info.items()}
+
+        def resolve(
+            cpu: int,
+            i: int,
+            eblock=eblock,
+            eshared=eshared,
+            emiss=emiss,
+            etracked=etracked,
+            evictim=evictim,
+            evictim_tracked=evictim_tracked,
+            evictim_dirty=evictim_dirty,
+            ekind=ekind,
+            tstate=tstate,
+            stats=stats,
+            cpu_range=cpu_range,
+            miss_ret=miss_ret,
+            miss_bcast_info=miss_bcast_info,
+            bcast_info=bcast_info,
+            empty_ret=empty_ret,
+        ) -> tuple[tuple, tuple]:
+            """Apply one epoch boundary's protocol actions (exact
+            replica of ``DragonProtocol.access`` over the carried
+            state)."""
+            block = eblock[cpu][i]
+            shared = eshared[cpu][i]
+            if emiss[cpu][i]:
+                holders: list[int] = []
+                supplied = False
+                if etracked[cpu][i]:
+                    state = tstate
+                    holders = [
+                        j for j in cpu_range if j != cpu and block in state[j]
+                    ]
+                    owner = False
+                    for j in holders:
+                        if state[j][block] & 1:
+                            owner = True
+                            break
+                    if shared:
+                        stats.shared_misses += 1
+                        if owner:
+                            stats.shared_misses_dirty_elsewhere += 1
+                    if holders:
+                        supplied = owner
+                        for j in holders:
+                            holder_state = state[j][block]
+                            if holder_state == _CLEAN:
+                                state[j][block] = _SHARED_CLEAN
+                            elif holder_state == _DIRTY:
+                                state[j][block] = _SHARED_DIRTY
+                        fill = _SHARED_CLEAN
+                    else:
+                        fill = _CLEAN
+                elif shared:
+                    stats.shared_misses += 1
+                victim = evictim[cpu][i]
+                if victim >= 0:
+                    if evictim_tracked[cpu][i]:
+                        dirty_victim = bool(tstate[cpu].pop(victim) & 1)
+                    else:
+                        dirty_victim = evictim_dirty[cpu][i]
+                else:
+                    dirty_victim = False
+                if etracked[cpu][i]:
+                    tstate[cpu][block] = fill
+                if ekind[cpu][i] == 2:
+                    if holders:
+                        stats.broadcasts += 1
+                        stats.broadcast_holders += len(holders)
+                        tstate[cpu][block] = _SHARED_DIRTY
+                        for j in holders:
+                            tstate[j][block] = _SHARED_CLEAN
+                        return (
+                            miss_bcast_info[supplied, dirty_victim],
+                            tuple(holders),
+                        )
+                    if etracked[cpu][i]:
+                        tstate[cpu][block] = _DIRTY
+                return miss_ret[supplied, dirty_victim]
+            # Store hit on a contended block.
+            state = tstate[cpu][block]
+            if state == _CLEAN or state == _DIRTY:
+                if shared:
+                    stats.shared_write_hits += 1
+                if state != _DIRTY:
+                    tstate[cpu][block] = _DIRTY
+                return empty_ret
+            holders = [
+                j for j in cpu_range if j != cpu and block in tstate[j]
+            ]
+            if shared:
+                stats.shared_write_hits += 1
+                if holders:
+                    stats.shared_write_hits_present_elsewhere += 1
+            if not holders:
+                tstate[cpu][block] = _DIRTY
+                return empty_ret
+            stats.broadcasts += 1
+            stats.broadcast_holders += len(holders)
+            tstate[cpu][block] = _SHARED_DIRTY
+            for j in holders:
+                tstate[j][block] = _SHARED_CLEAN
+            return (bcast_info, tuple(holders))
+
+        return estatic, resolve
+
+    return _merge_and_finish(
+        "dragon", trace, config, costs, order, derived,
+        epos, ekind, eshared, make_resolver, stats,
+    )
+
+
+# -- WTI -----------------------------------------------------------------
+
+
+def _run_wti(
+    trace: Trace,
+    config: SimulationConfig,
+    costs: CostTable,
+    order: str,
+    derived: DerivedColumns,
+    spos: np.ndarray,
+    contended: np.ndarray,
+    contended_sorted: np.ndarray,
+) -> SimulationResult:
+    del spos  # WTI lines are never dirty; no interval queries needed
+    n = trace.cpus
+    geometry = config.geometry
+    sets = geometry.sets
+    assoc = geometry.associativity
+    kinds = derived.kinds_sorted
+    total = len(kinds)
+    touches = kinds != 3  # WTI ignores flushes entirely
+    is_store = kinds == 2
+    shared_ev = derived.shared_sorted
+
+    set_idx = (derived.blocks_sorted & np.uint64(sets - 1)).astype(np.int64)
+    # Coupled sets: (cpu, set) pairs that ever hold a contended block
+    # in the CPU's own stream.  Only these can see invalidations, so
+    # only these need merge-time simulation.
+    pair_key = derived.cpus_sorted.astype(np.int64) * sets + set_idx
+    coupled_keys = np.unique(pair_key[contended_sorted & touches])
+    if len(coupled_keys):
+        coupled = np.isin(pair_key, coupled_keys)
+    else:
+        coupled = np.zeros(total, dtype=bool)
+
+    cls = classify_lru(derived, sets, assoc, touches)
+    # Uncoupled sets classify exactly locally; their events are the
+    # misses plus every store (each posts a write-through).
+    unc = touches & ~coupled
+    # Within coupled sets, a reference whose immediate same-set
+    # predecessor touched the same non-contended block is a provable
+    # MRU-identity hit (invalidations only ever remove *other*,
+    # contended lines, which cannot evict or demote this block).
+    provable = cls.prev_same & ~is_store & ~contended_sorted
+    ev_mask = (unc & (cls.miss | is_store)) | (touches & coupled & ~provable)
+
+    # Event codes: 0 = miss, 1 = store miss, 2 = store hit (all
+    # pre-resolved in uncoupled sets), 3 = resolve against the
+    # simulated coupled set at the merge.
+    code = np.full(total, 3, dtype=np.int64)
+    unc_miss = unc & cls.miss
+    code[unc_miss & ~is_store] = 0
+    code[unc_miss & is_store] = 1
+    code[unc & ~cls.miss & is_store] = 2
+
+    offsets = derived.offsets
+    counts = derived.counts
+    epos: list[list[int]] = []
+    ekind: list[list[int]] = []
+    eblock: list[list[int]] = []
+    eshared: list[list[bool]] = []
+    ecode: list[list[int]] = []
+    eset: list[list[int]] = []
+    econtended: list[list[bool]] = []
+    blocks_i64 = derived.blocks_sorted.astype(np.int64)
+    for cpu in range(n):
+        start = offsets[cpu]
+        idx = np.flatnonzero(ev_mask[start : start + counts[cpu]]) + start
+        epos.append((idx - start).tolist())
+        ekind.append(_gather(kinds, idx))
+        eblock.append(_gather(blocks_i64, idx))
+        eshared.append(_gather(shared_ev, idx))
+        ecode.append(_gather(code, idx))
+        eset.append(_gather(set_idx, idx))
+        econtended.append(_gather(contended_sorted, idx))
+
+    # Simulated coupled sets.  ``family_support`` gates the engine to
+    # associativity 1 or 2, so a set is at most two lines — modelled
+    # as a fixed ``[mru, lru]`` list (-1 = empty way) instead of an
+    # insertion-ordered dict: same LRU discipline, far cheaper per
+    # touch in the merge loop.
+    sim_sets: list[dict[int, list[int]]] = [{} for _ in range(n)]
+    stats = WtiStats()
+    cpu_range = range(n)
+    two_way = assoc == 2
+
+    def make_resolver(op_info):
+        wti_info = tuple(
+            tuple(op_info[op] for op in ops) for ops in _WTI_OPS
+        )
+        # Uncoupled-set events (codes 0-2) are fully classified before
+        # the merge; only coupled-set events reach ``resolve``.
+        estatic = [
+            [wti_info[c] if c < 3 else None for c in ecode[cpu]]
+            for cpu in range(n)
+        ]
+
+        # Hot-loop tuning: the four possible outcomes are preallocated
+        # (no per-call tuple builds) and every captured name is bound
+        # as a default argument (locals, not closure cells).
+        hit_ret = ((), ())
+        miss_ret = (wti_info[0], ())
+        store_miss_ret = (wti_info[1], ())
+        store_hit_ret = (wti_info[2], ())
+
+        def resolve(
+            cpu: int,
+            i: int,
+            eblock=eblock,
+            eset=eset,
+            ekind=ekind,
+            econtended=econtended,
+            sim_sets=sim_sets,
+            stats=stats,
+            cpu_range=cpu_range,
+            two_way=two_way,
+            hit_ret=hit_ret,
+            miss_ret=miss_ret,
+            store_miss_ret=store_miss_ret,
+            store_hit_ret=store_hit_ret,
+        ) -> tuple[tuple, tuple]:
+            block = eblock[cpu][i]
+            sid = eset[cpu][i]
+            sets_c = sim_sets[cpu]
+            sim = sets_c.get(sid)
+            if sim is None:
+                sim = [-1, -1]
+                sets_c[sid] = sim
+            if ekind[cpu][i] != 2:
+                if block == sim[0]:
+                    return hit_ret
+                if two_way:
+                    if block == sim[1]:
+                        sim[1] = sim[0]
+                        sim[0] = block
+                        return hit_ret
+                    sim[1] = sim[0]
+                sim[0] = block
+                return miss_ret
+            # Store: the bus write invalidates every remote copy of a
+            # contended block (non-contended blocks provably have none).
+            if econtended[cpu][i]:
+                for j in cpu_range:
+                    if j == cpu:
+                        continue
+                    other = sim_sets[j].get(sid)
+                    if other is not None:
+                        if other[0] == block:
+                            other[0] = other[1]
+                            other[1] = -1
+                            stats.invalidations += 1
+                        elif other[1] == block:
+                            other[1] = -1
+                            stats.invalidations += 1
+            if block == sim[0]:
+                return store_hit_ret
+            if two_way:
+                if block == sim[1]:
+                    sim[1] = sim[0]
+                    sim[0] = block
+                    return store_hit_ret
+                sim[1] = sim[0]
+            sim[0] = block
+            return store_miss_ret
+
+        return estatic, resolve
+
+    if order == "trace" or n == 1:
+        return _merge_and_finish(
+            "wti", trace, config, costs, order, derived,
+            epos, ekind, eshared, make_resolver, stats,
+        )
+
+    # Steal-free simulated-time merge, fully inlined.  WTI never
+    # steals, so no broadcast ever perturbs another CPU's merge
+    # position: every key and epoch advance is static.  Each event
+    # carries its *outgoing* key gap (fetch cost to the next event, or
+    # to end-of-stream), its block, and direct references to the
+    # pre-created coupled-set lists it touches — the hot loop does no
+    # function calls and no dict lookups, and the winning key IS the
+    # post-epoch clock.
+    op_info = _operation_info(costs)
+    wti_info = tuple(tuple(op_info[op] for op in ops) for ops in _WTI_OPS)
+    miss_ops, store_miss_ops, store_hit_ops = wti_info
+    prefixes = _cpu_prefixes(derived, n)
+    fetch_prefix = derived.fetch_prefix
+    # Every coupled (cpu, set) pair gets its [mru, lru] list up front
+    # (an untouched [-1, -1] behaves exactly like a lazily absent one).
+    sim_map = {int(key): [-1, -1] for key in coupled_keys.tolist()}
+    bus_free = 0.0
+    bus_busy = 0.0
+    bus_tx = 0
+    clocks = [0.0] * n
+    waits = [0.0] * n
+    fetch_misses = 0
+    data_misses = 0
+    shared_data_misses = 0
+    dirty_victims = 0
+    invalidations = 0
+    infinity = float("inf")
+    active = []
+    keys = [0.0] * n
+    event_index = [0] * n
+    events = []
+    for cpu in range(n):
+        count = counts[cpu]
+        row_pos = epos[cpu]
+        if not count:
+            events.append([])
+            continue
+        if not row_pos:
+            clocks[cpu] = float(prefixes[cpu][count])
+            events.append([])
+            continue
+        # Gap costs computed on the global fetch prefix directly
+        # (differences cancel the per-CPU base).
+        start = int(offsets[cpu])
+        pos_np = np.asarray(row_pos, dtype=np.int64) + start
+        nxt = np.empty(len(pos_np), dtype=np.int64)
+        nxt[:-1] = fetch_prefix[pos_np[1:]]
+        nxt[-1] = fetch_prefix[start + count]
+        gaps = (nxt - fetch_prefix[pos_np + 1]).tolist()
+        key_base = cpu * sets
+        esim = [sim_map.get(key_base + sid) for sid in eset[cpu]]
+        # Remote coupled-set lists a contended store must scan for
+        # invalidations, resolved per set id once.
+        others_cache: dict[int, tuple] = {}
+        eothers: list = []
+        for sid, cont, kind in zip(eset[cpu], econtended[cpu], ekind[cpu]):
+            if kind == 2 and cont:
+                remote = others_cache.get(sid)
+                if remote is None:
+                    lists = []
+                    for j in cpu_range:
+                        if j != cpu:
+                            other = sim_map.get(j * sets + sid)
+                            if other is not None:
+                                lists.append(other)
+                    remote = tuple(lists)
+                    others_cache[sid] = remote
+                eothers.append(remote)
+            else:
+                eothers.append(None)
+        estat = [wti_info[c] if c < 3 else None for c in ecode[cpu]]
+        events.append(
+            list(
+                zip(
+                    ekind[cpu], eshared[cpu], estat, gaps,
+                    eblock[cpu], esim, eothers,
+                )
+            )
+        )
+        keys[cpu] = float(prefixes[cpu][row_pos[0]])
+        active.append(cpu)
+    while active:
+        best_key = infinity
+        cpu = -1
+        for candidate in active:
+            key = keys[candidate]
+            if key < best_key:
+                best_key = key
+                cpu = candidate
+        i = event_index[cpu]
+        row = events[cpu]
+        kind, shared, operations, gap_out, block, sim, others = row[i]
+        clock = best_key
+        if kind == 0:
+            clock += 1.0
+        if operations is None:
+            # Coupled-set LRU, associativity <= 2 (same discipline as
+            # ``resolve`` above).
+            if kind != 2:
+                if block == sim[0]:
+                    operations = ()
+                elif two_way and block == sim[1]:
+                    sim[1] = sim[0]
+                    sim[0] = block
+                    operations = ()
+                else:
+                    if two_way:
+                        sim[1] = sim[0]
+                    sim[0] = block
+                    operations = miss_ops
+            else:
+                if others is not None:
+                    for other in others:
+                        if other[0] == block:
+                            other[0] = other[1]
+                            other[1] = -1
+                            invalidations += 1
+                        elif other[1] == block:
+                            other[1] = -1
+                            invalidations += 1
+                if block == sim[0]:
+                    operations = store_hit_ops
+                elif two_way and block == sim[1]:
+                    sim[1] = sim[0]
+                    sim[0] = block
+                    operations = store_hit_ops
+                else:
+                    if two_way:
+                        sim[1] = sim[0]
+                    sim[0] = block
+                    operations = store_miss_ops
+        if operations:
+            for cpu_cycles, bus_cycles, is_miss, is_dirty, counter in (
+                operations
+            ):
+                counter[0] += 1
+                if bus_cycles > 0.0:
+                    if bus_free > clock:
+                        waits[cpu] += bus_free - clock
+                        grant = bus_free
+                    else:
+                        grant = clock
+                    bus_free = grant + bus_cycles
+                    bus_busy += bus_cycles
+                    bus_tx += 1
+                    clock = grant + cpu_cycles
+                else:
+                    clock += cpu_cycles
+                if is_miss:
+                    if kind == 0:
+                        fetch_misses += 1
+                    else:
+                        data_misses += 1
+                        if shared:
+                            shared_data_misses += 1
+                    if is_dirty:
+                        dirty_victims += 1
+        i += 1
+        event_index[cpu] = i
+        if i < len(row):
+            keys[cpu] = clock + gap_out
+        else:
+            # End-of-stream advance folded into the last event: it has
+            # no side effects, so its merge position relative to other
+            # CPUs' events is immaterial.
+            clocks[cpu] = clock + gap_out
+            active.remove(cpu)
+    stats.invalidations += invalidations
+    return _assemble(
+        "wti", trace, config, derived, op_info, clocks, waits, [0] * n,
+        fetch_misses, data_misses, shared_data_misses, dirty_victims,
+        bus_busy, bus_tx, stats,
+    )
+
+
+# -- shared event merge + result assembly --------------------------------
+
+
+def _operation_info(costs: CostTable) -> dict:
+    """Per-operation hot-loop info tuples: ``(cpu_cycles, bus_cycles,
+    is_miss, is_dirty_victim, count_cell)``.  The mutable count cell
+    keeps operation counting in one place across static and resolved
+    events."""
+    return {
+        op: (
+            float(cost.cpu_cycles),
+            float(cost.channel_cycles),
+            op in _MISS_OPERATIONS,
+            op in _DIRTY_VICTIM_OPERATIONS,
+            [0],
+        )
+        for op, cost in costs.items()
+    }
+
+
+def _assemble(
+    name: str,
+    trace: Trace,
+    config: SimulationConfig,
+    derived: DerivedColumns,
+    op_info: dict,
+    clocks: list[float],
+    waits: list[float],
+    steals: list[int],
+    fetch_misses: int,
+    data_misses: int,
+    shared_data_misses: int,
+    dirty_victims: int,
+    bus_busy: float,
+    bus_tx: int,
+    protocol_stats,
+) -> SimulationResult:
+    n = trace.cpus
+    result = SimulationResult(
+        protocol=name,
+        trace_name=trace.name,
+        config=config,
+        cpus=[CpuStats() for _ in range(n)],
+    )
+    mix = derived.mix
+    for cpu in range(n):
+        stats = result.cpus[cpu]
+        stats.instructions = int(mix[cpu, 0])
+        stats.loads = int(mix[cpu, 1])
+        stats.stores = int(mix[cpu, 2])
+        stats.flushes = int(mix[cpu, 3])
+        stats.clock = clocks[cpu]
+        stats.wait_cycles = waits[cpu]
+        stats.stolen_cycles = steals[cpu]
+    result.operation_counts = Counter(
+        {op: info[4][0] for op, info in op_info.items() if info[4][0]}
+    )
+    result.fetch_misses = fetch_misses
+    result.data_misses = data_misses
+    result.shared_data_misses = shared_data_misses
+    result.dirty_victim_misses = dirty_victims
+    result.shared_loads = derived.shared_loads
+    result.shared_stores = derived.shared_stores
+    result.bus_busy_cycles = bus_busy
+    result.bus_transactions = bus_tx
+    result.protocol_stats = protocol_stats
+    result.engine = "epoch"
+    result.records_replayed = len(trace)
+    return result
+
+
+def _merge_and_finish(
+    name: str,
+    trace: Trace,
+    config: SimulationConfig,
+    costs: CostTable,
+    order: str,
+    derived: DerivedColumns,
+    epos: list[list[int]],
+    ekind: list[list[int]],
+    eshared: list[list[bool]],
+    make_resolver,
+    protocol_stats,
+) -> SimulationResult:
+    """Replay epoch boundaries in exact legacy ``(key, cpu)`` order.
+
+    The structure mirrors ``onepass._account`` (event-free epochs
+    advance clocks via fetch prefix sums) extended with per-event
+    resolution and — for Dragon — the cycle-steal key-staleness rules
+    of ``Machine._run_columnar``'s event-driven merge, minus the
+    deferred LRU touches (every epoch record here is free apart from
+    its fetch cycle, so epochs are pure clock advances).
+
+    ``make_resolver(op_info)`` returns ``(estatic, resolve)``:
+    ``estatic[cpu][i]`` is the event's pre-resolved cost-info tuple
+    when its operations are independent of the carried sharing state
+    (the hot loop consumes it directly), or None to route the event
+    through ``resolve`` — which returns ``(info_tuple, stolen_from)``
+    built from the same ``op_info`` entries, so operation counting
+    stays in one place.
+
+    WTI's steal-free simulated-time merge does not come through here —
+    ``_run_wti`` inlines it — so the time branch below always carries
+    the steal machinery.
+    """
+    n = trace.cpus
+    counts = derived.counts
+    prefixes = _cpu_prefixes(derived, n)
+    op_info = _operation_info(costs)
+    estatic, resolve = make_resolver(op_info)
+
+    # One tuple per event — a single list index in the hot loop
+    # instead of four parallel-column lookups.
+    def pack_events():
+        return [
+            list(zip(epos[c], ekind[c], eshared[c], estatic[c]))
+            for c in range(n)
+        ]
+
+    # TimedBus.transact inlined into the merge loops as three locals
+    # (identical arithmetic; the result assembly rebuilds the totals).
+    bus_free = 0.0
+    bus_busy = 0.0
+    bus_tx = 0
+    clocks = [0.0] * n
+    waits = [0.0] * n
+    steals = [0] * n
+    fetch_misses = 0
+    data_misses = 0
+    shared_data_misses = 0
+    dirty_victims = 0
+
+    if order == "trace" or n == 1:
+        events = pack_events()
+        order_np = derived.order
+        offsets = derived.offsets
+        ev_trace = []
+        ev_cpu = []
+        for cpu in range(n):
+            pos_np = np.asarray(epos[cpu], dtype=np.int64)
+            ev_trace.append(order_np[offsets[cpu] + pos_np])
+            ev_cpu.append(np.full(len(pos_np), cpu, dtype=np.int64))
+        if ev_trace:
+            all_trace = np.concatenate(ev_trace)
+            all_cpu = np.concatenate(ev_cpu)
+            merged_cpus = all_cpu[np.argsort(all_trace, kind="stable")].tolist()
+        else:
+            merged_cpus = []
+        applied = [0] * n
+        event_index = [0] * n
+        for cpu in merged_cpus:
+            i = event_index[cpu]
+            pos, kind, shared, operations = events[cpu][i]
+            event_index[cpu] = i + 1
+            prefix = prefixes[cpu]
+            clock = clocks[cpu]
+            delta = prefix[pos] - prefix[applied[cpu]]
+            if delta:
+                clock += delta
+            if kind == 0:
+                clock += 1.0
+            if operations is None:
+                operations, stolen_from = resolve(cpu, i)
+            else:
+                stolen_from = ()
+            for cpu_cycles, bus_cycles, is_miss, is_dirty, counter in (
+                operations
+            ):
+                counter[0] += 1
+                if bus_cycles > 0.0:
+                    if bus_free > clock:
+                        waits[cpu] += bus_free - clock
+                        grant = bus_free
+                    else:
+                        grant = clock
+                    bus_free = grant + bus_cycles
+                    bus_busy += bus_cycles
+                    bus_tx += 1
+                    clock = grant + cpu_cycles
+                else:
+                    clock += cpu_cycles
+                if is_miss:
+                    if kind == 0:
+                        fetch_misses += 1
+                    else:
+                        data_misses += 1
+                        if shared:
+                            shared_data_misses += 1
+                    if is_dirty:
+                        dirty_victims += 1
+            clocks[cpu] = clock
+            for victim in stolen_from:
+                clocks[victim] += 1.0
+                steals[victim] += 1
+            applied[cpu] = pos + 1
+        for cpu in range(n):
+            prefix = prefixes[cpu]
+            delta = prefix[counts[cpu]] - prefix[applied[cpu]]
+            if delta:
+                clocks[cpu] += delta
+    else:
+        # Simulated-time merge in legacy lexicographic (key, cpu)
+        # order.  Steals land on the victim's true clock immediately
+        # but enter its merge keys only from the first record
+        # processed after the broadcast — the same key-staleness
+        # reconstruction as Machine._run_columnar, simplified by the
+        # absence of deferred touches.
+        events = pack_events()
+        cpu_fetch_pos = []
+        is_fetch = derived.is_fetch_sorted
+        offset = 0
+        for count in counts:
+            cpu_fetch_pos.append(
+                np.flatnonzero(is_fetch[offset : offset + count]).tolist()
+            )
+            offset += count
+        positions = [0] * n
+        event_index = [0] * n
+        next_event = [0] * n
+        keys = [0.0] * n
+        frontier_keys = [0.0] * n
+        infinity = float("inf")
+        active = []
+        for cpu in range(n):
+            if not counts[cpu]:
+                continue
+            active.append(cpu)
+            row = events[cpu]
+            e = row[0][0] if row else counts[cpu]
+            next_event[cpu] = e
+            keys[cpu] = float(prefixes[cpu][e])
+        while active:
+            best_key = infinity
+            cpu = -1
+            for candidate in active:
+                key = keys[candidate]
+                if key < best_key:
+                    best_key = key
+                    cpu = candidate
+            prefix = prefixes[cpu]
+            position = positions[cpu]
+            e = next_event[cpu]
+            clock = clocks[cpu]
+            delta = prefix[e] - prefix[position]
+            if delta:
+                clock += delta
+            if e == counts[cpu]:
+                clocks[cpu] = clock
+                frontier_keys[cpu] = infinity
+                active.remove(cpu)
+                continue
+            i = event_index[cpu]
+            _, kind, shared, operations = events[cpu][i]
+            if kind == 0:
+                clock += 1.0
+            if operations is None:
+                operations, stolen_from = resolve(cpu, i)
+            else:
+                stolen_from = ()
+            for cpu_cycles, bus_cycles, is_miss, is_dirty, counter in (
+                operations
+            ):
+                counter[0] += 1
+                if bus_cycles > 0.0:
+                    if bus_free > clock:
+                        waits[cpu] += bus_free - clock
+                        grant = bus_free
+                    else:
+                        grant = clock
+                    bus_free = grant + bus_cycles
+                    bus_busy += bus_cycles
+                    bus_tx += 1
+                    clock = grant + cpu_cycles
+                else:
+                    clock += cpu_cycles
+                if is_miss:
+                    if kind == 0:
+                        fetch_misses += 1
+                    else:
+                        data_misses += 1
+                        if shared:
+                            shared_data_misses += 1
+                    if is_dirty:
+                        dirty_victims += 1
+            clocks[cpu] = clock
+            if stolen_from:
+                for victim in stolen_from:
+                    clocks[victim] += 1.0
+                    steals[victim] += 1
+                for victim in stolen_from:
+                    fk = frontier_keys[victim]
+                    if fk > best_key or (fk == best_key and victim > cpu):
+                        # The victim's next record was still unpushed
+                        # at the broadcast: the steal is in every key
+                        # from that record onwards.
+                        if positions[victim] < next_event[victim]:
+                            keys[victim] += 1.0
+                    else:
+                        # Records up to the broadcast's merge position
+                        # were already (virtually) processed with
+                        # frozen keys; materialise them, then land the
+                        # steal before the rest.  The new frontier is
+                        # found by fetch count: epoch record m's key
+                        # is the victim's pre-steal clock plus the
+                        # fetch prefix from the old frontier.
+                        v_prefix = prefixes[victim]
+                        v_pos = positions[victim]
+                        base = v_prefix[v_pos]
+                        pre_clock = clocks[victim] - 1.0
+                        target = int(best_key - pre_clock) + base
+                        if victim < cpu:
+                            target += 1
+                        if target <= base:
+                            frontier = v_pos + 1
+                        else:
+                            frontier = cpu_fetch_pos[victim][target - 1] + 1
+                        advance = v_prefix[frontier] - base
+                        if advance:
+                            clocks[victim] += advance
+                        positions[victim] = frontier
+                        frontier_keys[victim] = pre_clock + advance
+                        if frontier < next_event[victim]:
+                            keys[victim] += 1.0
+            position = e + 1
+            positions[cpu] = position
+            i += 1
+            event_index[cpu] = i
+            row = events[cpu]
+            e = row[i][0] if i < len(row) else counts[cpu]
+            next_event[cpu] = e
+            frontier_keys[cpu] = clock
+            keys[cpu] = clock + (prefix[e] - prefix[position])
+
+    return _assemble(
+        name, trace, config, derived, op_info, clocks, waits, steals,
+        fetch_misses, data_misses, shared_data_misses, dirty_victims,
+        bus_busy, bus_tx, protocol_stats,
+    )

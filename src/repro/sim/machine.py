@@ -287,17 +287,26 @@ class Machine:
                 preserved either way.
             engine: ``"columnar"`` (default) runs the fast
                 array-consuming replay loop; ``"legacy"`` runs the
-                original record loop.  Both produce identical
+                original record loop; ``"segment"`` runs the pure-numpy
+                segment-scan kernel (geometry-local protocols,
+                associativity 1 or 2, integral costs — raises
+                ``ValueError`` otherwise).  All produce identical
                 statistics.
         """
         if order not in ("time", "trace"):
             raise ValueError(f"order must be 'time' or 'trace', got {order!r}")
-        if engine not in ("columnar", "legacy"):
+        if engine not in ("columnar", "legacy", "segment"):
             raise ValueError(
-                f"engine must be 'columnar' or 'legacy', got {engine!r}"
+                f"engine must be 'columnar', 'legacy', or 'segment', "
+                f"got {engine!r}"
             )
         if cpus is not None and cpus != trace.cpus:
             trace = trace.restricted_to(cpus)
+        if engine == "segment":
+            # Lazy import: onepass imports this module.
+            from repro.sim.onepass import run_segment_engine
+
+            return run_segment_engine(self, trace, order)
 
         geometry = self.config.geometry
         caches = [Cache(geometry) for _ in range(trace.cpus)]

@@ -40,10 +40,15 @@ alone — the per-geometry work factors cleanly:
 
 Exactness requires integral operation costs (so batched clock
 advances equal record-by-record ones in float arithmetic — the same
-gate ``Machine``'s static hit analysis applies).  For geometry-coupled
-protocols (Dragon's sharing traffic, the invalidation schemes) or
-non-integral cost tables, :func:`run_geometry_family` transparently
-falls back to one exact ``Machine.run`` per configuration.
+gate ``Machine``'s static hit analysis applies).  Dragon and WTI —
+whose sharing traffic couples the CPUs' cache contents — take the
+epoch-partitioned family engine in :mod:`repro.sim.family` instead
+(same one-traversal cost structure, different factorisation).  Any
+remaining case — other coupled protocols, non-integral cost tables,
+associativities outside the run-collapse theorem —
+:func:`run_geometry_family` transparently falls back to one exact
+``Machine.run`` per configuration; :func:`family_support` names the
+engine or the structured fallback reason.
 """
 
 from __future__ import annotations
@@ -54,8 +59,9 @@ from collections import Counter
 import numpy as np
 
 from repro.core.operations import CostTable, Operation
-from repro.obs.metrics import note_replay
+from repro.obs.metrics import note_family_fallback, note_replay
 from repro.sim.bus import TimedBus
+from repro.sim.family import FAMILY_PROTOCOLS, run_coupled_family
 from repro.sim.machine import (
     CpuStats,
     Machine,
@@ -63,12 +69,15 @@ from repro.sim.machine import (
     SimulationResult,
 )
 from repro.sim.protocols import Protocol, protocol_class
+from repro.sim.segment import segment_events, segment_reason
 from repro.trace.derived import DerivedColumns, derived_columns
 from repro.trace.records import Trace
 
 __all__ = [
     "ONEPASS_PROTOCOLS",
+    "family_support",
     "run_geometry_family",
+    "run_segment_engine",
     "supports_onepass",
 ]
 
@@ -104,33 +113,76 @@ def _protocol_name(protocol: str | type[Protocol]) -> str:
     return protocol.name
 
 
-def supports_onepass(
-    protocol: str | type[Protocol], costs: CostTable | None = None
-) -> bool:
-    """Whether the one-pass fast path is exact for this combination.
-
-    True iff the protocol is geometry-local (one of
-    :data:`ONEPASS_PROTOCOLS`, with the contract flags the classifier
-    relies on) and every cost in the table is integral, so batched
-    clock advances are bit-identical to per-record ones.
-    """
-    name = _protocol_name(protocol)
-    if name not in ONEPASS_PROTOCOLS:
-        return False
-    cls = protocol_class(name) if isinstance(protocol, str) else protocol
-    if not (
-        cls.read_hit_is_free
-        and cls.store_hit_is_local
-        and cls.remote_traffic_preserves_residency
-        and not cls.may_steal_cycles
-    ):
-        return False
-    table = costs if costs is not None else CostTable.bus()
+def _integral_costs(table: CostTable) -> bool:
     return all(
         float(cost.cpu_cycles).is_integer()
         and float(cost.channel_cycles).is_integer()
         for _, cost in table.items()
     )
+
+
+def family_support(
+    protocol: str | type[Protocol],
+    costs: CostTable | None = None,
+    associativity: int = 2,
+) -> tuple[str, str | None]:
+    """How :func:`run_geometry_family` will run this combination.
+
+    Returns ``(engine, reason)``: ``("onepass", None)`` for the
+    geometry-local fast path, ``("epoch", None)`` for the
+    epoch-partitioned coupled-protocol engine, or
+    ``("fallback", reason)`` when only per-config replay is exact.
+    Reasons are structured ``category:detail`` strings
+    (``protocol:...``, ``costs:...``, ``associativity:...``) recorded
+    in the run manifest via ``repro.obs.metrics``.
+    """
+    name = _protocol_name(protocol)
+    table = costs if costs is not None else CostTable.bus()
+    if name in ONEPASS_PROTOCOLS:
+        cls = protocol_class(name) if isinstance(protocol, str) else protocol
+        if not (
+            cls.read_hit_is_free
+            and cls.store_hit_is_local
+            and cls.remote_traffic_preserves_residency
+            and not cls.may_steal_cycles
+        ):
+            return (
+                "fallback",
+                f"protocol:{name} breaks the geometry-local contract flags",
+            )
+        if not _integral_costs(table):
+            return ("fallback", "costs:non-integral operation costs")
+        return ("onepass", None)
+    if name in FAMILY_PROTOCOLS:
+        if not _integral_costs(table):
+            return ("fallback", "costs:non-integral operation costs")
+        if associativity not in (1, 2):
+            return (
+                "fallback",
+                f"associativity:{associativity} (the epoch engine's "
+                "run-collapse classification covers 1 and 2)",
+            )
+        return ("epoch", None)
+    return (
+        "fallback",
+        f"protocol:{name} couples geometries and has no epoch engine",
+    )
+
+
+def supports_onepass(
+    protocol: str | type[Protocol],
+    costs: CostTable | None = None,
+    associativity: int = 2,
+) -> bool:
+    """Whether some one-traversal family engine is exact here.
+
+    True iff :func:`family_support` selects either the geometry-local
+    one-pass fast path (Base/No-Cache/Software-Flush with the contract
+    flags and integral costs) or the epoch-partitioned coupled engine
+    (Dragon/WTI with integral costs and associativity 1 or 2).
+    """
+    engine, _ = family_support(protocol, costs, associativity)
+    return engine != "fallback"
 
 
 def run_geometry_family(
@@ -183,7 +235,9 @@ def run_geometry_family(
     if cpus is not None and cpus != trace.cpus:
         trace = trace.restricted_to(cpus)
 
-    if not supports_onepass(protocol, table):
+    engine, reason = family_support(protocol, table, associativity)
+    if engine == "fallback":
+        note_family_fallback(reason)
         machines = {
             size: Machine(protocol, config, table)
             for size, config in configs.items()
@@ -193,12 +247,24 @@ def run_geometry_family(
             for size, machine in machines.items()
         }
 
-    started = time.perf_counter()
     name = _protocol_name(protocol)
+    if engine == "epoch":
+        return run_coupled_family(name, trace, configs, table, order)
+
+    started = time.perf_counter()
     block_shift = next(iter(configs.values())).geometry.block_shift
     derived = derived_columns(trace, block_shift)
     geometries = [configs[size].geometry for size in configs]
-    events = _classify(name, derived, trace.cpus, geometries)
+    if segment_reason(name, table, associativity, trace) is None:
+        # The segment-scan kernel classifies the whole family without
+        # a per-record loop; it covers associativity 1 and 2 and
+        # flush-free swflush streams.
+        events = [
+            segment_events(name, derived, trace.cpus, geometry)
+            for geometry in geometries
+        ]
+    else:
+        events = _classify(name, derived, trace.cpus, geometries)
     views = _cpu_views(derived, trace.cpus)
     results: dict[int, SimulationResult] = {}
     for index, size in enumerate(configs):
@@ -687,4 +753,49 @@ def _account(
     result.protocol_stats = None
     result.engine = "onepass"
     result.records_replayed = len(trace)
+    return result
+
+
+# -- single-config segment-scan engine (Machine.run(engine="segment")) ---
+
+
+def run_segment_engine(
+    machine: Machine, trace: Trace, order: str
+) -> SimulationResult:
+    """One configuration replayed through the segment-scan kernel.
+
+    Backs ``Machine.run(engine="segment")``: classification comes from
+    :func:`repro.sim.segment.segment_events` (pure array passes, no
+    per-record Python loop) and timing from the same exact
+    :func:`_account` merge the one-pass family uses.  Raises
+    ``ValueError`` when the kernel is not exact for the combination —
+    the caller chose the engine explicitly, so a silent fallback would
+    misreport provenance.
+    """
+    cls = machine.protocol_class
+    reason = segment_reason(
+        cls, machine.costs, machine.config.associativity, trace
+    )
+    if reason is not None:
+        raise ValueError(
+            f"segment engine is not exact for this run ({reason}); "
+            "use engine='columnar'"
+        )
+    started = time.perf_counter()
+    geometry = machine.config.geometry
+    derived = derived_columns(trace, geometry.block_shift)
+    events = segment_events(cls.name, derived, trace.cpus, geometry)
+    result = _account(
+        cls.name,
+        trace,
+        machine.config,
+        machine.costs,
+        order,
+        derived,
+        _cpu_views(derived, trace.cpus),
+        events,
+    )
+    result.engine = "segment"
+    result.run_wall_s = time.perf_counter() - started
+    note_replay(len(trace), "segment")
     return result

@@ -24,6 +24,7 @@ from repro.trace.derived import (
     clear_derived_cache,
     derived_cache_info,
     derived_columns,
+    set_derived_cache_bytes,
     set_derived_cache_size,
     trace_digest,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "clear_derived_cache",
     "derived_cache_info",
     "derived_columns",
+    "set_derived_cache_bytes",
     "set_derived_cache_size",
     "trace_digest",
     "apply_flush_policy",

@@ -19,6 +19,18 @@ objects with identical content share one entry.  The digest is
 recomputed on every call — hashing ~11 bytes per record is orders of
 magnitude cheaper than the argsort it guards.
 
+The cache is bounded two ways, and eviction (LRU order) runs until
+both bounds hold — though the most recent entry always survives, so
+one oversized trace still memoizes:
+
+* **entries** (:func:`set_derived_cache_size`, env
+  ``SWCC_DERIVED_CACHE_ENTRIES``, default 8), and
+* **payload bytes** (:func:`set_derived_cache_bytes`, env
+  ``SWCC_DERIVED_CACHE_BYTES``, default 1 GiB) — the sum of the
+  entries' numpy array footprints, so multi-geometry sweeps over
+  large traces are bounded by what the columns actually weigh, not
+  by how many block sizes they touch.
+
 All derived arrays are treated as immutable by convention; callers
 must not write to them.
 """
@@ -26,6 +38,7 @@ must not write to them.
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -38,6 +51,7 @@ __all__ = [
     "derived_cache_info",
     "derived_columns",
     "clear_derived_cache",
+    "set_derived_cache_bytes",
     "set_derived_cache_size",
     "trace_digest",
 ]
@@ -169,11 +183,44 @@ def _derive(trace: Trace, block_shift: int, digest: str) -> DerivedColumns:
     )
 
 
+def _entry_nbytes(derived: DerivedColumns) -> int:
+    """Payload footprint of one entry: the sum of its array bytes."""
+    return sum(
+        value.nbytes
+        for value in vars(derived).values()
+        if isinstance(value, np.ndarray)
+    )
+
+
+def _env_bound(name: str, default: int) -> int:
+    """Positive integer bound from the environment, else ``default``."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
+
+
 #: Bounded LRU memo: ``(digest, block_shift) -> DerivedColumns``.
 _cache: OrderedDict[tuple[str, int], DerivedColumns] = OrderedDict()
-_maxsize = 8
+_maxsize = _env_bound("SWCC_DERIVED_CACHE_ENTRIES", 8)
+_max_bytes = _env_bound("SWCC_DERIVED_CACHE_BYTES", 1 << 30)
+_bytes = 0
 _hits = 0
 _misses = 0
+
+
+def _evict_overflow() -> None:
+    """Evict LRU entries until both bounds hold (keeping the newest)."""
+    global _bytes
+    while len(_cache) > 1 and (
+        len(_cache) > _maxsize or _bytes > _max_bytes
+    ):
+        _, evicted = _cache.popitem(last=False)
+        _bytes -= _entry_nbytes(evicted)
 
 
 def derived_columns(trace: Trace, block_shift: int) -> DerivedColumns:
@@ -182,7 +229,7 @@ def derived_columns(trace: Trace, block_shift: int) -> DerivedColumns:
     Keyed on trace *content* (see :func:`trace_digest`), so in-place
     mutation or rebuilding the trace never serves stale columns.
     """
-    global _hits, _misses
+    global _hits, _misses, _bytes
     digest = trace_digest(trace)
     key = (digest, block_shift)
     cached = _cache.get(key)
@@ -193,25 +240,28 @@ def derived_columns(trace: Trace, block_shift: int) -> DerivedColumns:
     _misses += 1
     derived = _derive(trace, block_shift, digest)
     _cache[key] = derived
-    while len(_cache) > _maxsize:
-        _cache.popitem(last=False)
+    _bytes += _entry_nbytes(derived)
+    _evict_overflow()
     return derived
 
 
 def derived_cache_info() -> dict:
-    """Cache observability: hits, misses, current and maximum size."""
+    """Cache observability: hit/miss counters and both bounds."""
     return {
         "hits": _hits,
         "misses": _misses,
         "size": len(_cache),
         "maxsize": _maxsize,
+        "bytes": _bytes,
+        "max_bytes": _max_bytes,
     }
 
 
 def clear_derived_cache() -> None:
     """Drop every memoized entry and reset the hit/miss counters."""
-    global _hits, _misses
+    global _hits, _misses, _bytes
     _cache.clear()
+    _bytes = 0
     _hits = 0
     _misses = 0
 
@@ -222,5 +272,19 @@ def set_derived_cache_size(maxsize: int) -> None:
     if maxsize < 1:
         raise ValueError(f"maxsize must be >= 1, got {maxsize}")
     _maxsize = maxsize
-    while len(_cache) > _maxsize:
-        _cache.popitem(last=False)
+    _evict_overflow()
+
+
+def set_derived_cache_bytes(max_bytes: int) -> None:
+    """Bound the memo's payload footprint at ``max_bytes``.
+
+    Eviction is LRU and runs until the bound holds, except that the
+    most recently used entry always survives — a single trace larger
+    than the bound still memoizes (the alternative, thrashing on every
+    call, is strictly worse).
+    """
+    global _max_bytes
+    if max_bytes < 1:
+        raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+    _max_bytes = max_bytes
+    _evict_overflow()

@@ -8,12 +8,16 @@ failure wins for that protocol):
    both replay orders.
 2. **Invariants** — the columnar results must satisfy the global
    conservation laws of :mod:`repro.verify.invariants`.
-3. **One-pass diff** — for geometry-local protocols
+3. **One-pass diff** — for protocols with a family engine
    (:func:`repro.sim.supports_onepass`), a
    :func:`repro.sim.run_geometry_family` call covering the case's
-   cache size plus a 4x larger one must engage the one-pass engine,
-   reproduce the columnar statistics exactly at the case's size, and
-   satisfy the invariants at the larger size — both replay orders.
+   cache size plus a 4x larger one must engage the one-pass or epoch
+   engine, reproduce the columnar statistics exactly at the case's
+   size, and satisfy the invariants at the larger size — both replay
+   orders.
+3b. **Segment diff** — where :func:`repro.sim.segment_reason` declares
+   the segment-scan kernel exact, ``Machine.run(engine="segment")``
+   must reproduce the columnar statistics bit-for-bit.
 4. **Oracle shadow** — the protocol re-runs with every fast-path
    contract flag disabled while a per-line reference state machine
    (:mod:`repro.verify.oracles`) validates each transition and then
@@ -43,6 +47,7 @@ from repro.core import BASE, DRAGON, NO_CACHE, SOFTWARE_FLUSH, BusSystem
 from repro.sim.machine import Machine, SimulationConfig, SimulationResult
 from repro.sim.measure import measure_workload_params
 from repro.sim.onepass import run_geometry_family, supports_onepass
+from repro.sim.segment import segment_reason
 from repro.trace.records import Trace
 from repro.verify.fuzzer import FuzzCase, generate_case
 from repro.verify.invariants import (
@@ -102,8 +107,9 @@ class FuzzFailure:
     """One reproducible divergence, in picklable primitives.
 
     ``check`` identifies the failing stage: ``engine-diff:<order>``,
-    ``invariants:<order>``, ``onepass-diff:<order>``, ``oracle``,
-    ``shadow-diff``, or ``model-band``.
+    ``invariants:<order>``, ``onepass-diff:<order>``,
+    ``segment-diff:<order>``, ``oracle``, ``shadow-diff``, or
+    ``model-band``.
     """
 
     seed: int
@@ -279,7 +285,7 @@ def _onepass_divergence(
         order=order,
     )
     run = family[config.cache_bytes]
-    if run.engine != "onepass":
+    if run.engine not in ("onepass", "epoch"):
         return (
             f"fast path not engaged (engine={run.engine!r}) for a "
             "supported protocol"
@@ -294,6 +300,26 @@ def _onepass_divergence(
         check_result_invariants(family[sizes[1]], trace=trace)
     except InvariantViolation as violation:
         return f"invariants at {sizes[1]}B family member: {violation}"
+    return None
+
+
+def _segment_divergence(
+    trace: Trace,
+    config: SimulationConfig,
+    protocol: str,
+    order: str,
+    columnar: SimulationResult,
+) -> str | None:
+    """Why the segment-scan engine diverges from ``columnar`` (None = ok).
+
+    Only called when :func:`repro.sim.segment.segment_reason` declares
+    the kernel exact for the combination.
+    """
+    run = Machine(protocol, config).run(trace, order=order, engine="segment")
+    left = stats_signature(run)
+    right = stats_signature(columnar)
+    if left != right:
+        return "segment vs columnar: " + _describe_divergence(left, right)
     return None
 
 
@@ -330,12 +356,27 @@ def _check_protocol(
             check_result_invariants(columnar, trace=case.trace)
         except InvariantViolation as violation:
             return failure(f"invariants:{order}", str(violation)), None
-        if supports_onepass(protocol):
+        if supports_onepass(
+            protocol, associativity=case.config.associativity
+        ):
             message = _onepass_divergence(
                 case.trace, case.config, protocol, order, columnar
             )
             if message is not None:
                 return failure(f"onepass-diff:{order}", message), None
+        if (
+            segment_reason(
+                protocol,
+                associativity=case.config.associativity,
+                trace=case.trace,
+            )
+            is None
+        ):
+            message = _segment_divergence(
+                case.trace, case.config, protocol, order, columnar
+            )
+            if message is not None:
+                return failure(f"segment-diff:{order}", message), None
         if order == "time":
             time_result = columnar
 
@@ -431,6 +472,26 @@ def _failure_predicate(
             columnar = _run(trace, config, protocol, order)
             return (
                 _onepass_divergence(trace, config, protocol, order, columnar)
+                is not None
+            )
+
+        return predicate
+    if check.startswith("segment-diff:"):
+        order = check.split(":", 1)[1]
+
+        def predicate(trace: Trace) -> bool:
+            if (
+                segment_reason(
+                    protocol,
+                    associativity=config.associativity,
+                    trace=trace,
+                )
+                is not None
+            ):
+                return False
+            columnar = _run(trace, config, protocol, order)
+            return (
+                _segment_divergence(trace, config, protocol, order, columnar)
                 is not None
             )
 

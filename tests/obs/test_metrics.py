@@ -4,7 +4,9 @@ import pytest
 
 from repro.obs.metrics import (
     CellMetrics,
+    fallback_counters,
     measure_call,
+    note_family_fallback,
     note_replay,
     peak_rss_kb,
     replay_counters,
@@ -37,6 +39,29 @@ class TestReplayCounters:
         assert result.run_wall_s > 0.0
 
 
+class TestFallbackCounters:
+    def test_note_family_fallback_accumulates(self):
+        before, _ = fallback_counters()
+        note_family_fallback("protocol:directory couples geometries")
+        note_family_fallback("associativity:4 (outside the theorem)")
+        after, reason = fallback_counters()
+        assert after - before == 2
+        assert reason == "associativity:4 (outside the theorem)"
+
+    def test_family_run_records_structured_reason(self):
+        from repro.sim import run_geometry_family
+        from repro.trace import TraceConfig, generate_trace
+
+        trace = generate_trace(
+            TraceConfig(cpus=2, records_per_cpu=400, seed=7)
+        )
+        before, _ = fallback_counters()
+        run_geometry_family("directory", trace, [4096])
+        after, reason = fallback_counters()
+        assert after == before + 1
+        assert reason.startswith("protocol:directory")
+
+
 class TestPeakRss:
     def test_positive_kilobytes(self):
         # Any Python process has at least a few MB resident.
@@ -66,6 +91,23 @@ class TestMeasureCall:
 
         with pytest.raises(RuntimeError, match="boom"):
             measure_call(bad_cell, None)
+
+    def test_captures_fallback_reason_inside_the_call(self):
+        def falling_cell(_item):
+            note_family_fallback("costs:non-integral operation costs")
+            return "done"
+
+        _, metrics = measure_call(falling_cell, None)
+        assert metrics.fallback_reason == (
+            "costs:non-integral operation costs"
+        )
+
+    def test_no_fallback_means_empty_reason(self):
+        # A stale process-global reason from an *earlier* cell must not
+        # leak into cells that never fell back.
+        note_family_fallback("protocol:stale reason from another cell")
+        _, metrics = measure_call(lambda x: x, None)
+        assert metrics.fallback_reason == ""
 
 
 class TestCellMetrics:

@@ -13,11 +13,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.operations import CostTable, Operation, OperationCost
-from repro.obs.metrics import replay_counters
+from repro.obs.metrics import fallback_counters, replay_counters
 from repro.sim import (
     ONEPASS_PROTOCOLS,
     Machine,
     SimulationConfig,
+    family_support,
     run_geometry_family,
     supports_onepass,
 )
@@ -151,15 +152,52 @@ class TestFastPathGate:
             assert result.records_replayed == len(seeded_trace)
             assert result.run_wall_s > 0.0
 
-    def test_geometry_coupled_protocol_falls_back(self, seeded_trace):
-        assert not supports_onepass("dragon")
-        family = run_geometry_family("dragon", seeded_trace, [4096, 16384])
+    def test_geometry_coupled_protocols_use_epoch_engine(self, seeded_trace):
+        for protocol in ("dragon", "wti"):
+            assert supports_onepass(protocol)
+            engine, reason = family_support(protocol)
+            assert (engine, reason) == ("epoch", None)
+            family = run_geometry_family(protocol, seeded_trace, [4096, 16384])
+            for size, result in family.items():
+                assert result.engine == "epoch"
+                config = SimulationConfig(cache_bytes=size)
+                reference = Machine(protocol, config).run(seeded_trace)
+                assert stats_dict(result) == stats_dict(reference)
+                assert result.protocol_stats == reference.protocol_stats
+
+    def test_directory_protocol_falls_back(self, seeded_trace):
+        assert not supports_onepass("directory")
+        engine, reason = family_support("directory")
+        assert engine == "fallback"
+        assert reason.startswith("protocol:directory")
+        before, _ = fallback_counters()
+        family = run_geometry_family("directory", seeded_trace, [4096, 16384])
+        after, recorded = fallback_counters()
+        assert after == before + 1
+        assert recorded == reason
         for size, result in family.items():
             assert result.engine == "columnar"
             config = SimulationConfig(cache_bytes=size)
-            reference = Machine("dragon", config).run(seeded_trace)
+            reference = Machine("directory", config).run(seeded_trace)
             assert stats_dict(result) == stats_dict(reference)
             assert result.protocol_stats == reference.protocol_stats
+
+    def test_coupled_high_associativity_falls_back(self, seeded_trace):
+        assert not supports_onepass("dragon", associativity=4)
+        engine, reason = family_support("dragon", associativity=4)
+        assert engine == "fallback"
+        assert reason.startswith("associativity:4")
+        before, _ = fallback_counters()
+        family = run_geometry_family(
+            "dragon", seeded_trace, [4096], associativity=4
+        )
+        after, recorded = fallback_counters()
+        assert after == before + 1
+        assert recorded == reason
+        assert family[4096].engine == "columnar"
+        config = SimulationConfig(cache_bytes=4096, associativity=4)
+        reference = Machine("dragon", config).run(seeded_trace)
+        assert stats_dict(family[4096]) == stats_dict(reference)
 
     def test_non_integral_costs_fall_back(self, seeded_trace):
         table = CostTable.bus()
@@ -169,9 +207,18 @@ class TestFastPathGate:
         )
         fractional = CostTable(costs, name="fractional")
         assert not supports_onepass("base", fractional)
+        assert not supports_onepass("dragon", fractional)
+        engine, reason = family_support("base", fractional)
+        assert (engine, reason) == (
+            "fallback", "costs:non-integral operation costs"
+        )
+        before, _ = fallback_counters()
         family = run_geometry_family(
             "base", seeded_trace, [4096], costs=fractional
         )
+        after, recorded = fallback_counters()
+        assert after == before + 1
+        assert recorded == reason
         assert family[4096].engine == "columnar"
         reference = Machine(
             "base", SimulationConfig(cache_bytes=4096), fractional
@@ -181,8 +228,11 @@ class TestFastPathGate:
     def test_supported_combinations(self):
         for protocol in ONEPASS_PROTOCOLS:
             assert supports_onepass(protocol)
-        for protocol in ("dragon", "wti", "directory"):
-            assert not supports_onepass(protocol)
+            assert family_support(protocol) == ("onepass", None)
+        for protocol in ("dragon", "wti"):
+            assert supports_onepass(protocol)
+            assert family_support(protocol) == ("epoch", None)
+        assert not supports_onepass("directory")
 
 
 class TestTraversalSavings:

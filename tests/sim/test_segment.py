@@ -1,0 +1,222 @@
+"""Segment-scan replay backend: exactness, gates, and the LRU theorem.
+
+``Machine.run(engine="segment")`` replaces the per-record replay loop
+with pure array passes (:mod:`repro.sim.segment`).  It is gated — the
+run-collapse theorem covers geometry-local protocols at associativity
+1 and 2 with integral costs and no handled flushes — and inside the
+gate it must be byte-identical to the columnar engine.  Outside the
+gate it must refuse loudly, never approximate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operations import CostTable, Operation, OperationCost
+from repro.sim import (
+    SEGMENT_PROTOCOLS,
+    Machine,
+    SimulationConfig,
+    classify_lru,
+    segment_reason,
+)
+from repro.trace import TraceConfig, derived_columns, generate_trace
+from repro.trace.records import Trace
+from repro.verify.differential import stats_signature
+from repro.verify.fuzzer import generate_case
+
+
+@pytest.fixture(scope="module")
+def seeded_trace():
+    return generate_trace(TraceConfig(cpus=4, records_per_cpu=4_000, seed=7))
+
+
+def without_flushes(trace):
+    keep = trace.kind != 3
+    return Trace.from_arrays(
+        name=f"{trace.name}-noflush",
+        cpus=trace.cpus,
+        shared_region=trace.shared_region,
+        cpu=trace.cpu[keep],
+        kind=trace.kind[keep],
+        address=trace.address[keep],
+    )
+
+
+def assert_segment_matches_columnar(trace, protocol, config, order="time"):
+    machine = Machine(protocol, config)
+    segment = machine.run(trace, order=order, engine="segment")
+    columnar = machine.run(trace, order=order, engine="columnar")
+    assert segment.engine == "segment"
+    assert stats_signature(segment) == stats_signature(columnar), (
+        f"{protocol} {order} {config}"
+    )
+
+
+class TestSegmentMatchesColumnar:
+    @pytest.mark.parametrize("protocol", ["base", "nocache"])
+    @pytest.mark.parametrize("order", ["time", "trace"])
+    def test_identical_statistics(self, seeded_trace, protocol, order):
+        for size in (4096, 65536):
+            config = SimulationConfig(cache_bytes=size)
+            assert_segment_matches_columnar(
+                seeded_trace, protocol, config, order=order
+            )
+
+    @pytest.mark.parametrize("associativity", [1, 2])
+    @pytest.mark.parametrize("block_bytes", [8, 32])
+    def test_identical_across_geometries(
+        self, seeded_trace, associativity, block_bytes
+    ):
+        config = SimulationConfig(
+            cache_bytes=8192,
+            block_bytes=block_bytes,
+            associativity=associativity,
+        )
+        assert_segment_matches_columnar(seeded_trace, "base", config)
+
+    def test_swflush_exact_on_flushfree_trace(self, seeded_trace):
+        # swflush passes the gate only when the trace carries no FLUSH
+        # records (handled flushes invalidate the run collapse).
+        trace = without_flushes(seeded_trace)
+        assert segment_reason("swflush", trace=trace) is None
+        for size in (4096, 65536):
+            config = SimulationConfig(cache_bytes=size)
+            assert_segment_matches_columnar(trace, "swflush", config)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fuzz_traces(self, seed):
+        case = generate_case(seed, scale=0.3)
+        for protocol in ("base", "nocache"):
+            config = SimulationConfig(cache_bytes=16384)
+            assert_segment_matches_columnar(case.trace, protocol, config)
+
+
+class TestSegmentGate:
+    def test_swflush_refuses_handled_flushes(self, seeded_trace):
+        assert int(np.count_nonzero(seeded_trace.kind == 3)) > 0
+        reason = segment_reason("swflush", trace=seeded_trace)
+        assert reason.startswith("trace:")
+        machine = Machine("swflush", SimulationConfig())
+        with pytest.raises(ValueError, match="segment engine is not exact"):
+            machine.run(seeded_trace, engine="segment")
+
+    def test_refuses_coupled_protocol(self, seeded_trace):
+        assert segment_reason("dragon").startswith("protocol:")
+        machine = Machine("dragon", SimulationConfig())
+        with pytest.raises(ValueError, match="segment engine is not exact"):
+            machine.run(seeded_trace, engine="segment")
+
+    def test_refuses_high_associativity(self, seeded_trace):
+        assert segment_reason("base", associativity=4).startswith(
+            "associativity:4"
+        )
+        machine = Machine("base", SimulationConfig(associativity=4))
+        with pytest.raises(ValueError, match="segment engine is not exact"):
+            machine.run(seeded_trace, engine="segment")
+
+    def test_refuses_non_integral_costs(self, seeded_trace):
+        table = CostTable.bus()
+        costs = dict(table.items())
+        costs[Operation.CLEAN_MISS_MEMORY] = OperationCost(
+            cpu_cycles=19.5, channel_cycles=19.5
+        )
+        fractional = CostTable(costs, name="fractional")
+        assert segment_reason("base", fractional) == (
+            "costs:non-integral operation costs"
+        )
+        machine = Machine("base", SimulationConfig(), fractional)
+        with pytest.raises(ValueError, match="segment engine is not exact"):
+            machine.run(seeded_trace, engine="segment")
+
+    def test_gate_passes_inside_the_theorem(self):
+        for protocol in SEGMENT_PROTOCOLS:
+            for associativity in (1, 2):
+                assert (
+                    segment_reason(protocol, associativity=associativity)
+                    is None
+                )
+
+
+# -- The run-collapse theorem vs a reference LRU simulation ------------
+
+references = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # cpu (of 3)
+        st.integers(min_value=1, max_value=2),  # kind: load/store only
+        st.integers(min_value=0, max_value=15),  # block
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+def build_trace(refs):
+    cpu = np.array([r[0] for r in refs], dtype=np.uint16)
+    kind = np.array([r[1] for r in refs], dtype=np.uint8)
+    address = np.array([r[2] * 16 for r in refs], dtype=np.uint64)
+    return Trace.from_arrays(
+        name="hyp-seg",
+        cpus=3,
+        shared_region=range(8 * 16, 16 * 16),
+        cpu=cpu,
+        kind=kind,
+        address=address,
+    )
+
+
+def reference_lru(derived, sets, associativity):
+    """Per-record LRU classification by direct simulation."""
+    total = len(derived.kinds_sorted)
+    miss = np.zeros(total, dtype=bool)
+    victim_block = np.full(total, -1, dtype=np.int64)
+    victim_pos = np.full(total, -1, dtype=np.int64)
+    prev_same = np.zeros(total, dtype=bool)
+    state = {}  # (cpu, set) -> list of [block, insert_pos], MRU first
+    last_block = {}  # (cpu, set) -> most recently touched block
+    positions = {}
+    for i in range(total):
+        cpu = int(derived.cpus_sorted[i])
+        block = int(derived.blocks_sorted[i])
+        pos = positions.get(cpu, 0)
+        positions[cpu] = pos + 1
+        key = (cpu, block % sets)
+        ways = state.setdefault(key, [])
+        prev_same[i] = last_block.get(key) == block
+        last_block[key] = block
+        for way, entry in enumerate(ways):
+            if entry[0] == block:
+                ways.insert(0, ways.pop(way))
+                break
+        else:
+            miss[i] = True
+            if len(ways) == associativity:
+                victim = ways.pop()
+                victim_block[i] = victim[0]
+                victim_pos[i] = victim[1]
+            ways.insert(0, [block, pos])
+    return miss, victim_block, victim_pos, prev_same
+
+
+class TestClassifyLruTheorem:
+    @settings(max_examples=60, deadline=None)
+    @given(references, st.sampled_from([1, 2]), st.sampled_from([2, 4]))
+    def test_matches_reference_simulation(self, refs, associativity, sets):
+        trace = build_trace(refs)
+        derived = derived_columns(trace, 4)
+        touches = np.ones(len(trace), dtype=bool)
+        cls = classify_lru(derived, sets, associativity, touches)
+        miss, victim_block, victim_pos, prev_same = reference_lru(
+            derived, sets, associativity
+        )
+        np.testing.assert_array_equal(cls.miss, miss)
+        np.testing.assert_array_equal(cls.victim_block, victim_block)
+        np.testing.assert_array_equal(cls.victim_pos, victim_pos)
+        np.testing.assert_array_equal(cls.prev_same, prev_same)
+
+    def test_rejects_unsupported_associativity(self, seeded_trace):
+        derived = derived_columns(seeded_trace, 4)
+        touches = np.ones(len(seeded_trace), dtype=bool)
+        with pytest.raises(ValueError, match="associativity"):
+            classify_lru(derived, 64, 4, touches)

@@ -9,6 +9,7 @@ from repro.trace import (
     derived_cache_info,
     derived_columns,
     generate_trace,
+    set_derived_cache_bytes,
     set_derived_cache_size,
     trace_digest,
 )
@@ -21,6 +22,7 @@ def fresh_cache():
     yield
     clear_derived_cache()
     set_derived_cache_size(8)
+    set_derived_cache_bytes(1 << 30)
 
 
 def small_trace(seed=5):
@@ -97,8 +99,51 @@ class TestBoundedCache:
         with pytest.raises(ValueError, match="maxsize"):
             set_derived_cache_size(0)
 
+    def test_rejects_non_positive_byte_bound(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            set_derived_cache_bytes(0)
+
     def test_clear_resets_counters(self):
         derived_columns(small_trace(), 4)
         clear_derived_cache()
         info = derived_cache_info()
-        assert info == {"hits": 0, "misses": 0, "size": 0, "maxsize": 8}
+        assert info["hits"] == 0 and info["misses"] == 0
+        assert info["size"] == 0 and info["bytes"] == 0
+        assert info["maxsize"] == 8
+
+    def test_bytes_track_payload(self):
+        derived_columns(small_trace(), 4)
+        one = derived_cache_info()["bytes"]
+        assert one > 0
+        derived_columns(small_trace(), 5)
+        assert derived_cache_info()["bytes"] > one
+        clear_derived_cache()
+        assert derived_cache_info()["bytes"] == 0
+
+    def test_byte_bound_evicts_lru(self):
+        trace = small_trace()
+        derived_columns(trace, 3)
+        per_entry = derived_cache_info()["bytes"]
+        derived_columns(trace, 4)
+        derived_columns(trace, 5)
+        # Room for roughly two entries: the LRU one (shift 3) must go.
+        set_derived_cache_bytes(int(per_entry * 2.5))
+        info = derived_cache_info()
+        assert info["size"] == 2
+        assert info["bytes"] <= info["max_bytes"]
+        derived_columns(trace, 4)
+        derived_columns(trace, 5)
+        assert derived_cache_info()["hits"] == 2
+        derived_columns(trace, 3)
+        assert derived_cache_info()["misses"] == 4
+
+    def test_oversized_entry_still_memoizes(self):
+        # A single trace larger than the byte bound must not thrash:
+        # the newest entry always survives eviction.
+        set_derived_cache_bytes(1)
+        trace = small_trace()
+        first = derived_columns(trace, 4)
+        assert derived_columns(trace, 4) is first
+        info = derived_cache_info()
+        assert info["size"] == 1
+        assert info["hits"] == 1

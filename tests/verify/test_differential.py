@@ -4,7 +4,7 @@ import pickle
 
 import pytest
 
-from repro.sim import Machine
+from repro.sim import Machine, supports_onepass
 from repro.verify import (
     MODEL_BANDS,
     PAPER_PROTOCOLS,
@@ -94,10 +94,22 @@ class TestOnepassDiff:
             return real(protocol, trace, sizes, **kwargs)
 
         monkeypatch.setattr(diff, "run_geometry_family", spy)
+        case = generate_case(0, scale=0.3)
         assert run_seed(0, scale=0.3) == []
+        # Every paper protocol with an exact family engine at the
+        # case's associativity gets the stage — including the
+        # geometry-coupled ones via the epoch engine.
+        expected = {
+            protocol
+            for protocol in ("dragon", "wti", "swflush", "nocache")
+            if supports_onepass(
+                protocol, associativity=case.config.associativity
+            )
+        }
+        assert {"swflush", "nocache"} <= expected
         assert set(calls) == {
             (protocol, order)
-            for protocol in ("swflush", "nocache")
+            for protocol in expected
             for order in ("time", "trace")
         }
 
