@@ -44,6 +44,15 @@ python -m repro.cli fuzz --smoke \
     --artifact-dir "${TMPDIR:-/tmp}/swcc-fuzz-failures" \
     --manifest "${TMPDIR:-/tmp}/swcc-fuzz-manifest.jsonl"
 
+echo "== exhaustive check smoke (every protocol, small model) =="
+# BFS over all interleavings at 2 CPUs x 1 line x 1 set; every state
+# space closes within this depth, so the oracle guarantee is
+# depth-unbounded (see docs/ARCHITECTURE.md "Exhaustive checking").
+python -m repro.cli check --cpus 2 --lines 1 --sets 1 --depth 6 \
+    --conformance 64 \
+    --artifact-dir "${TMPDIR:-/tmp}/swcc-check-failures" \
+    --manifest "${TMPDIR:-/tmp}/swcc-check-manifest.jsonl"
+
 echo "== benchmark smoke (micro substrates) =="
 python -m pytest benchmarks/bench_micro.py --benchmark-only \
     --benchmark-disable-gc -q

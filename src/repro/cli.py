@@ -11,6 +11,9 @@ Subcommands:
 * ``fuzz`` — differential fuzzing: adversarial traces through both
   replay engines, the protocol oracles, and the analytical model;
   failures are minimized and written as JSON artifacts.
+* ``check`` — bounded *exhaustive* state-space exploration of the
+  protocols over a small model; every reachable transition is
+  oracle-checked, violations shrink to minimized JSON artifacts.
 * ``bench`` — run the pytest micro-benchmarks and print a regression
   diff against the committed baseline
   (``benchmarks/baseline_micro.json``); speedup floors asserted
@@ -507,6 +510,147 @@ def _command_fuzz(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _command_check(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import use_monitor
+    from repro.verify import ORACLES, ExploreBounds, explore_protocol
+    from repro.verify.explore import write_counterexample
+
+    if args.protocol:
+        protocols = tuple(
+            name.strip()
+            for name in args.protocol.split(",")
+            if name.strip()
+        )
+    else:
+        protocols = tuple(sorted(ORACLES))
+    unknown = sorted(set(protocols) - set(ORACLES))
+    if unknown:
+        print(
+            f"no oracle for protocol(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(ORACLES))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        bounds = ExploreBounds(
+            cpus=args.cpus,
+            lines=args.lines,
+            sets=args.sets,
+            depth=args.depth,
+            max_states=args.max_states,
+            conformance=args.conformance,
+        )
+    except ValueError as error:
+        print(f"swcc check: {error}", file=sys.stderr)
+        return 2
+
+    monitor = _open_monitor(
+        "check",
+        args,
+        config={
+            "protocols": list(protocols),
+            "cpus": bounds.cpus,
+            "lines": bounds.lines,
+            "sets": bounds.sets,
+            "depth": bounds.depth,
+            "max_states": bounds.max_states,
+            "conformance": bounds.conformance,
+        },
+    )
+    started = time.perf_counter()
+    print(
+        f"swcc check: {bounds.cpus} cpus x {bounds.lines} line(s) x "
+        f"{bounds.sets} set(s), depth {bounds.depth}, "
+        f"{len(protocols)} protocol(s)"
+    )
+    print(
+        f"\n{'protocol':10s} {'states':>8s} {'edges':>9s} {'depth':>5s} "
+        f"{'frontier':>8s} {'checked':>7s} {'wall':>7s}  result"
+    )
+    violations = 0
+    with use_monitor(monitor):
+        for protocol in protocols:
+            if monitor is not None:
+                monitor.note_label(protocol)
+            report = explore_protocol(protocol, bounds)
+            if report.violation is not None:
+                violations += 1
+                result = f"VIOLATION ({report.violation.failure.check})"
+            elif report.truncated:
+                result = (
+                    f"truncated at {bounds.max_states} states "
+                    f"(not exhaustive)"
+                )
+            elif report.frontier:
+                result = f"exhaustive to depth {bounds.depth}"
+            else:
+                # The reachable set closed before the depth bound ran
+                # out: the guarantee holds at *every* depth.
+                result = (
+                    f"exhaustive (state space closed at depth "
+                    f"{report.depth_reached})"
+                )
+            print(
+                f"{report.protocol:10s} {report.states:8d} "
+                f"{report.edges:9d} {report.depth_reached:5d} "
+                f"{report.frontier:8d} {report.conformance_checked:7d} "
+                f"{report.wall_s:6.2f}s  {result}"
+            )
+            if monitor is not None:
+                monitor.event(
+                    "explore-finish",
+                    protocol=report.protocol,
+                    states=report.states,
+                    edges=report.edges,
+                    depth_reached=report.depth_reached,
+                    frontier=report.frontier,
+                    truncated=report.truncated,
+                    conformance_checked=report.conformance_checked,
+                    violation=(
+                        report.violation.failure.check
+                        if report.violation is not None
+                        else ""
+                    ),
+                    wall_s=round(report.wall_s, 3),
+                )
+            if report.violation is not None:
+                failure = report.violation.failure
+                print(
+                    f"  {failure.check}: {failure.message}",
+                    file=sys.stderr,
+                )
+                path, minimized = write_counterexample(
+                    report.violation, protocol, bounds.config,
+                    args.artifact_dir,
+                )
+                print(
+                    f"  counterexample: {len(report.violation.trace)} "
+                    f"-> {len(minimized)} records",
+                    file=sys.stderr,
+                )
+                print(f"  artifact: {path}", file=sys.stderr)
+    exit_code = 1 if violations else 0
+    if monitor is not None:
+        monitor.event(
+            "run-finish",
+            wall_s=round(time.perf_counter() - started, 3),
+            exit_code=exit_code,
+            cells_run=monitor.cells_run,
+            cells_cached=monitor.cells_cached,
+            cells_failed=monitor.cells_failed,
+        )
+        monitor.close()
+    if violations:
+        print(
+            f"\n{violations} protocol(s) violated their reference "
+            f"rules within the explored bounds",
+            file=sys.stderr,
+        )
+    return exit_code
+
+
 def _repo_paths() -> tuple[str, str]:
     """Locate the repo root and its ``benchmarks/`` directory.
 
@@ -645,13 +789,62 @@ def _command_bench(args: argparse.Namespace) -> int:
         print("\nbenchmark floor violations (see pytest output above)")
         return outcome.returncode
     if regressions:
+        worst = ", ".join(
+            f"{name} ({ratio:.2f}x)" for name, ratio in regressions
+        )
         print(
             f"\n{len(regressions)} benchmark(s) regressed beyond "
-            f"{args.max_regression:.1f}x the baseline",
+            f"{args.max_regression:.1f}x the baseline: {worst}",
             file=sys.stderr,
         )
         return 1
     return 0
+
+
+def _validated_number(module_name: str, validator_name: str, kind=int):
+    """Build an argparse type shim around a library validator.
+
+    Like :func:`_jobs_count`, validation lives in the library (the
+    named ``validate_*`` function), so the CLI and the API reject the
+    same inputs for the same reason; the shim only converts the
+    failure into argparse's error type.
+    """
+
+    def parse(value: str):
+        import importlib
+
+        try:
+            number = kind(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid {kind.__name__} value: {value!r}"
+            ) from None
+        validate = getattr(
+            importlib.import_module(module_name), validator_name
+        )
+        try:
+            validate(number)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+        return number
+
+    return parse
+
+
+_check_cpus = _validated_number("repro.verify.explore", "validate_cpus")
+_check_lines = _validated_number("repro.verify.explore", "validate_lines")
+_check_sets = _validated_number("repro.verify.explore", "validate_sets")
+_check_depth = _validated_number("repro.verify.explore", "validate_depth")
+_check_max_states = _validated_number(
+    "repro.verify.explore", "validate_max_states"
+)
+_check_conformance = _validated_number(
+    "repro.verify.explore", "validate_conformance"
+)
+_fuzz_seeds = _validated_number("repro.verify.fuzzer", "validate_seed_count")
+_fuzz_scale = _validated_number(
+    "repro.verify.fuzzer", "validate_scale", kind=float
+)
 
 
 def _jobs_count(value: str) -> int:
@@ -813,7 +1006,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="differential fuzzing: engines vs oracles vs the model",
     )
     fuzz_parser.add_argument(
-        "--seeds", type=int, default=200, metavar="N",
+        "--seeds", type=_fuzz_seeds, default=200, metavar="N",
         help="number of fuzz seeds to run (default 200)",
     )
     fuzz_parser.add_argument(
@@ -827,7 +1020,7 @@ def build_parser() -> argparse.ArgumentParser:
              "paper's four schemes)",
     )
     fuzz_parser.add_argument(
-        "--scale", type=float, default=1.0, metavar="F",
+        "--scale", type=_fuzz_scale, default=1.0, metavar="F",
         help="trace-length scale factor for generated cases",
     )
     fuzz_parser.add_argument(
@@ -861,6 +1054,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the run manifest and resilient seed execution",
     )
     fuzz_parser.set_defaults(handler=_command_fuzz)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="exhaustive small-model exploration of every protocol",
+    )
+    check_parser.add_argument(
+        "--protocol", default="", metavar="LIST",
+        help="comma-separated protocols to explore (default: every "
+             "protocol with an oracle)",
+    )
+    check_parser.add_argument(
+        "--cpus", type=_check_cpus, default=2, metavar="N",
+        help="CPUs in the small model (2-8, default 2)",
+    )
+    check_parser.add_argument(
+        "--lines", type=_check_lines, default=1, metavar="N",
+        help="cache lines per set (1-4, default 1)",
+    )
+    check_parser.add_argument(
+        "--sets", type=_check_sets, default=1, metavar="N",
+        help="cache sets (1, 2 or 4; default 1)",
+    )
+    check_parser.add_argument(
+        "--depth", type=_check_depth, default=8, metavar="D",
+        help="exploration depth bound in accesses (default 8)",
+    )
+    check_parser.add_argument(
+        "--max-states", type=_check_max_states, default=200_000,
+        metavar="N",
+        help="state budget before the search reports truncation "
+             "(default 200000)",
+    )
+    check_parser.add_argument(
+        "--conformance", type=_check_conformance, default=256,
+        metavar="N",
+        help="cross-engine conformance replays per protocol "
+             "(0 disables, default 256)",
+    )
+    check_parser.add_argument(
+        "--artifact-dir", default="check-failures", metavar="DIR",
+        help="directory for minimized JSON counterexample artifacts",
+    )
+    check_parser.add_argument(
+        "--manifest", default="", metavar="FILE",
+        help="run-manifest path (default: swcc-runs/check-<timestamp>"
+             ".jsonl)",
+    )
+    check_parser.add_argument(
+        "--no-manifest", action="store_true",
+        help="disable the run manifest",
+    )
+    check_parser.set_defaults(handler=_command_check)
 
     bench_parser = subparsers.add_parser(
         "bench",

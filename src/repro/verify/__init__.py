@@ -25,9 +25,16 @@ turns their agreement into a continuously fuzzed invariant:
 * :mod:`repro.verify.minimize` — shrinks a failing trace to a minimal
   failing prefix (bisection) and then drops chunks (ddmin-style);
 * :mod:`repro.verify.artifact` — JSON failure artifacts that embed the
-  minimized trace for exact reproduction (``swcc fuzz --replay``).
+  minimized trace for exact reproduction (``swcc fuzz --replay``);
+* :mod:`repro.verify.explore` — bounded *exhaustive* state-space
+  exploration of every protocol over a small model (2-8 CPUs, 1-4
+  lines, bounded block alphabet): BFS over canonically encoded machine
+  states with the oracles checking every transition, cross-engine
+  conformance at discovered states, and shortest-path counterexamples
+  fed through the same minimizer/artifact machinery.
 
-The ``swcc fuzz`` command drives the whole pipeline.
+The ``swcc fuzz`` command drives the sampling pipeline; ``swcc check``
+drives the exhaustive one.
 """
 
 from repro.verify.artifact import (
@@ -46,7 +53,20 @@ from repro.verify.differential import (
     run_seed,
     stats_signature,
 )
-from repro.verify.fuzzer import SHAPES, FuzzCase, generate_case
+from repro.verify.explore import (
+    ExploreBounds,
+    ExploreReport,
+    ExploreViolation,
+    explore_protocol,
+    write_counterexample,
+)
+from repro.verify.fuzzer import (
+    SHAPES,
+    FuzzCase,
+    generate_case,
+    validate_scale,
+    validate_seed_count,
+)
 from repro.verify.invariants import InvariantViolation, check_result_invariants
 from repro.verify.minimize import minimize_failing_trace, trace_prefix
 from repro.verify.oracles import ORACLES, OracleViolation, shadow_protocol
@@ -56,12 +76,16 @@ __all__ = [
     "ORACLES",
     "PAPER_PROTOCOLS",
     "SHAPES",
+    "ExploreBounds",
+    "ExploreReport",
+    "ExploreViolation",
     "FuzzCase",
     "FuzzFailure",
     "InvariantViolation",
     "OracleViolation",
     "check_case",
     "check_result_invariants",
+    "explore_protocol",
     "failure_artifact",
     "generate_case",
     "load_failure_artifact",
@@ -73,5 +97,8 @@ __all__ = [
     "shadow_protocol",
     "stats_signature",
     "trace_prefix",
+    "validate_scale",
+    "validate_seed_count",
+    "write_counterexample",
     "write_failure_artifact",
 ]

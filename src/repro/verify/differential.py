@@ -496,14 +496,17 @@ def _failure_predicate(
             )
 
         return predicate
-    if check in ("oracle", "shadow-diff"):
+    if check == "shadow-diff" or check.startswith("oracle"):
+        # "oracle" (fuzzer, time order) or "oracle:<order>" (the
+        # explorer replays its interleavings in trace order).
+        order = check.split(":", 1)[1] if ":" in check else "time"
 
         def predicate(trace: Trace) -> bool:
             try:
-                shadowed = oracle_run(trace, config, protocol)
+                shadowed = oracle_run(trace, config, protocol, order=order)
             except OracleViolation:
                 return True
-            plain = _run(trace, config, protocol, "time")
+            plain = _run(trace, config, protocol, order)
             return stats_signature(shadowed) != stats_signature(plain)
 
         return predicate

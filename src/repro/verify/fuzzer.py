@@ -63,9 +63,37 @@ from repro.trace.records import (
 )
 from repro.trace.synthetic import TraceConfig, generate_trace
 
-__all__ = ["SHAPES", "FuzzCase", "generate_case"]
+__all__ = [
+    "SHAPES",
+    "FuzzCase",
+    "generate_case",
+    "validate_scale",
+    "validate_seed_count",
+]
 
 _FETCH, _LOAD, _STORE, _FLUSH = 0, 1, 2, 3
+
+
+def validate_scale(scale: float) -> float:
+    """The trace-length scale factor must be a positive finite number
+    (a zero or negative scale generates no records and a NaN/inf one
+    breaks the record-count arithmetic)."""
+    import math
+
+    if not math.isfinite(scale) or scale <= 0:
+        raise ValueError(
+            f"scale must be a positive finite number, got {scale}"
+        )
+    return scale
+
+
+def validate_seed_count(seeds: int) -> int:
+    """A fuzz sweep's seed count must be non-negative (0 = no-op)."""
+    if seeds < 0:
+        raise ValueError(
+            f"seeds must be >= 0 (0 runs nothing), got {seeds}"
+        )
+    return seeds
 
 #: Shape names, in the order the seed RNG indexes them.
 SHAPES = (
@@ -406,6 +434,7 @@ def generate_case(seed: int, scale: float = 1.0) -> FuzzCase:
         seed: master seed; same seed (and scale), same case.
         scale: record-count multiplier; ``--smoke`` runs use < 1.
     """
+    validate_scale(scale)
     # Knuth multiplicative scrambling decorrelates consecutive seeds so
     # adjacent seeds land on different shapes.
     rng = random.Random((seed * 2654435761) % 2**32)

@@ -787,7 +787,119 @@ _DRAGON_MISS_OPERATION = {
 }
 
 
-#: Protocol name -> oracle class.  The paper's four schemes plus Base.
+class DirectoryOracle(ProtocolOracle):
+    """Full-map write-invalidate directory: stores leave exactly one
+    (DIRTY) copy; a dirty owner is written back when memory supplies a
+    later miss.
+
+    Unlike Dragon, ``CLEAN`` here is a shareable read copy, not an
+    exclusive state — the invariant is only that a DIRTY copy is the
+    *sole* copy of its block.
+    """
+
+    protocol = "directory"
+    legal_states = frozenset({_CLEAN, _DIRTY})
+    checks_value_coherence = True
+
+    def _validate_access(self, ev: _Event) -> None:
+        if ev.kind is AccessType.STORE:
+            self._validate_store(ev)
+        else:
+            self._validate_read(ev)
+        self._check_block_invariants(ev)
+
+    def _validate_read(self, ev: _Event) -> None:
+        if ev.pre is not None:
+            self._expect_remote_unchanged(ev)
+            self._expect_hit(ev, ev.pre)
+            self._expect_outcome(ev, ())
+            self._check_read_hit_version(ev)
+            return
+        owner = self._owner_writeback(ev)
+        # Memory supplies the fill; a dirty owner is downgraded to a
+        # clean read copy as part of the transfer, nobody else moves.
+        if owner is not None:
+            self._expect_remote_states(ev, {owner: _CLEAN})
+        else:
+            self._expect_remote_unchanged(ev)
+        victim = self._expect_fill(ev, _CLEAN)
+        self._expect_outcome(ev, (self._miss_operation(victim),))
+        self._fill_copy(ev)
+
+    def _validate_store(self, ev: _Event) -> None:
+        holders = [other for other, old, _ in ev.remote if old is not None]
+        # Invalidation correctness: after any store, no other cache may
+        # still hold the block.
+        for other, old, new in ev.remote:
+            if new is not None:
+                self._fail(
+                    f"store to block {ev.block:#x} left cpu {other}'s "
+                    f"copy alive ({_name(old)} -> {_name(new)}) — "
+                    f"missing invalidation"
+                )
+        if ev.pre is not None:
+            self._expect_hit(ev, _DIRTY)
+            self._expect_outcome(
+                ev, (Operation.INVALIDATE,) if holders else ()
+            )
+        else:
+            self._owner_writeback(ev)
+            victim = self._expect_fill(ev, _DIRTY)
+            miss_op = self._miss_operation(victim)
+            self._expect_outcome(
+                ev,
+                (miss_op, Operation.INVALIDATE) if holders else (miss_op,),
+            )
+            self._fill_copy(ev)
+        self.copies[ev.cpu][ev.block] = self._store_version(ev)
+
+    def _owner_writeback(self, ev: _Event) -> int | None:
+        """Memory observes the dirty owner's version before it serves
+        the miss (the write-back is part of the transfer); returns the
+        owner CPU or None."""
+        owners = [
+            other
+            for other, old, _ in ev.remote
+            if old is not None and old.is_owner
+        ]
+        if len(owners) > 1:
+            self._fail(
+                f"block {ev.block:#x} has multiple owners before the "
+                f"miss: cpus {owners}"
+            )
+        if not owners:
+            return None
+        owner = owners[0]
+        self.memory[ev.block] = self.copies[owner].get(ev.block, 0)
+        return owner
+
+    def _miss_operation(self, victim) -> Operation:
+        if victim is not None and victim[1].is_dirty:
+            return Operation.DIRTY_MISS_MEMORY
+        return Operation.CLEAN_MISS_MEMORY
+
+    def _check_block_invariants(self, ev: _Event) -> None:
+        """Post-access: a DIRTY copy is the sole copy of its block."""
+        resident = [
+            (cpu, self.caches[cpu].peek(ev.block))
+            for cpu in range(self.n)
+            if self.caches[cpu].peek(ev.block) is not LineState.INVALID
+        ]
+        dirty = [cpu for cpu, state in resident if state is _DIRTY]
+        if len(dirty) > 1:
+            self._fail(
+                f"block {ev.block:#x} is DIRTY in several caches after "
+                f"the access: cpus {dirty}"
+            )
+        if dirty and len(resident) > 1:
+            self._fail(
+                f"block {ev.block:#x} is DIRTY in cpu {dirty[0]} but "
+                f"{len(resident)} copies exist"
+            )
+
+
+#: Protocol name -> oracle class.  The paper's four schemes plus Base
+#: and the directory extension.
 ORACLES: dict[str, type[ProtocolOracle]] = {
     oracle.protocol: oracle
     for oracle in (
@@ -796,6 +908,7 @@ ORACLES: dict[str, type[ProtocolOracle]] = {
         NoCacheOracle,
         WtiOracle,
         DragonOracle,
+        DirectoryOracle,
     )
 }
 

@@ -1,0 +1,100 @@
+"""CLI tests for ``swcc check`` (exhaustive small-model exploration)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCheckParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.protocol == ""
+        assert (args.cpus, args.lines, args.sets) == (2, 1, 1)
+        assert args.depth == 8
+        assert args.max_states == 200_000
+        assert args.conformance == 256
+        assert args.artifact_dir == "check-failures"
+
+    @pytest.mark.parametrize(
+        "argv, flag",
+        [
+            (["check", "--depth", "0"], "--depth"),
+            (["check", "--depth", "-3"], "--depth"),
+            (["check", "--cpus", "1"], "--cpus"),
+            (["check", "--cpus", "9"], "--cpus"),
+            (["check", "--lines", "0"], "--lines"),
+            (["check", "--sets", "3"], "--sets"),
+            (["check", "--max-states", "-5"], "--max-states"),
+            (["check", "--max-states", "0"], "--max-states"),
+            (["check", "--conformance", "-1"], "--conformance"),
+            (["check", "--depth", "three"], "--depth"),
+        ],
+    )
+    def test_nonsensical_bounds_are_parse_errors(self, argv, flag, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        assert flag in capsys.readouterr().err
+
+
+class TestCheckCommand:
+    def test_clean_protocols_report_exhaustive(self, capsys, tmp_path):
+        code = main(
+            [
+                "check", "--protocol", "wti,nocache", "--depth", "6",
+                "--conformance", "8", "--no-manifest",
+                "--artifact-dir", str(tmp_path / "failures"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 protocol(s)" in out
+        assert "wti" in out and "nocache" in out
+        assert "exhaustive" in out
+        assert "VIOLATION" not in out
+        # No violations, no artifacts.
+        assert not (tmp_path / "failures").exists()
+
+    def test_unknown_protocol_exits_two(self, capsys):
+        code = main(["check", "--protocol", "mesif", "--no-manifest"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "mesif" in err
+        assert "dragon" in err  # the message lists what IS available
+
+    def test_truncated_search_is_not_reported_exhaustive(self, capsys):
+        code = main(
+            [
+                "check", "--protocol", "dragon", "--max-states", "5",
+                "--conformance", "0", "--no-manifest",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # truncation is honest, not a failure
+        assert "not exhaustive" in out
+        assert "exhaustive (state space closed" not in out
+
+    def test_manifest_records_the_run(self, capsys, tmp_path):
+        from repro.obs import load_manifest
+
+        manifest = tmp_path / "check.jsonl"
+        code = main(
+            [
+                "check", "--protocol", "wti,base", "--depth", "4",
+                "--conformance", "4", "--manifest", str(manifest),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        events = [event["event"] for event in load_manifest(manifest)]
+        assert events[0] == "run-start"
+        assert events.count("explore-finish") == 2
+        assert events[-1] == "run-finish"
+        finishes = [
+            event
+            for event in load_manifest(manifest)
+            if event["event"] == "explore-finish"
+        ]
+        assert {event["protocol"] for event in finishes} == {"wti", "base"}
+        assert all(event["states"] > 0 for event in finishes)
+        assert all(not event["truncated"] for event in finishes)

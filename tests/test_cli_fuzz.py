@@ -78,6 +78,46 @@ class TestJobsValidation:
             resolve_workers(-3, 10)
 
 
+class TestFuzzBoundsValidation:
+    """--seeds/--scale: nonsensical bounds are rejected at parse time
+    by the same validators the API uses."""
+
+    @pytest.mark.parametrize(
+        "argv, flag",
+        [
+            (["fuzz", "--seeds", "-1"], "--seeds"),
+            (["fuzz", "--seeds", "ten"], "--seeds"),
+            (["fuzz", "--scale", "0"], "--scale"),
+            (["fuzz", "--scale", "-0.5"], "--scale"),
+            (["fuzz", "--scale", "nan"], "--scale"),
+            (["fuzz", "--scale", "inf"], "--scale"),
+        ],
+    )
+    def test_bad_bounds_are_parse_errors(self, argv, flag, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        assert flag in capsys.readouterr().err
+
+    def test_zero_seeds_parses_and_runs_nothing(self, capsys):
+        assert build_parser().parse_args(["fuzz", "--seeds", "0"]).seeds == 0
+        assert main(["fuzz", "--seeds", "0", "--no-manifest"]) == 0
+        assert "0 seeds" in capsys.readouterr().out
+
+    def test_api_rejects_the_same_bounds(self):
+        from repro.verify import generate_case
+        from repro.verify.fuzzer import validate_scale, validate_seed_count
+
+        with pytest.raises(ValueError, match="scale must be a positive"):
+            generate_case(0, scale=0)
+        with pytest.raises(ValueError, match="scale must be a positive"):
+            validate_scale(float("nan"))
+        with pytest.raises(ValueError, match="seeds must be >= 0"):
+            validate_seed_count(-1)
+        assert validate_seed_count(0) == 0
+        assert validate_scale(0.5) == 0.5
+
+
 class TestFuzzCommand:
     def test_small_clean_sweep_exits_zero(self, capsys, tmp_path):
         code = main(

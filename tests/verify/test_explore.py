@@ -1,0 +1,187 @@
+"""Exhaustive small-model exploration: clean protocols close their
+state space, injected bugs yield minimized replayable counterexamples.
+"""
+
+import pytest
+
+from repro.core.operations import Operation
+from repro.sim.cache import LineState
+from repro.sim.protocols.interface import NO_ACTION, AccessOutcome
+from repro.sim.protocols.wti import WriteThroughInvalidateProtocol
+from repro.trace.records import AccessType
+from repro.verify import (
+    ORACLES,
+    ExploreBounds,
+    OracleViolation,
+    explore_protocol,
+    load_failure_artifact,
+    oracle_run,
+    replay_artifact,
+    write_counterexample,
+)
+from repro.verify.artifact import _rebuild
+from repro.verify.explore import path_trace, violation_predicate
+
+SMALL = ExploreBounds(cpus=2, lines=1, sets=1, depth=8, conformance=32)
+
+
+class BrokenWti(WriteThroughInvalidateProtocol):
+    """Bug: stores no longer invalidate remote copies."""
+
+    def access(self, cpu, kind, block):
+        cache = self.caches[cpu]
+        state = cache.lookup(block)
+        if kind is not AccessType.STORE:
+            if state is not LineState.INVALID:
+                return NO_ACTION
+            cache.insert(block, LineState.CLEAN)
+            return AccessOutcome((Operation.CLEAN_MISS_MEMORY,))
+        # The invalidation loop is missing here.
+        if state is not LineState.INVALID:
+            return AccessOutcome((Operation.WRITE_THROUGH,))
+        cache.insert(block, LineState.CLEAN)
+        return AccessOutcome(
+            (Operation.CLEAN_MISS_MEMORY, Operation.WRITE_THROUGH)
+        )
+
+
+class TestBounds:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"cpus": 1}, "cpus must be in"),
+            ({"cpus": 9}, "cpus must be in"),
+            ({"lines": 0}, "lines per set"),
+            ({"lines": 5}, "lines per set"),
+            ({"sets": 3}, "sets must be 1, 2, or 4"),
+            ({"depth": 0}, "depth must be >= 1"),
+            ({"depth": -4}, "depth must be >= 1"),
+            ({"max_states": 0}, "max-states must be >= 1"),
+            ({"max_states": -5}, "max-states must be >= 1"),
+            ({"conformance": -1}, "conformance must be >= 0"),
+        ],
+    )
+    def test_nonsensical_bounds_are_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ExploreBounds(**kwargs)
+
+    def test_geometry_derivation(self):
+        bounds = ExploreBounds(cpus=3, lines=2, sets=2)
+        config = bounds.config
+        assert config.associativity == 2
+        assert config.cache_bytes == 2 * 2 * config.block_bytes
+        # One more shared block than ways per set: shared evictions
+        # are reachable.
+        assert len(bounds.shared_blocks) == 2 * (2 + 1)
+        assert len(bounds.private_blocks) == 2
+        first = bounds.shared_blocks[0] * config.block_bytes
+        assert bounds.shared_region.start == first
+
+
+class TestCleanProtocolsAreExhaustive:
+    @pytest.mark.parametrize("protocol", sorted(ORACLES))
+    def test_small_model_closes_with_zero_violations(self, protocol):
+        report = explore_protocol(protocol, SMALL)
+        assert report.violation is None
+        assert report.exhaustive
+        assert not report.truncated
+        # At 2 cpus / 1 line / 1 set every protocol's reachable set
+        # closes before depth 8 (frontier empty == the guarantee holds
+        # at every depth, not just the bound).
+        assert report.frontier == 0
+        assert report.states >= 9
+        assert report.edges >= report.states - 1
+        assert report.conformance_checked > 0
+
+    def test_exploration_is_deterministic(self):
+        first = explore_protocol("dragon", SMALL)
+        second = explore_protocol("dragon", SMALL)
+        assert (first.states, first.edges, first.depth_reached) == (
+            second.states,
+            second.edges,
+            second.depth_reached,
+        )
+
+    def test_state_budget_reports_truncation(self):
+        starved = ExploreBounds(
+            cpus=2, lines=1, sets=1, depth=8, max_states=5, conformance=0
+        )
+        report = explore_protocol("dragon", starved)
+        assert report.truncated
+        assert not report.exhaustive
+        assert report.violation is None
+
+    def test_unknown_protocol_is_rejected(self):
+        class Nameless(WriteThroughInvalidateProtocol):
+            name = "mystery"
+
+        with pytest.raises(ValueError, match="no oracle"):
+            explore_protocol(Nameless, SMALL)
+
+
+class TestMutantYieldsCounterexample:
+    @pytest.fixture(scope="class")
+    def report(self):
+        bounds = ExploreBounds(
+            cpus=2, lines=1, sets=1, depth=8, conformance=0
+        )
+        return explore_protocol(BrokenWti, bounds)
+
+    def test_violation_is_found_with_a_shortest_path(self, report):
+        violation = report.violation
+        assert violation is not None
+        assert violation.failure.check == "oracle:trace"
+        assert violation.failure.protocol == "wti"
+        assert "missing invalidation" in violation.failure.message
+        # BFS finds the 2-record shortest trigger: a remote fill, then
+        # the store that should have killed it.
+        assert len(violation.trace) == 2
+
+    def test_counterexample_trace_replays_the_failure(self, report):
+        bounds = report.bounds
+        with pytest.raises(OracleViolation):
+            oracle_run(
+                report.violation.trace,
+                bounds.config,
+                BrokenWti,
+                order="trace",
+            )
+        # The shipped implementation is clean on the same trace.
+        oracle_run(
+            report.violation.trace, bounds.config, "wti", order="trace"
+        )
+
+    def test_artifact_round_trip(self, report, tmp_path):
+        bounds = report.bounds
+        path, minimized = write_counterexample(
+            report.violation, BrokenWti, bounds.config, tmp_path
+        )
+        assert path.exists()
+        assert len(minimized) <= len(report.violation.trace)
+        artifact = load_failure_artifact(path)
+        rebuilt_trace, rebuilt_config = _rebuild(artifact)
+        assert rebuilt_config == bounds.config
+        predicate = violation_predicate(
+            report.violation, BrokenWti, bounds.config
+        )
+        assert predicate(rebuilt_trace)
+        # swcc fuzz --replay checks the *real* wti, which is clean.
+        assert replay_artifact(artifact) is None
+
+
+class TestPathTrace:
+    def test_actions_become_records_in_order(self):
+        bounds = SMALL
+        block = bounds.shared_blocks[0]
+        trace = path_trace(
+            [(0, AccessType.LOAD, block), (1, AccessType.STORE, block)],
+            bounds,
+        )
+        assert len(trace) == 2
+        assert list(trace.cpu) == [0, 1]
+        assert list(trace.kind) == [
+            int(AccessType.LOAD),
+            int(AccessType.STORE),
+        ]
+        assert trace.address[0] == block * bounds.config.block_bytes
+        assert trace.cpus == bounds.cpus

@@ -1,0 +1,230 @@
+"""Direct unit tests of the oracle state machines.
+
+The mutation and fuzz suites exercise the oracles through whole
+simulator runs; here each oracle is driven by hand — mutate the caches
+the way a (possibly broken) protocol would, then feed the observation
+in — so every assertion pins the exact violation index and message.
+"""
+
+import pytest
+
+from repro.core.operations import Operation
+from repro.sim import SimulationConfig
+from repro.sim.cache import Cache, LineState
+from repro.sim.protocols.interface import AccessOutcome
+from repro.trace.records import AccessType
+from repro.verify import ORACLES, OracleViolation
+
+BLOCK = 0x800
+OTHER_BLOCK = 0x900
+L, S = AccessType.LOAD, AccessType.STORE
+
+
+def make_oracle(name, cpus=2, shared=lambda block: True):
+    config = SimulationConfig(
+        cache_bytes=32, block_bytes=16, associativity=2
+    )
+    caches = [Cache(config.geometry) for _ in range(cpus)]
+    return ORACLES[name](caches, shared), caches
+
+
+def outcome(*operations, steal=()):
+    return AccessOutcome(tuple(operations), steal_from=tuple(steal))
+
+
+def prime(oracle, caches, lines):
+    """Install (cpu, block, state) lines as already-observed history,
+    exactly as the explorer's state reconstruction does."""
+    for cpu, block, state in lines:
+        caches[cpu].insert(block, state)
+    oracle.mirror = [
+        [dict(line_set) for line_set in cache.line_sets]
+        for cache in caches
+    ]
+
+
+class TestSwflushOracle:
+    def test_dirty_flush_charged_as_clean_is_rejected(self):
+        oracle, caches = make_oracle("swflush")
+        caches[0].insert(BLOCK, LineState.DIRTY)
+        oracle.observe_access(
+            0, S, BLOCK, outcome(Operation.CLEAN_MISS_MEMORY)
+        )
+        caches[0].invalidate(BLOCK)
+        with pytest.raises(OracleViolation) as excinfo:
+            oracle.observe_flush(0, BLOCK, outcome(Operation.CLEAN_FLUSH))
+        violation = excinfo.value
+        assert violation.protocol == "swflush"
+        assert violation.index == 2
+        assert violation.detail == (
+            "block 0x800: expected operations ['DIRTY_FLUSH'], "
+            "got ['CLEAN_FLUSH']"
+        )
+        assert str(violation).startswith("[swflush] access #2:")
+
+    def test_flush_that_leaves_the_line_resident_is_rejected(self):
+        oracle, caches = make_oracle("swflush")
+        caches[0].insert(BLOCK, LineState.CLEAN)
+        oracle.observe_access(
+            0, L, BLOCK, outcome(Operation.CLEAN_MISS_MEMORY)
+        )
+        # The "flush" forgot to invalidate the line.
+        with pytest.raises(OracleViolation) as excinfo:
+            oracle.observe_flush(0, BLOCK, outcome(Operation.CLEAN_FLUSH))
+        assert excinfo.value.index == 2
+        assert excinfo.value.detail == (
+            "flush of block 0x800 (state CLEAN) must remove exactly "
+            "that line, removed []"
+        )
+
+    def test_flush_of_absent_block_removing_a_neighbour_is_rejected(self):
+        oracle, caches = make_oracle("swflush")
+        caches[0].insert(OTHER_BLOCK, LineState.CLEAN)
+        oracle.observe_access(
+            0, L, OTHER_BLOCK, outcome(Operation.CLEAN_MISS_MEMORY)
+        )
+        # Flush targets BLOCK (not resident) but kills OTHER_BLOCK.
+        caches[0].invalidate(OTHER_BLOCK)
+        with pytest.raises(OracleViolation) as excinfo:
+            oracle.observe_flush(0, BLOCK, outcome(Operation.CLEAN_FLUSH))
+        assert excinfo.value.index == 2
+        assert excinfo.value.detail == (
+            "flush of non-resident block 0x800 removed "
+            "[(2304, <LineState.CLEAN: 1>)]"
+        )
+
+    def test_correct_flush_sequence_passes(self):
+        oracle, caches = make_oracle("swflush")
+        caches[0].insert(BLOCK, LineState.DIRTY)
+        oracle.observe_access(
+            0, S, BLOCK, outcome(Operation.CLEAN_MISS_MEMORY)
+        )
+        caches[0].invalidate(BLOCK)
+        oracle.observe_flush(0, BLOCK, outcome(Operation.DIRTY_FLUSH))
+        oracle.observe_flush(0, BLOCK, outcome(Operation.CLEAN_FLUSH))
+        assert oracle.flushes == 2
+
+
+class TestDirectoryOracle:
+    def test_store_leaving_remote_copy_alive_is_rejected(self):
+        oracle, caches = make_oracle("directory")
+        caches[1].insert(BLOCK, LineState.CLEAN)
+        oracle.observe_access(
+            1, L, BLOCK, outcome(Operation.CLEAN_MISS_MEMORY)
+        )
+        # cpu0's store fills DIRTY but never invalidates cpu1.
+        caches[0].insert(BLOCK, LineState.DIRTY)
+        with pytest.raises(OracleViolation) as excinfo:
+            oracle.observe_access(
+                0,
+                S,
+                BLOCK,
+                outcome(
+                    Operation.CLEAN_MISS_MEMORY, Operation.INVALIDATE
+                ),
+            )
+        violation = excinfo.value
+        assert violation.protocol == "directory"
+        assert violation.index == 2
+        assert violation.detail == (
+            "store to block 0x800 left cpu 1's copy alive "
+            "(CLEAN -> CLEAN) — missing invalidation"
+        )
+
+    def test_read_miss_not_downgrading_dirty_owner_is_rejected(self):
+        oracle, caches = make_oracle("directory")
+        caches[0].insert(BLOCK, LineState.DIRTY)
+        oracle.observe_access(
+            0, S, BLOCK, outcome(Operation.CLEAN_MISS_MEMORY)
+        )
+        # cpu1's read miss fills, but cpu0's DIRTY owner keeps its
+        # exclusive state instead of dropping to a clean read copy.
+        caches[1].insert(BLOCK, LineState.CLEAN)
+        with pytest.raises(OracleViolation) as excinfo:
+            oracle.observe_access(
+                1, L, BLOCK, outcome(Operation.CLEAN_MISS_MEMORY)
+            )
+        assert excinfo.value.index == 2
+        assert excinfo.value.detail == (
+            "block 0x800: cpu 0's copy is DIRTY, expected CLEAN"
+        )
+
+    def test_dirty_copy_coexisting_with_readers_is_rejected(self):
+        oracle, caches = make_oracle("directory")
+        # A bug earlier in the run left cpu0 DIRTY next to cpu1's read
+        # copy; any touch of the block must trip the sole-copy
+        # invariant even when the step itself looks locally fine.
+        prime(
+            oracle,
+            caches,
+            [
+                (0, BLOCK, LineState.DIRTY),
+                (1, BLOCK, LineState.CLEAN),
+            ],
+        )
+        with pytest.raises(OracleViolation) as excinfo:
+            oracle.observe_access(1, L, BLOCK, outcome())
+        assert excinfo.value.index == 1
+        assert excinfo.value.detail == (
+            "block 0x800 is DIRTY in cpu 0 but 2 copies exist"
+        )
+
+    def test_two_dirty_copies_are_rejected(self):
+        oracle, caches = make_oracle("directory")
+        prime(
+            oracle,
+            caches,
+            [
+                (0, BLOCK, LineState.DIRTY),
+                (1, BLOCK, LineState.DIRTY),
+            ],
+        )
+        with pytest.raises(OracleViolation) as excinfo:
+            oracle.observe_access(0, L, BLOCK, outcome())
+        assert excinfo.value.detail == (
+            "block 0x800 is DIRTY in several caches after the access: "
+            "cpus [0, 1]"
+        )
+
+    def test_stale_fill_after_missed_writeback_is_rejected(self):
+        oracle, caches = make_oracle("directory")
+        caches[0].insert(BLOCK, LineState.DIRTY)
+        oracle.observe_access(
+            0, S, BLOCK, outcome(Operation.CLEAN_MISS_MEMORY)
+        )
+        # The owner is invalidated without a write-back (version model:
+        # memory never observes the store), then cpu1 fills from the
+        # stale memory copy.
+        caches[0].invalidate(BLOCK)
+        oracle.copies[0].pop(BLOCK)
+        oracle.mirror[0][BLOCK & oracle.set_mask].pop(BLOCK)
+        caches[1].insert(BLOCK, LineState.CLEAN)
+        with pytest.raises(OracleViolation) as excinfo:
+            oracle.observe_access(
+                1, L, BLOCK, outcome(Operation.CLEAN_MISS_MEMORY)
+            )
+        assert "stale data reached a cache" in excinfo.value.detail
+
+    def test_correct_invalidation_sequence_passes(self):
+        oracle, caches = make_oracle("directory")
+        caches[1].insert(BLOCK, LineState.CLEAN)
+        oracle.observe_access(
+            1, L, BLOCK, outcome(Operation.CLEAN_MISS_MEMORY)
+        )
+        caches[1].invalidate(BLOCK)
+        caches[0].insert(BLOCK, LineState.DIRTY)
+        oracle.observe_access(
+            0,
+            S,
+            BLOCK,
+            outcome(Operation.CLEAN_MISS_MEMORY, Operation.INVALIDATE),
+        )
+        # Read miss downgrades the dirty owner and observes its
+        # written-back version.
+        caches[0].set_state(BLOCK, LineState.CLEAN)
+        caches[1].insert(BLOCK, LineState.CLEAN)
+        oracle.observe_access(
+            1, L, BLOCK, outcome(Operation.CLEAN_MISS_MEMORY)
+        )
+        assert oracle.data_misses == 3
+        assert oracle.copies[1][BLOCK] == oracle.latest[BLOCK]

@@ -39,11 +39,19 @@ def make_trace(records, cpus, shared=SHARED):
 class TestRegistry:
     def test_covers_the_papers_protocols_plus_base(self):
         assert set(ORACLES) == {"base", "dragon", "wti", "swflush",
-                                "nocache"}
+                                "nocache", "directory"}
 
     def test_unknown_protocol_is_rejected(self):
+        from repro.sim.protocols.interface import NO_ACTION, Protocol
+
+        class MysteryProtocol(Protocol):
+            name = "mystery"
+
+            def access(self, cpu, kind, block):
+                return NO_ACTION
+
         with pytest.raises(ValueError, match="no oracle"):
-            shadow_protocol("directory")
+            shadow_protocol(MysteryProtocol)
 
 
 class TestCorrectProtocolsAreAccepted:
