@@ -51,7 +51,9 @@ def test_trace_generation(benchmark):
     benchmark.pedantic(generate_trace, args=(config,), rounds=3, iterations=1)
 
 
-@pytest.mark.parametrize("protocol", ["base", "dragon", "nocache", "swflush"])
+@pytest.mark.parametrize(
+    "protocol", ["base", "dragon", "hybrid-4", "nocache", "swflush"]
+)
 def test_simulator_throughput(benchmark, small_trace, protocol):
     machine = Machine(protocol, SimulationConfig())
     result = benchmark.pedantic(

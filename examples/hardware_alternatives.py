@@ -41,10 +41,13 @@ def bus_comparison() -> None:
     crossing = scheme_crossover(
         DIRECTORY, DRAGON, "shd", 0.01, 0.42, processors=16
     )
-    if crossing is None:
+    if crossing.kind == crossing.FIRST_ALWAYS_WINS:
         print("Directory leads at every sharing level in range.")
+    elif crossing.kind == crossing.SECOND_ALWAYS_WINS:
+        print("Dragon leads at every sharing level in range.")
     else:
-        print(f"\nDragon takes the lead once shd exceeds {crossing:.3f} "
+        print(f"\nDragon takes the lead once shd exceeds "
+              f"{crossing.value:.3f} "
               f"(update wins when shared data is re-read in place).")
 
 

@@ -40,15 +40,19 @@ echo "== tier-1 tests =="
 python -m pytest -x -q "${cov_args[@]:+${cov_args[@]}}"
 
 echo "== fuzz smoke =="
+# No --protocols: the list is derived from the oracle registry, so new
+# protocols (e.g. the hybrid family) are fuzzed the day they land.
 python -m repro.cli fuzz --smoke \
     --artifact-dir "${TMPDIR:-/tmp}/swcc-fuzz-failures" \
     --manifest "${TMPDIR:-/tmp}/swcc-fuzz-manifest.jsonl"
 
 echo "== exhaustive check smoke (every protocol, small model) =="
 # BFS over all interleavings at 2 CPUs x 1 line x 1 set; every state
-# space closes within this depth, so the oracle guarantee is
-# depth-unbounded (see docs/ARCHITECTURE.md "Exhaustive checking").
-python -m repro.cli check --cpus 2 --lines 1 --sets 1 --depth 6 \
+# space closes within this depth (the hybrids' pressure counters need
+# depth 8; the stateless protocols close by 3), so the oracle
+# guarantee is depth-unbounded (see docs/ARCHITECTURE.md "Exhaustive
+# checking").
+python -m repro.cli check --cpus 2 --lines 1 --sets 1 --depth 8 \
     --conformance 64 \
     --artifact-dir "${TMPDIR:-/tmp}/swcc-check-failures" \
     --manifest "${TMPDIR:-/tmp}/swcc-check-manifest.jsonl"

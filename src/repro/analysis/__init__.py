@@ -17,6 +17,9 @@ simulator.
 """
 
 from repro.analysis.crossover import (
+    DominanceGrid,
+    SchemeCrossover,
+    dominance_grid,
     required_apl,
     required_parameter,
     scheme_crossover,
@@ -25,8 +28,11 @@ from repro.analysis.errors import ErrorSummary, error_summary
 from repro.analysis.frontier import FrontierCell, viability_frontier
 
 __all__ = [
+    "DominanceGrid",
     "ErrorSummary",
     "FrontierCell",
+    "SchemeCrossover",
+    "dominance_grid",
     "error_summary",
     "required_apl",
     "required_parameter",

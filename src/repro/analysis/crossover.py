@@ -6,17 +6,34 @@ crossings numerically.  All searches are bisections and assume the
 compared quantity is monotone in the varied parameter over the given
 bracket — true for every parameter/scheme pair in the model (tested in
 ``tests/analysis``).
+
+:func:`scheme_crossover` distinguishes its three possible outcomes
+explicitly (:class:`SchemeCrossover`): the first scheme can win over
+the whole bracket, lose over the whole bracket, or hand over the lead
+at a located parameter value.  :func:`dominance_grid` generalises the
+pairwise question to "where does one scheme beat *every* rival",
+which is how the hybrid-protocol study asks when an adaptive
+update/invalidate scheme beats both of its parents (Dragon and WTI)
+at once.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.core.bus import BusSystem
 from repro.core.params import WorkloadParams
 from repro.core.schemes import DRAGON, SOFTWARE_FLUSH, CoherenceScheme
 
-__all__ = ["required_apl", "required_parameter", "scheme_crossover"]
+__all__ = [
+    "DominanceGrid",
+    "SchemeCrossover",
+    "dominance_grid",
+    "required_apl",
+    "required_parameter",
+    "scheme_crossover",
+]
 
 _BISECTION_STEPS = 80
 
@@ -103,6 +120,35 @@ def required_apl(
     )
 
 
+@dataclass(frozen=True)
+class SchemeCrossover:
+    """Outcome of comparing two schemes across one parameter bracket.
+
+    ``kind`` names which of the three possible outcomes occurred:
+
+    * ``"first-always-wins"`` — ``first`` has the higher processing
+      power at both bracket ends (``value`` is None);
+    * ``"second-always-wins"`` — ``second`` wins at both ends
+      (``value`` is None);
+    * ``"crossover"`` — the lead changes hands inside the bracket and
+      ``value`` is the located parameter value.
+
+    The old float-or-None return conflated the last two: a bracket
+    where ``first`` never won and a crossover sitting exactly at
+    ``low`` both came back as ``low``.
+    """
+
+    first: str
+    second: str
+    parameter: str
+    kind: str
+    value: float | None
+
+    FIRST_ALWAYS_WINS = "first-always-wins"
+    SECOND_ALWAYS_WINS = "second-always-wins"
+    CROSSOVER = "crossover"
+
+
 def scheme_crossover(
     first: CoherenceScheme,
     second: CoherenceScheme,
@@ -112,14 +158,15 @@ def scheme_crossover(
     processors: int = 16,
     bus: BusSystem | None = None,
     base_params: WorkloadParams | None = None,
-) -> float | None:
-    """Parameter value where ``first`` stops beating ``second``.
+) -> SchemeCrossover:
+    """Where (and whether) ``first`` stops beating ``second``.
 
     Varies one workload parameter over ``[low, high]`` (all others at
-    ``base_params``, default Table 7 middle) and returns the smallest
-    value at which ``first``'s processing power drops to or below
-    ``second``'s.  None if ``first`` wins over the whole bracket;
-    ``low`` if it never wins.
+    ``base_params``, default Table 7 middle) and reports one of three
+    distinct outcomes — see :class:`SchemeCrossover`.  The comparison
+    is assumed monotone over the bracket; the crossover may run in
+    either direction (``first`` losing the lead as the parameter grows,
+    or taking it).
     """
     bus = bus if bus is not None else BusSystem()
     params = base_params if base_params is not None else WorkloadParams.middle()
@@ -130,4 +177,150 @@ def scheme_crossover(
         second_power = bus.evaluate(second, point, processors).processing_power
         return second_power >= first_power
 
-    return required_parameter(second_wins, low, high, rising=True)
+    wins_low = second_wins(low)
+    wins_high = second_wins(high)
+    if wins_low and wins_high:
+        kind, value = SchemeCrossover.SECOND_ALWAYS_WINS, None
+    elif not wins_low and not wins_high:
+        kind, value = SchemeCrossover.FIRST_ALWAYS_WINS, None
+    else:
+        kind = SchemeCrossover.CROSSOVER
+        value = required_parameter(
+            second_wins, low, high, rising=wins_high
+        )
+    return SchemeCrossover(
+        first=first.name,
+        second=second.name,
+        parameter=parameter,
+        kind=kind,
+        value=value,
+    )
+
+
+@dataclass(frozen=True)
+class DominanceGrid:
+    """Per-cell processing powers for a candidate scheme vs rivals.
+
+    Produced by :func:`dominance_grid` over a two-axis parameter
+    sweep.  ``candidate_power[i][j]`` and ``rival_power[name][i][j]``
+    hold the bus-model processing power at ``axis_values[0][i]`` /
+    ``axis_values[1][j]``; ``wins[i][j]`` is True where the candidate
+    strictly beats *every* rival.
+    """
+
+    candidate: str
+    rivals: tuple[str, ...]
+    axis_names: tuple[str, str]
+    axis_values: tuple[tuple[float, ...], tuple[float, ...]]
+    candidate_power: tuple[tuple[float, ...], ...]
+    rival_power: Mapping[str, tuple[tuple[float, ...], ...]]
+    wins: tuple[tuple[bool, ...], ...]
+
+    @property
+    def winning_cells(self) -> int:
+        return sum(row.count(True) for row in self.wins)
+
+    @property
+    def total_cells(self) -> int:
+        return sum(len(row) for row in self.wins)
+
+    def cells(self) -> Iterator[tuple[float, float, bool]]:
+        """Yield ``(first_axis_value, second_axis_value, wins)``."""
+        for i, first_value in enumerate(self.axis_values[0]):
+            for j, second_value in enumerate(self.axis_values[1]):
+                yield first_value, second_value, self.wins[i][j]
+
+    def best_cell(self) -> tuple[int, int]:
+        """Grid index maximising the candidate's margin over rivals.
+
+        The margin in a cell is the candidate's processing power minus
+        the best rival's; the returned index is the argmax, whether or
+        not the margin is positive anywhere.
+        """
+        best_index, best_margin = (0, 0), float("-inf")
+        for i, row in enumerate(self.candidate_power):
+            for j, power in enumerate(row):
+                margin = power - max(
+                    self.rival_power[name][i][j] for name in self.rivals
+                )
+                if margin > best_margin:
+                    best_index, best_margin = (i, j), margin
+        return best_index
+
+
+def dominance_grid(
+    candidate: CoherenceScheme,
+    rivals: Sequence[CoherenceScheme],
+    axes: Mapping[str, Sequence[float]],
+    processors: int = 16,
+    bus: BusSystem | None = None,
+    base_params: WorkloadParams | None = None,
+) -> DominanceGrid:
+    """Map where ``candidate`` strictly beats every scheme in ``rivals``.
+
+    Args:
+        candidate: the scheme whose winning region is sought.
+        rivals: schemes it must beat simultaneously (e.g. both parents
+            of a hybrid protocol).
+        axes: exactly two ``parameter -> values`` entries; the sweep is
+            their outer product, first axis outermost.
+        processors: bus population for every evaluation.
+        bus: the bus model (default :class:`BusSystem`).
+        base_params: un-swept parameters (default Table 7 middle).
+
+    Raises:
+        ValueError: if ``axes`` does not name exactly two parameters
+            or any rival list is empty.
+    """
+    if len(axes) != 2:
+        raise ValueError(f"need exactly two axes, got {sorted(axes)}")
+    if not rivals:
+        raise ValueError("need at least one rival scheme")
+    bus = bus if bus is not None else BusSystem()
+    params = base_params if base_params is not None else WorkloadParams.middle()
+    (first_name, first_values), (second_name, second_values) = axes.items()
+
+    schemes = (candidate, *rivals)
+    powers: dict[str, list[tuple[float, ...]]] = {
+        scheme.name: [] for scheme in schemes
+    }
+    wins: list[tuple[bool, ...]] = []
+    for first_value in first_values:
+        rows: dict[str, list[float]] = {scheme.name: [] for scheme in schemes}
+        win_row: list[bool] = []
+        for second_value in second_values:
+            point = params.replace(
+                **{first_name: first_value, second_name: second_value}
+            )
+            cell = {
+                scheme.name: bus.evaluate(
+                    scheme, point, processors
+                ).processing_power
+                for scheme in schemes
+            }
+            for name, power in cell.items():
+                rows[name].append(power)
+            win_row.append(
+                all(
+                    cell[candidate.name] > cell[rival.name]
+                    for rival in rivals
+                )
+            )
+        for name, row in rows.items():
+            powers[name].append(tuple(row))
+        wins.append(tuple(win_row))
+
+    return DominanceGrid(
+        candidate=candidate.name,
+        rivals=tuple(rival.name for rival in rivals),
+        axis_names=(first_name, second_name),
+        axis_values=(
+            tuple(float(value) for value in first_values),
+            tuple(float(value) for value in second_values),
+        ),
+        candidate_power=tuple(powers[candidate.name]),
+        rival_power={
+            rival.name: tuple(powers[rival.name]) for rival in rivals
+        },
+        wins=tuple(wins),
+    )

@@ -31,10 +31,40 @@ from repro.core import (
     BusSystem,
     NetworkSystem,
     WorkloadParams,
+    known_schemes,
     scheme_by_name,
 )
 
 __all__ = ["main"]
+
+
+def registry_protocols() -> tuple[str, ...]:
+    """Every protocol with an oracle — the default fuzz/check set.
+
+    Both ``swcc fuzz`` and ``swcc check`` derive their default protocol
+    list from this one place so a newly registered protocol is picked
+    up by both (and by nothing less than the whole registry).
+    """
+    from repro.verify.oracles import ORACLES
+
+    return tuple(sorted(ORACLES))
+
+
+def _scheme_help() -> str:
+    """Scheme-argument help generated from the live registry.
+
+    Every name :func:`scheme_by_name` accepts appears here, so the
+    help text cannot drift from the registry (it once hard-coded
+    "base/nocache/flush/dragon" and silently omitted the extension
+    schemes).
+    """
+    entries = []
+    for canonical, aliases in known_schemes().items():
+        shown = canonical.lower()
+        if aliases:
+            shown += f" ({', '.join(aliases)})"
+        entries.append(shown)
+    return "scheme name or alias: " + ", ".join(entries)
 
 
 def _command_list(_: argparse.Namespace) -> int:
@@ -420,6 +450,11 @@ def _command_fuzz(args: argparse.Namespace) -> int:
     protocols = tuple(
         name.strip() for name in args.protocols.split(",") if name.strip()
     )
+    if not protocols:
+        # Registry-derived default: fuzz everything with an oracle, so
+        # newly registered protocols cannot be silently skipped (the
+        # old hard-coded default omitted base and directory).
+        protocols = registry_protocols()
     unknown = sorted(set(protocols) - set(ORACLES))
     if unknown:
         print(
@@ -524,7 +559,7 @@ def _command_check(args: argparse.Namespace) -> int:
             if name.strip()
         )
     else:
-        protocols = tuple(sorted(ORACLES))
+        protocols = registry_protocols()
     unknown = sorted(set(protocols) - set(ORACLES))
     if unknown:
         print(
@@ -987,7 +1022,7 @@ def build_parser() -> argparse.ArgumentParser:
     predict_parser = subparsers.add_parser(
         "predict", help="evaluate the analytical model once"
     )
-    predict_parser.add_argument("scheme", help="base/nocache/flush/dragon")
+    predict_parser.add_argument("scheme", help=_scheme_help())
     predict_parser.add_argument(
         "processors", type=int, help="number of processors"
     )
@@ -1014,10 +1049,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="first seed (sweeps [K, K+N))",
     )
     fuzz_parser.add_argument(
-        "--protocols", default="dragon,wti,swflush,nocache",
+        "--protocols", default="",
         metavar="LIST",
-        help="comma-separated protocols to check (default: the "
-             "paper's four schemes)",
+        help="comma-separated protocols to check (default: every "
+             "protocol with an oracle)",
     )
     fuzz_parser.add_argument(
         "--scale", type=_fuzz_scale, default=1.0, metavar="F",

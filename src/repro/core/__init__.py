@@ -41,7 +41,14 @@ from repro.core.params import (
 )
 from repro.core.prediction import BusPrediction, NetworkPrediction
 from repro.core.snoopy_variants import (
+    HYBRID_2,
+    HYBRID_4,
+    HYBRID_LIMIT,
     WRITE_THROUGH_INVALIDATE,
+    Hybrid2Scheme,
+    Hybrid4Scheme,
+    HybridKScheme,
+    HybridLimitScheme,
     WriteThroughInvalidateScheme,
 )
 from repro.core.schemes import (
@@ -55,6 +62,7 @@ from repro.core.schemes import (
     DragonScheme,
     NoCacheScheme,
     SoftwareFlushScheme,
+    known_schemes,
     scheme_by_name,
 )
 from repro.core.sensitivity import (
@@ -69,6 +77,9 @@ __all__ = [
     "DIRECTORY",
     "DirectoryScheme",
     "DRAGON",
+    "HYBRID_2",
+    "HYBRID_4",
+    "HYBRID_LIMIT",
     "NO_CACHE",
     "PARAMETER_RANGES",
     "SOFTWARE_FLUSH",
@@ -79,6 +90,10 @@ __all__ = [
     "CoherenceScheme",
     "CostTable",
     "DragonScheme",
+    "Hybrid2Scheme",
+    "Hybrid4Scheme",
+    "HybridKScheme",
+    "HybridLimitScheme",
     "InstructionCost",
     "NetworkPrediction",
     "NetworkSystem",
@@ -95,6 +110,7 @@ __all__ = [
     "derive_bus_costs",
     "derive_network_costs",
     "instruction_cost",
+    "known_schemes",
     "scheme_by_name",
     "sensitivity_entry",
     "sensitivity_table",

@@ -40,6 +40,7 @@ __all__ = [
     "DragonScheme",
     "NoCacheScheme",
     "SoftwareFlushScheme",
+    "known_schemes",
     "scheme_by_name",
 ]
 
@@ -210,6 +211,7 @@ _SCHEMES_BY_NAME.update(
         "softwareflush": SOFTWARE_FLUSH,
         "software-flush": SOFTWARE_FLUSH,
         "flush": SOFTWARE_FLUSH,
+        "swflush": SOFTWARE_FLUSH,  # the simulator protocol's name
         "dragon": DRAGON,
     }
 )
@@ -220,6 +222,25 @@ def register_scheme(scheme: CoherenceScheme, *aliases: str) -> None:
     _SCHEMES_BY_NAME[scheme.name.lower()] = scheme
     for alias in aliases:
         _SCHEMES_BY_NAME[alias.lower()] = scheme
+
+
+def known_schemes() -> dict[str, tuple[str, ...]]:
+    """Canonical scheme name -> sorted lookup aliases.
+
+    Derived from the live registry (extensions included), so CLI help
+    generated from it can never drift from what
+    :func:`scheme_by_name` actually accepts.  The canonical name
+    itself is excluded from each alias tuple.
+    """
+    names: dict[str, set[str]] = {}
+    for alias, scheme in _SCHEMES_BY_NAME.items():
+        names.setdefault(scheme.name, set()).add(alias)
+    return {
+        canonical: tuple(
+            sorted(aliases - {canonical.lower()})
+        )
+        for canonical, aliases in sorted(names.items())
+    }
 
 
 def scheme_by_name(name: str) -> CoherenceScheme:

@@ -1,0 +1,179 @@
+"""Extension experiment: when does a hybrid beat both of its parents?
+
+Dragon never invalidates (every shared store updates remote copies
+forever) and WTI never updates (every bus write kills remote copies).
+The hybrid family sits between them: update a remote copy until it
+absorbs ``k`` broadcasts without local use, then invalidate it.  This
+experiment maps the workload region where that adaptivity wins
+*simultaneously* against both parents — in the analytical model (a
+:func:`~repro.analysis.crossover.dominance_grid` over write-run length
+and sharing intensity) and in end-to-end simulation of synthetic
+traces with matching structure.
+
+The mechanism: with ``W = apl * wr`` writes per inter-processor run,
+Dragon pays ``W`` broadcasts per run even after remote copies are
+dead, while the hybrid caps the per-run broadcast count near ``k`` at
+the cost of one re-fetch miss per killed copy.  Long write runs make
+the saved broadcasts outweigh the re-fetch; short runs are Dragon's
+home turf.  WTI loses the bus to per-store write-throughs in either
+regime, so the interesting boundary is the Dragon-side one.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.crossover import dominance_grid
+from repro.core import (
+    DRAGON,
+    HYBRID_4,
+    WRITE_THROUGH_INVALIDATE,
+    WorkloadParams,
+)
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, TableData
+
+__all__ = []
+
+#: Analytical sweep axes: write-run length (``apl`` at middle ``wr``)
+#: by sharing intensity.  ``apl`` doubles as the run length because the
+#: writes per run scale as ``apl * wr`` with ``wr`` held at Table 7
+#: middle.
+_APL_AXIS = (2.0, 8.0, 32.0, 64.0)
+_SHD_AXIS = (0.05, 0.15, 0.30, 0.42)
+
+
+@register(
+    "extension-hybrid-crossover",
+    "Extension: where hybrid update/invalidate beats both parents",
+    "Section 2.2.4 context",
+)
+def hybrid_crossover(fast: bool = True, **_) -> ExperimentResult:
+    """Locate the hybrid protocols' winning region, model and simulator.
+
+    Checks:
+
+    * the analytical dominance grid has a non-empty, non-universal
+      winning region for Hybrid-4 against {Dragon, WTI}, and that
+      region sits at long write runs (high ``apl``), not short ones;
+    * on a long-write-run synthetic trace, every simulated hybrid's
+      processing power strictly exceeds both simulated parents';
+    * on a short-run trace the ordering flips back: simulated Dragon
+      beats every hybrid (adaptivity is not a free lunch).
+    """
+    from repro.sim import Machine, SimulationConfig
+    from repro.trace import TraceConfig, generate_trace
+
+    result = ExperimentResult(
+        experiment_id="extension-hybrid-crossover",
+        title="Hybrid update/invalidate vs both parents (Dragon, WTI)",
+    )
+
+    # --- Analytical model: dominance grid over run length x sharing.
+    grid = dominance_grid(
+        HYBRID_4,
+        (DRAGON, WRITE_THROUGH_INVALIDATE),
+        {"apl": _APL_AXIS, "shd": _SHD_AXIS},
+        processors=16,
+        base_params=WorkloadParams.middle(),
+    )
+    rows = []
+    for i, apl in enumerate(grid.axis_values[0]):
+        for j, shd in enumerate(grid.axis_values[1]):
+            rows.append(
+                (
+                    f"{apl:g}",
+                    f"{shd:g}",
+                    f"{grid.candidate_power[i][j]:.2f}",
+                    f"{grid.rival_power['Dragon'][i][j]:.2f}",
+                    f"{grid.rival_power['WTI'][i][j]:.2f}",
+                    "hybrid" if grid.wins[i][j] else "parent",
+                )
+            )
+    result.tables.append(
+        TableData(
+            title="model: 16-processor bus, other parameters at middle",
+            headers=("apl", "shd", "Hybrid-4", "Dragon", "WTI", "winner"),
+            rows=tuple(rows),
+        )
+    )
+    short_run_row = grid.wins[0]
+    long_run_row = grid.wins[-1]
+    result.add_check(
+        "model-has-hybrid-region",
+        0 < grid.winning_cells < grid.total_cells,
+        f"hybrid wins {grid.winning_cells}/{grid.total_cells} cells",
+    )
+    result.add_check(
+        "model-region-sits-at-long-runs",
+        all(long_run_row) and not any(short_run_row),
+        f"apl={_APL_AXIS[-1]:g} row all hybrid, "
+        f"apl={_APL_AXIS[0]:g} row all parent",
+    )
+
+    # --- Simulator: the same contrast on synthetic traces.  Long
+    # critical sections with a high shared-write fraction produce long
+    # write runs; short sections reproduce Dragon's home regime.
+    records = 30_000 if fast else 100_000
+    config = SimulationConfig()
+    protocols = ("dragon", "wti", "hybrid-2", "hybrid-4", "hybrid-limit")
+    simulated: dict[tuple[str, str], float] = {}
+    sim_rows = []
+    for regime, section_length in (("long-runs", 64), ("short-runs", 4)):
+        trace_config = TraceConfig(
+            cpus=4,
+            records_per_cpu=records,
+            section_length_mean=section_length,
+            shared_write_fraction=0.5,
+            readonly_section_fraction=0.1,
+            flush_on_exit=False,
+            seed=11,
+        )
+        trace = generate_trace(trace_config, name=f"hybrid-{regime}")
+        for protocol in protocols:
+            run = Machine(protocol, config).run(trace)
+            simulated[regime, protocol] = run.processing_power
+            sim_rows.append(
+                (
+                    regime,
+                    protocol,
+                    f"{run.processing_power:.3f}",
+                    f"{run.bus_utilization:.3f}",
+                    f"{run.data_miss_rate:.4f}",
+                )
+            )
+    result.tables.append(
+        TableData(
+            title="simulation at 4 processors, 64K caches",
+            headers=("regime", "protocol", "power", "bus busy", "msdat"),
+            rows=tuple(sim_rows),
+        )
+    )
+    hybrids = ("hybrid-2", "hybrid-4", "hybrid-limit")
+    long_parents = max(
+        simulated["long-runs", "dragon"], simulated["long-runs", "wti"]
+    )
+    result.add_check(
+        "simulated-hybrids-beat-both-parents-on-long-runs",
+        all(
+            simulated["long-runs", hybrid] > long_parents
+            for hybrid in hybrids
+        ),
+        "long runs: "
+        + ", ".join(
+            f"{protocol} {simulated['long-runs', protocol]:.2f}"
+            for protocol in protocols
+        ),
+    )
+    result.add_check(
+        "simulated-dragon-reclaims-short-runs",
+        all(
+            simulated["short-runs", "dragon"]
+            > simulated["short-runs", hybrid]
+            for hybrid in hybrids
+        ),
+        "short runs: "
+        + ", ".join(
+            f"{protocol} {simulated['short-runs', protocol]:.2f}"
+            for protocol in protocols
+        ),
+    )
+    return result

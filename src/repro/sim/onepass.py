@@ -68,7 +68,7 @@ from repro.sim.machine import (
     SimulationConfig,
     SimulationResult,
 )
-from repro.sim.protocols import Protocol, protocol_class
+from repro.sim.protocols import HYBRID_PROTOCOLS, Protocol, protocol_class
 from repro.sim.segment import segment_events, segment_reason
 from repro.trace.derived import DerivedColumns, derived_columns
 from repro.trace.records import Trace
@@ -163,6 +163,16 @@ def family_support(
                 "run-collapse classification covers 1 and 2)",
             )
         return ("epoch", None)
+    if name in HYBRID_PROTOCOLS:
+        # A hybrid's update-or-invalidate decision depends on per-copy
+        # pressure accumulated across the whole interleaving, so epoch
+        # partitioning cannot factor its sharing traffic; sweeps take
+        # one exact Machine.run per configuration, loudly.
+        return (
+            "fallback",
+            f"protocol:{name} adapts per-copy update/invalidate "
+            "pressure across epochs and has no epoch engine",
+        )
     return (
         "fallback",
         f"protocol:{name} couples geometries and has no epoch engine",

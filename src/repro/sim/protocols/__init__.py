@@ -13,16 +13,27 @@ from repro.sim.protocols.interface import AccessOutcome, Protocol
 from repro.sim.protocols.nocoherence import BaseProtocol
 from repro.sim.protocols.directory import DirectoryProtocol
 from repro.sim.protocols.dragon import DragonProtocol
+from repro.sim.protocols.hybrid import (
+    Hybrid2Protocol,
+    Hybrid4Protocol,
+    HybridLimitProtocol,
+    HybridProtocol,
+)
 from repro.sim.protocols.nocache import NoCacheProtocol
 from repro.sim.protocols.swflush import SoftwareFlushProtocol
 from repro.sim.protocols.wti import WriteThroughInvalidateProtocol
 
 __all__ = [
+    "HYBRID_PROTOCOLS",
     "PROTOCOLS",
     "AccessOutcome",
     "BaseProtocol",
     "DirectoryProtocol",
     "DragonProtocol",
+    "Hybrid2Protocol",
+    "Hybrid4Protocol",
+    "HybridLimitProtocol",
+    "HybridProtocol",
     "NoCacheProtocol",
     "Protocol",
     "SoftwareFlushProtocol",
@@ -35,10 +46,20 @@ PROTOCOLS: dict[str, type[Protocol]] = {
     BaseProtocol.name: BaseProtocol,
     DirectoryProtocol.name: DirectoryProtocol,
     DragonProtocol.name: DragonProtocol,
+    Hybrid2Protocol.name: Hybrid2Protocol,
+    Hybrid4Protocol.name: Hybrid4Protocol,
+    HybridLimitProtocol.name: HybridLimitProtocol,
     NoCacheProtocol.name: NoCacheProtocol,
     SoftwareFlushProtocol.name: SoftwareFlushProtocol,
     WriteThroughInvalidateProtocol.name: WriteThroughInvalidateProtocol,
 }
+
+#: The adaptive update/invalidate family (registry-name subset).
+HYBRID_PROTOCOLS: tuple[str, ...] = (
+    Hybrid2Protocol.name,
+    Hybrid4Protocol.name,
+    HybridLimitProtocol.name,
+)
 
 _ALIASES = {
     "base": "base",
@@ -48,6 +69,11 @@ _ALIASES = {
     "no-coherence": "base",
     "dragon": "dragon",
     "snoopy": "dragon",
+    "hybrid": "hybrid-4",
+    "hybrid-2": "hybrid-2",
+    "hybrid-4": "hybrid-4",
+    "hybrid-limit": "hybrid-limit",
+    "competitive": "hybrid-limit",
     "nocache": "nocache",
     "no-cache": "nocache",
     "swflush": "swflush",
@@ -69,3 +95,14 @@ def protocol_class(name: str) -> type[Protocol]:
     except KeyError:
         known = ", ".join(sorted(PROTOCOLS))
         raise KeyError(f"unknown protocol {name!r}; known: {known}") from None
+
+
+def protocol_aliases(name: str) -> tuple[str, ...]:
+    """Aliases (excluding the canonical name) resolving to ``name``."""
+    return tuple(
+        sorted(
+            alias
+            for alias, target in _ALIASES.items()
+            if target == name and alias != name
+        )
+    )

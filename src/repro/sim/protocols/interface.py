@@ -141,6 +141,25 @@ class Protocol(ABC):
         del cpu, block
         return NO_ACTION
 
+    def snapshot(self):
+        """Transition-relevant protocol state *beyond* the caches.
+
+        The exhaustive explorer reconstructs machine states from
+        ``(cache contents, oracle version model)``; a protocol whose
+        future behaviour depends on anything else (e.g. the hybrid
+        family's per-copy pressure counters) must expose that state
+        here as a hashable canonical value and accept it back in
+        :meth:`restore`.  ``None`` (the default) declares the protocol
+        stateless: a fresh instance over reconstructed caches resumes
+        any state exactly.  Statistics counters are *not* transition
+        state and must not be included.
+        """
+        return None
+
+    def restore(self, snapshot) -> None:
+        """Adopt a state previously returned by :meth:`snapshot`."""
+        del snapshot
+
     def holders(self, block: int, excluding: int) -> list[int]:
         """CPUs other than ``excluding`` whose cache holds ``block``.
 

@@ -30,10 +30,14 @@ A machine state is canonically encoded as a hashable tuple of
   is the maximum ever matter, so the renumbering collapses the state
   space to a finite one without changing any future oracle verdict.
 
-Protocol objects themselves carry no transition-relevant state beyond
-the caches (their ``stats`` and the directory's ``_invalidated`` set
-feed counters only), so a fresh protocol instance over reconstructed
-caches resumes any state exactly.
+Most protocol objects carry no transition-relevant state beyond the
+caches (their ``stats`` and the directory's ``_invalidated`` set feed
+counters only), so a fresh protocol instance over reconstructed caches
+resumes any state exactly.  Protocols that do (the hybrid family's
+pressure counters) declare it through ``Protocol.snapshot`` /
+``restore``, and the matching oracle model state through
+``ProtocolOracle.model_snapshot`` / ``restore_model``; both snapshots
+are further components of the canonical state.
 
 What is (and is not) proven
 ---------------------------
@@ -290,8 +294,18 @@ class ExploreReport:
 # -- canonical state encoding --------------------------------------------
 
 
-def _encode_state(caches, oracle, blocks) -> tuple:
-    """Hashable canonical encoding of (caches, version model)."""
+def _encode_state(caches, protocol, oracle, blocks) -> tuple:
+    """Hashable canonical encoding of (caches, protocol state,
+    version model, oracle model state).
+
+    Protocols and oracles carrying transition state beyond the caches
+    (the hybrid family's pressure counters) contribute their
+    :meth:`~repro.sim.protocols.interface.Protocol.snapshot` /
+    ``model_snapshot`` values as *separate* components — deliberately
+    not one copied into the other, so a protocol whose private state
+    drifts from the oracle's independent model produces distinct
+    states whose divergent transitions the search then visits.
+    """
     cache_part = tuple(
         tuple(
             tuple((block, int(state)) for block, state in line_set.items())
@@ -313,7 +327,12 @@ def _encode_state(caches, oracle, blocks) -> tuple:
         version_part.append(
             tuple(None if v is None else rank[v] for v in raw)
         )
-    return cache_part, tuple(version_part)
+    return (
+        cache_part,
+        tuple(version_part),
+        protocol.snapshot(),
+        oracle.model_snapshot(),
+    )
 
 
 def _decode_state(state, bounds, oracle_class, protocol_cls, blocks):
@@ -324,7 +343,7 @@ def _decode_state(state, bounds, oracle_class, protocol_cls, blocks):
     renumbering preserves order, so ``latest`` stays the per-block
     maximum and the next store's ``latest + 1`` is fresh.
     """
-    cache_part, version_part = state
+    cache_part, version_part, protocol_part, model_part = state
     geometry = bounds.config.geometry
     caches = [Cache(geometry) for _ in range(bounds.cpus)]
     for cache, sets in zip(caches, cache_part):
@@ -334,7 +353,11 @@ def _decode_state(state, bounds, oracle_class, protocol_cls, blocks):
     shared = set(bounds.shared_blocks)
     is_shared = shared.__contains__
     protocol = protocol_cls(caches, is_shared)
+    if protocol_part is not None:
+        protocol.restore(protocol_part)
     oracle = oracle_class(caches, is_shared)
+    if model_part is not None:
+        oracle.restore_model(model_part)
     oracle.mirror = [
         [dict(line_set) for line_set in cache.line_sets]
         for cache in caches
@@ -501,6 +524,7 @@ def explore_protocol(
     empty_caches = [Cache(geometry) for _ in range(bounds.cpus)]
     initial = _encode_state(
         empty_caches,
+        protocol_cls(empty_caches, lambda _: False),
         oracle_class(empty_caches, lambda _: False),
         blocks,
     )
@@ -547,7 +571,7 @@ def explore_protocol(
                 report.wall_s = time.perf_counter() - started
                 return report
             report.edges += 1
-            successor = _encode_state(caches, oracle, blocks)
+            successor = _encode_state(caches, live_protocol, oracle, blocks)
             if successor in parents:
                 continue
             parents[successor] = (state, action)

@@ -410,6 +410,24 @@ class ProtocolOracle:
             else:
                 mirror_set[block] = state
 
+    # -- explorer state hooks -----------------------------------------------
+
+    def model_snapshot(self):
+        """Validation-relevant oracle state beyond the mirror and the
+        version model (e.g. the hybrid oracles' independent pressure
+        model), as a hashable canonical value; ``None`` when the
+        standard state fully determines future verdicts.  The explorer
+        encodes this into machine states and hands it back through
+        :meth:`restore_model` — protocol and oracle snapshots are
+        encoded *separately*, so a protocol whose private state drifts
+        from the oracle's model shows up as distinct states whose
+        divergent verdicts the search then reaches."""
+        return None
+
+    def restore_model(self, snapshot) -> None:
+        """Adopt a state previously returned by :meth:`model_snapshot`."""
+        del snapshot
+
     # -- hooks --------------------------------------------------------------
 
     def _is_uncached(self, kind: AccessType, block: int) -> bool:
@@ -787,6 +805,188 @@ _DRAGON_MISS_OPERATION = {
 }
 
 
+class HybridOracle(DragonOracle):
+    """Adaptive update/invalidate snooping (the hybrid family).
+
+    Dragon's rules, except that on a store each remote holder either
+    updates in place or is invalidated according to an *independent*
+    pressure model the oracle maintains from observed events alone: a
+    copy that has absorbed ``k`` broadcasts without an intervening
+    local use (or since its fill, for the non-resetting variant) must
+    be gone after the store, all others must survive as SHARED_CLEAN
+    with exactly the survivors' cycles stolen.  A simulator whose own
+    counters drift — updating a copy that should have died, or killing
+    one that should have lived — fails the remote-state expectation on
+    the first store where the decisions differ.
+
+    Value coherence holds through both actions: survivors receive the
+    new version (update), dead copies cannot be read without a re-fetch
+    from the owner or memory (invalidate), so the Dragon version checks
+    apply unchanged.
+    """
+
+    protocol = "hybrid"
+    #: Broadcasts a copy may absorb before the next one kills it.
+    k = 4
+    #: Whether a local access resets the copy's pressure to zero.
+    resets_on_use = True
+
+    def __init__(self, caches, is_shared_block):
+        super().__init__(caches, is_shared_block)
+        #: Independent pressure model: (cpu, block) -> count >= 1.
+        self.pressure: dict[tuple[int, int], int] = {}
+
+    # -- explorer state hooks -------------------------------------------
+
+    def model_snapshot(self):
+        return tuple(sorted(self.pressure.items()))
+
+    def restore_model(self, snapshot) -> None:
+        self.pressure = dict(snapshot)
+
+    # -- pressure bookkeeping -------------------------------------------
+
+    def _drop_copy(self, cpu: int, block: int, state: LineState) -> None:
+        # Any copy leaving a cache (eviction, invalidation) loses its
+        # pressure history.
+        self.pressure.pop((cpu, block), None)
+        super()._drop_copy(cpu, block, state)
+
+    def _broadcast_decision(
+        self, block: int, holders: list[int]
+    ) -> tuple[list[int], list[int]]:
+        """(survivors, doomed) for one observed store, advancing the
+        pressure model."""
+        survivors, doomed = [], []
+        for holder in holders:
+            key = (holder, block)
+            count = self.pressure.get(key, 0) + 1
+            if count >= self.k:
+                doomed.append(holder)
+                self.pressure.pop(key, None)
+            else:
+                survivors.append(holder)
+                self.pressure[key] = count
+        return survivors, doomed
+
+    # -- validation -----------------------------------------------------
+
+    def _validate_access(self, ev: _Event) -> None:
+        if (
+            self.resets_on_use
+            and ev.kind is not AccessType.STORE
+            and ev.pre is not None
+        ):
+            # A local read hit proves the processor still wants the
+            # line; pressure restarts.
+            self.pressure.pop((ev.cpu, ev.block), None)
+        super()._validate_access(ev)
+
+    def _validate_store_hit(self, ev: _Event, holders: list[int]) -> None:
+        if self.resets_on_use:
+            self.pressure.pop((ev.cpu, ev.block), None)
+        survivors: list[int] = []
+        if ev.pre in (_CLEAN, _DIRTY):
+            if holders:
+                self._fail(
+                    f"block {ev.block:#x} held in exclusive state "
+                    f"{ev.pre.name} by cpu {ev.cpu} while cpus "
+                    f"{holders} also hold copies"
+                )
+            self._expect_remote_unchanged(ev)
+            self._expect_hit(ev, _DIRTY)
+            self._expect_outcome(ev, ())
+        elif not holders:
+            # A shared-state line with no actual other holders
+            # silently collapses to the exclusive dirty state.
+            self._expect_remote_unchanged(ev)
+            self._expect_hit(ev, _DIRTY)
+            self._expect_outcome(ev, ())
+        else:
+            survivors, doomed = self._broadcast_decision(ev.block, holders)
+            expected: dict[int, LineState | None] = {
+                other: _SHARED_CLEAN for other in survivors
+            }
+            expected.update({other: None for other in doomed})
+            self._expect_hit(ev, _SHARED_DIRTY if survivors else _DIRTY)
+            self._expect_remote_states(ev, expected)
+            self._expect_outcome(
+                ev, (Operation.WRITE_BROADCAST,), steal=survivors
+            )
+        version = self._store_version(ev)
+        self.copies[ev.cpu][ev.block] = version
+        for other in survivors:
+            # The broadcast updates every surviving copy in place; dead
+            # copies are dropped by the mirror sync.
+            self.copies[other][ev.block] = version
+
+    def _validate_miss(
+        self, ev: _Event, holders: list[int], store: bool
+    ) -> None:
+        if not store:
+            # Read and fetch misses are exactly Dragon's.
+            super()._validate_miss(ev, holders, store=False)
+            return
+        owners = [
+            other
+            for other, old, _ in ev.remote
+            if old is not None and old.is_owner
+        ]
+        if len(owners) > 1:
+            self._fail(
+                f"block {ev.block:#x} has multiple owners before the "
+                f"miss: cpus {owners}"
+            )
+        supplied_from_cache = bool(owners)
+        survivors: list[int] = []
+        if holders:
+            # The fill's snoop demotions and the follow-up broadcast
+            # fold into one observable transition per holder: update
+            # to SHARED_CLEAN or death.
+            survivors, doomed = self._broadcast_decision(ev.block, holders)
+            expected: dict[int, LineState | None] = {
+                other: _SHARED_CLEAN for other in survivors
+            }
+            expected.update({other: None for other in doomed})
+            self._expect_remote_states(ev, expected)
+            fill_state = _SHARED_DIRTY if survivors else _DIRTY
+        else:
+            self._expect_remote_unchanged(ev)
+            fill_state = _DIRTY
+        victim = self._expect_fill(ev, fill_state)
+        dirty_victim = victim is not None and victim[1].is_dirty
+        miss_op = _DRAGON_MISS_OPERATION[supplied_from_cache, dirty_victim]
+        if holders:
+            self._expect_outcome(
+                ev, (miss_op, Operation.WRITE_BROADCAST), steal=survivors
+            )
+        else:
+            self._expect_outcome(ev, (miss_op,))
+        self._fill_copy(ev)
+        version = self._store_version(ev)
+        self.copies[ev.cpu][ev.block] = version
+        for other in survivors:
+            self.copies[other][ev.block] = version
+
+
+class Hybrid2Oracle(HybridOracle):
+    protocol = "hybrid-2"
+    k = 2
+    resets_on_use = True
+
+
+class Hybrid4Oracle(HybridOracle):
+    protocol = "hybrid-4"
+    k = 4
+    resets_on_use = True
+
+
+class HybridLimitOracle(HybridOracle):
+    protocol = "hybrid-limit"
+    k = 3
+    resets_on_use = False
+
+
 class DirectoryOracle(ProtocolOracle):
     """Full-map write-invalidate directory: stores leave exactly one
     (DIRTY) copy; a dirty owner is written back when memory supplies a
@@ -898,8 +1098,8 @@ class DirectoryOracle(ProtocolOracle):
             )
 
 
-#: Protocol name -> oracle class.  The paper's four schemes plus Base
-#: and the directory extension.
+#: Protocol name -> oracle class.  The paper's four schemes plus the
+#: Base, directory, and hybrid extensions.
 ORACLES: dict[str, type[ProtocolOracle]] = {
     oracle.protocol: oracle
     for oracle in (
@@ -908,6 +1108,9 @@ ORACLES: dict[str, type[ProtocolOracle]] = {
         NoCacheOracle,
         WtiOracle,
         DragonOracle,
+        Hybrid2Oracle,
+        Hybrid4Oracle,
+        HybridLimitOracle,
         DirectoryOracle,
     )
 }

@@ -2,12 +2,20 @@
 
 import pytest
 
-from repro.analysis import required_apl, required_parameter, scheme_crossover
+from repro.analysis import (
+    SchemeCrossover,
+    dominance_grid,
+    required_apl,
+    required_parameter,
+    scheme_crossover,
+)
 from repro.core import (
     BASE,
     DRAGON,
+    HYBRID_4,
     NO_CACHE,
     SOFTWARE_FLUSH,
+    WRITE_THROUGH_INVALIDATE,
     BusSystem,
     WorkloadParams,
 )
@@ -29,6 +37,27 @@ class TestRequiredParameter:
 
     def test_always_satisfied_returns_bracket_edge(self):
         assert required_parameter(lambda x: True, 2.0, 5.0) == 2.0
+
+    def test_always_satisfied_falling_returns_high_edge(self):
+        # Falling search: the largest value still satisfying the
+        # predicate; constant-True pins to the high edge.
+        assert required_parameter(
+            lambda x: True, 2.0, 5.0, rising=False
+        ) == 5.0
+
+    def test_threshold_exactly_at_low_edge(self):
+        # A predicate that first becomes True exactly at `low` is the
+        # boundary case the old scheme_crossover conflated with "never
+        # wins"; required_parameter itself reports `low`.
+        assert required_parameter(lambda x: x >= 2.0, 2.0, 5.0) == 2.0
+
+    def test_threshold_exactly_at_high_edge(self):
+        threshold = required_parameter(lambda x: x >= 5.0, 2.0, 5.0)
+        assert threshold == pytest.approx(5.0, abs=1e-6)
+
+    def test_degenerate_single_point_bracket(self):
+        assert required_parameter(lambda x: True, 3.0, 3.0) == 3.0
+        assert required_parameter(lambda x: False, 3.0, 3.0) is None
 
     def test_geometric_search(self):
         threshold = required_parameter(
@@ -82,12 +111,91 @@ class TestSchemeCrossover:
         crossing = scheme_crossover(
             NO_CACHE, SOFTWARE_FLUSH, "apl", 1.0, 100.0, processors=16
         )
-        assert crossing is not None
-        assert 1.0 < crossing < 10.0
+        assert crossing.kind == SchemeCrossover.CROSSOVER
+        assert 1.0 < crossing.value < 10.0
+        assert crossing.first == "No-Cache"
+        assert crossing.second == "Software-Flush"
+        assert crossing.parameter == "apl"
 
-    def test_no_crossing_returns_none(self):
+    def test_first_always_wins(self):
         # Base beats No-Cache at every sharing level.
         crossing = scheme_crossover(
             BASE, NO_CACHE, "shd", 0.01, 0.42, processors=16
         )
-        assert crossing is None
+        assert crossing.kind == SchemeCrossover.FIRST_ALWAYS_WINS
+        assert crossing.value is None
+
+    def test_second_always_wins_is_distinct_from_crossover_at_low(self):
+        # Swap the arguments: No-Cache never beats Base, which the old
+        # float-or-None API reported as `low` — indistinguishable from
+        # a genuine crossover at the bracket edge.
+        crossing = scheme_crossover(
+            NO_CACHE, BASE, "shd", 0.01, 0.42, processors=16
+        )
+        assert crossing.kind == SchemeCrossover.SECOND_ALWAYS_WINS
+        assert crossing.value is None
+
+    def test_crossover_value_actually_separates_winners(self):
+        crossing = scheme_crossover(
+            NO_CACHE, SOFTWARE_FLUSH, "apl", 1.0, 100.0, processors=16
+        )
+        bus = BusSystem()
+        params = WorkloadParams.middle()
+
+        def powers(apl):
+            point = params.replace(apl=apl)
+            return (
+                bus.evaluate(NO_CACHE, point, 16).processing_power,
+                bus.evaluate(SOFTWARE_FLUSH, point, 16).processing_power,
+            )
+
+        below_first, below_second = powers(crossing.value * 0.9)
+        above_first, above_second = powers(crossing.value * 1.1)
+        assert below_first > below_second
+        assert above_second > above_first
+
+
+class TestDominanceGrid:
+    def test_hybrid_beats_both_parents_somewhere(self):
+        """The tentpole claim: an adaptive hybrid has a region where it
+        strictly beats both Dragon (pure update) and WTI (pure
+        invalidate) in the analytical model."""
+        grid = dominance_grid(
+            HYBRID_4,
+            (DRAGON, WRITE_THROUGH_INVALIDATE),
+            # Long write runs (high apl at middle wr) are where bounding
+            # the per-run broadcast count pays; short runs are Dragon's.
+            {"apl": (2.0, 8.0, 32.0, 64.0), "shd": (0.05, 0.15, 0.3, 0.42)},
+            processors=16,
+        )
+        assert grid.candidate == "Hybrid-4"
+        assert grid.rivals == ("Dragon", "WTI")
+        assert 0 < grid.winning_cells < grid.total_cells
+        # The winning region sits at long runs, not short ones.
+        assert any(grid.wins[3])
+        assert not any(grid.wins[0])
+
+    def test_best_cell_margin_is_consistent(self):
+        grid = dominance_grid(
+            HYBRID_4,
+            (DRAGON, WRITE_THROUGH_INVALIDATE),
+            {"wr": (0.1, 0.5), "shd": (0.1, 0.4)},
+        )
+        i, j = grid.best_cell()
+        margin = grid.candidate_power[i][j] - max(
+            grid.rival_power[name][i][j] for name in grid.rivals
+        )
+        for row in range(2):
+            for col in range(2):
+                other = grid.candidate_power[row][col] - max(
+                    grid.rival_power[name][row][col] for name in grid.rivals
+                )
+                assert other <= margin + 1e-12
+
+    def test_rejects_wrong_axis_count(self):
+        with pytest.raises(ValueError, match="two axes"):
+            dominance_grid(HYBRID_4, (DRAGON,), {"wr": (0.1,)})
+
+    def test_rejects_empty_rivals(self):
+        with pytest.raises(ValueError, match="rival"):
+            dominance_grid(HYBRID_4, (), {"wr": (0.1,), "shd": (0.1,)})

@@ -11,7 +11,17 @@ import pytest
 from repro.sim import Machine, SimulationConfig
 from repro.trace import TraceConfig, generate_trace
 
-PROTOCOLS = ["base", "dragon", "nocache", "swflush", "wti", "directory"]
+PROTOCOLS = [
+    "base",
+    "dragon",
+    "nocache",
+    "swflush",
+    "wti",
+    "directory",
+    "hybrid-2",
+    "hybrid-4",
+    "hybrid-limit",
+]
 CONFIG = SimulationConfig(cache_bytes=16384, block_bytes=16, associativity=2)
 
 

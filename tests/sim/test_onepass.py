@@ -182,6 +182,31 @@ class TestFastPathGate:
             assert stats_dict(result) == stats_dict(reference)
             assert result.protocol_stats == reference.protocol_stats
 
+    @pytest.mark.parametrize(
+        "protocol", ["hybrid-2", "hybrid-4", "hybrid-limit"]
+    )
+    def test_hybrid_protocols_fall_back(self, seeded_trace, protocol):
+        # Pressure counters couple epochs (a copy's fate depends on
+        # broadcasts absorbed arbitrarily far back), so the hybrids
+        # have no epoch engine; the gate must say so loudly and the
+        # fallback must stay bit-identical to per-config replay.
+        assert not supports_onepass(protocol)
+        engine, reason = family_support(protocol)
+        assert engine == "fallback"
+        assert reason.startswith(f"protocol:{protocol}")
+        assert "pressure" in reason
+        before, _ = fallback_counters()
+        family = run_geometry_family(protocol, seeded_trace, [4096, 16384])
+        after, recorded = fallback_counters()
+        assert after == before + 1
+        assert recorded == reason
+        for size, result in family.items():
+            assert result.engine == "columnar"
+            config = SimulationConfig(cache_bytes=size)
+            reference = Machine(protocol, config).run(seeded_trace)
+            assert stats_dict(result) == stats_dict(reference)
+            assert result.protocol_stats == reference.protocol_stats
+
     def test_coupled_high_associativity_falls_back(self, seeded_trace):
         assert not supports_onepass("dragon", associativity=4)
         engine, reason = family_support("dragon", associativity=4)

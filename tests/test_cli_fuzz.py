@@ -12,7 +12,9 @@ class TestFuzzParser:
         assert args.seeds == 200
         assert args.seed_start == 0
         assert args.scale == 1.0
-        assert args.protocols == "dragon,wti,swflush,nocache"
+        # Empty sentinel: the command resolves it to every protocol
+        # with an oracle (see tests/test_registry_drift.py).
+        assert args.protocols == ""
         assert args.artifact_dir == "fuzz-failures"
         assert args.jobs is None
         assert not args.smoke

@@ -1,0 +1,76 @@
+"""Anti-drift tests: one protocol registry, every surface agrees.
+
+The protocol set is defined once (``repro.sim.protocols.PROTOCOLS``);
+the oracle table, the fuzz/check CLI defaults, the analytical scheme
+lookup, and the generated help text must all track it.  Each of these
+once drifted by hand-maintained lists (the fuzz default silently
+omitted ``base`` and ``directory``; the predict help hard-coded four
+schemes), which these tests make impossible to reintroduce.
+"""
+
+from repro.cli import _scheme_help, build_parser, registry_protocols
+from repro.core.schemes import known_schemes, scheme_by_name
+from repro.sim.protocols import PROTOCOLS, protocol_aliases
+from repro.verify.oracles import ORACLES
+
+
+class TestProtocolRegistryAgreement:
+    def test_every_protocol_has_an_oracle(self):
+        assert set(PROTOCOLS) == set(ORACLES)
+
+    def test_oracle_keys_match_their_class_attribute(self):
+        for name, oracle_class in ORACLES.items():
+            assert oracle_class.protocol == name
+
+    def test_fuzz_and_check_defaults_equal_the_registry(self):
+        assert registry_protocols() == tuple(sorted(PROTOCOLS))
+
+    def test_cli_defaults_are_registry_sentinels(self):
+        # "" in both commands resolves through registry_protocols();
+        # a literal list here would be exactly the drift bug.
+        assert build_parser().parse_args(["fuzz"]).protocols == ""
+        assert build_parser().parse_args(["check"]).protocol == ""
+
+    def test_default_fuzz_covers_the_once_omitted_protocols(self):
+        assert {"base", "directory"} <= set(registry_protocols())
+
+    def test_hybrids_are_registered_everywhere(self):
+        hybrids = {"hybrid-2", "hybrid-4", "hybrid-limit"}
+        assert hybrids <= set(PROTOCOLS)
+        assert hybrids <= set(ORACLES)
+        assert hybrids <= set(registry_protocols())
+
+
+class TestSchemeRegistryAgreement:
+    def test_every_protocol_name_is_a_scheme_name(self):
+        # `swcc predict <protocol>` must accept every simulator
+        # protocol name.
+        for name in PROTOCOLS:
+            scheme_by_name(name)
+
+    def test_predict_help_lists_every_scheme_and_alias(self):
+        help_text = _scheme_help()
+        for canonical, aliases in known_schemes().items():
+            assert canonical.lower() in help_text
+            for alias in aliases:
+                assert alias in help_text
+
+    def test_known_schemes_round_trip_through_lookup(self):
+        for canonical, aliases in known_schemes().items():
+            scheme = scheme_by_name(canonical)
+            assert scheme.name == canonical
+            for alias in aliases:
+                assert scheme_by_name(alias) is scheme
+
+
+class TestProtocolAliases:
+    def test_aliases_resolve_to_their_target(self):
+        from repro.sim.protocols import protocol_class
+
+        for name in PROTOCOLS:
+            for alias in protocol_aliases(name):
+                assert protocol_class(alias) is protocol_class(name)
+
+    def test_hybrid_shorthand(self):
+        assert "hybrid" in protocol_aliases("hybrid-4")
+        assert "competitive" in protocol_aliases("hybrid-limit")

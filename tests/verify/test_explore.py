@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.operations import Operation
 from repro.sim.cache import LineState
+from repro.sim.protocols.hybrid import Hybrid2Protocol
 from repro.sim.protocols.interface import NO_ACTION, AccessOutcome
 from repro.sim.protocols.wti import WriteThroughInvalidateProtocol
 from repro.trace.records import AccessType
@@ -42,6 +43,24 @@ class BrokenWti(WriteThroughInvalidateProtocol):
         cache.insert(block, LineState.CLEAN)
         return AccessOutcome(
             (Operation.CLEAN_MISS_MEMORY, Operation.WRITE_THROUGH)
+        )
+
+
+class BrokenHybrid(Hybrid2Protocol):
+    """Bug: pressure reaches the threshold but never kills the copy."""
+
+    def _broadcast(self, cpu, block, holders):
+        self.stats.broadcasts += 1
+        self.stats.broadcast_holders += len(holders)
+        for holder in holders:
+            key = (holder, block)
+            # The `count >= k` kill branch is missing here.
+            self._pressure[key] = self._pressure.get(key, 0) + 1
+            self.caches[holder].set_state(block, LineState.SHARED_CLEAN)
+            self.stats.updates += 1
+        self.caches[cpu].set_state(block, LineState.SHARED_DIRTY)
+        return AccessOutcome(
+            (Operation.WRITE_BROADCAST,), steal_from=tuple(holders)
         )
 
 
@@ -166,6 +185,62 @@ class TestMutantYieldsCounterexample:
         )
         assert predicate(rebuilt_trace)
         # swcc fuzz --replay checks the *real* wti, which is clean.
+        assert replay_artifact(artifact) is None
+
+
+class TestHybridMutantYieldsCounterexample:
+    """The pressure model is part of the checked state: a hybrid that
+    keeps updating past the kill threshold is caught on the first store
+    where the oracle's independent counters demand an invalidation."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        bounds = ExploreBounds(
+            cpus=2, lines=1, sets=1, depth=8, conformance=0
+        )
+        return explore_protocol(BrokenHybrid, bounds)
+
+    def test_violation_is_found_with_a_shortest_path(self, report):
+        violation = report.violation
+        assert violation is not None
+        assert violation.failure.check == "oracle:trace"
+        assert violation.failure.protocol == "hybrid-2"
+        # With every remote copy doomed the writer must end exclusive;
+        # the mutant's wrongly-surviving holder keeps it SHARED_DIRTY.
+        assert "expected post-state DIRTY" in violation.failure.message
+        # BFS's shortest trigger at k = 2: a remote fill, the store
+        # whose broadcast the copy legitimately absorbs (pressure 1),
+        # and the consecutive store that should have killed it.
+        assert len(violation.trace) == 3
+
+    def test_counterexample_trace_replays_the_failure(self, report):
+        bounds = report.bounds
+        with pytest.raises(OracleViolation):
+            oracle_run(
+                report.violation.trace,
+                bounds.config,
+                BrokenHybrid,
+                order="trace",
+            )
+        # The shipped implementation is clean on the same trace.
+        oracle_run(
+            report.violation.trace, bounds.config, "hybrid-2", order="trace"
+        )
+
+    def test_artifact_round_trip(self, report, tmp_path):
+        bounds = report.bounds
+        path, minimized = write_counterexample(
+            report.violation, BrokenHybrid, bounds.config, tmp_path
+        )
+        assert path.exists()
+        assert len(minimized) <= len(report.violation.trace)
+        artifact = load_failure_artifact(path)
+        predicate = violation_predicate(
+            report.violation, BrokenHybrid, bounds.config
+        )
+        rebuilt_trace, _ = _rebuild(artifact)
+        assert predicate(rebuilt_trace)
+        # swcc fuzz --replay checks the *real* hybrid, which is clean.
         assert replay_artifact(artifact) is None
 
 

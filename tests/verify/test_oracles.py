@@ -39,7 +39,8 @@ def make_trace(records, cpus, shared=SHARED):
 class TestRegistry:
     def test_covers_the_papers_protocols_plus_base(self):
         assert set(ORACLES) == {"base", "dragon", "wti", "swflush",
-                                "nocache", "directory"}
+                                "nocache", "directory", "hybrid-2",
+                                "hybrid-4", "hybrid-limit"}
 
     def test_unknown_protocol_is_rejected(self):
         from repro.sim.protocols.interface import NO_ACTION, Protocol
