@@ -78,4 +78,10 @@ echo "== epoch families (dragon/wti) + segment engine: smoke =="
 # speedup floor (1.6x in smoke; the recorded baseline enforces 2x).
 python benchmarks/bench_coupled.py --smoke
 
+echo "== bus arbitration disciplines: exactness + overhead smoke =="
+# fcfs bit-exactness (arbitrated engine vs columnar), the oracle
+# invariants for every registered discipline, then the deferred-grant
+# overhead ceiling (16x in smoke; the recorded baseline enforces 13x).
+python benchmarks/bench_bus.py --smoke
+
 echo "== all checks passed =="

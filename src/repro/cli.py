@@ -50,6 +50,20 @@ def registry_protocols() -> tuple[str, ...]:
     return tuple(sorted(ORACLES))
 
 
+def registry_disciplines() -> tuple[str, ...]:
+    """Every registered bus arbitration discipline.
+
+    ``swcc predict --discipline`` and ``swcc fuzz --disciplines``
+    derive their choices/defaults from the simulator's registry
+    (:data:`repro.sim.bus.DISCIPLINES`) so a newly registered
+    discipline reaches both without hand-maintained lists
+    (pinned by ``tests/test_registry_drift.py``).
+    """
+    from repro.sim.bus import DISCIPLINES
+
+    return tuple(DISCIPLINES)
+
+
 def _scheme_help() -> str:
     """Scheme-argument help generated from the live registry.
 
@@ -375,6 +389,13 @@ def _command_predict(args: argparse.Namespace) -> int:
     scheme = scheme_by_name(args.scheme)
     params = WorkloadParams.at_level(args.level)
     if args.network:
+        if args.discipline != "fcfs" or args.arbitration_cycles != 0.0:
+            print(
+                "bus disciplines do not apply to the multistage "
+                "network model; ignoring --discipline/"
+                "--arbitration-cycles",
+                file=sys.stderr,
+            )
         stages = max((args.processors - 1).bit_length(), 1)
         if 2**stages != args.processors:
             print(
@@ -393,11 +414,20 @@ def _command_predict(args: argparse.Namespace) -> int:
         print(f"  utilization     = {prediction.utilization:.4f}")
         print(f"  processing power= {prediction.processing_power:.2f}")
     else:
-        prediction = BusSystem().evaluate(scheme, params, args.processors)
+        system = BusSystem(
+            bus_discipline=args.discipline,
+            arbitration_cycles=args.arbitration_cycles,
+        )
+        prediction = system.evaluate(scheme, params, args.processors)
         print(
             f"{scheme.name} on a {args.processors}-processor bus "
             f"({args.level} workload):"
         )
+        if args.discipline != "fcfs" or args.arbitration_cycles != 0.0:
+            print(
+                f"  discipline      = {args.discipline} "
+                f"(arbitration {args.arbitration_cycles:g} cycles)"
+            )
         print(f"  c = {prediction.cost.cpu_cycles:.4f} cycles/instr")
         print(f"  b = {prediction.cost.channel_cycles:.4f} bus cycles")
         print(f"  w = {prediction.waiting_cycles:.4f} contention cycles")
@@ -463,9 +493,24 @@ def _command_fuzz(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    disciplines = tuple(
+        name.strip() for name in args.disciplines.split(",") if name.strip()
+    )
+    if not disciplines:
+        # Registry-derived default, like --protocols: a newly
+        # registered discipline is differential-checked automatically.
+        disciplines = registry_disciplines()
+    unknown = sorted(set(disciplines) - set(registry_disciplines()))
+    if unknown:
+        print(
+            f"unknown bus discipline(s) {', '.join(unknown)}; "
+            f"available: {', '.join(registry_disciplines())}",
+            file=sys.stderr,
+        )
+        return 2
     compare_model = not args.no_model
     items = [
-        (seed, scale, protocols, compare_model)
+        (seed, scale, protocols, compare_model, disciplines)
         for seed in range(args.seed_start, args.seed_start + seeds)
     ]
     monitor = _open_monitor(
@@ -477,6 +522,7 @@ def _command_fuzz(args: argparse.Namespace) -> int:
             "scale": scale,
             "protocols": list(protocols),
             "compare_model": compare_model,
+            "disciplines": list(disciplines),
         },
     )
     started = time.perf_counter()
@@ -524,7 +570,8 @@ def _command_fuzz(args: argparse.Namespace) -> int:
     clean = seeds - len({f.seed for f in failures}) - len(crashed)
     summary = (
         f"swcc fuzz: {seeds} seeds x {len(protocols)} protocols "
-        f"({', '.join(protocols)}), model comparison "
+        f"({', '.join(protocols)}), disciplines "
+        f"{', '.join(disciplines)}, model comparison "
         f"{'on' if compare_model else 'off'}: "
         f"{clean} clean, {len(failures)} failure(s)"
     )
@@ -880,6 +927,9 @@ _fuzz_seeds = _validated_number("repro.verify.fuzzer", "validate_seed_count")
 _fuzz_scale = _validated_number(
     "repro.verify.fuzzer", "validate_scale", kind=float
 )
+_arbitration_cycles = _validated_number(
+    "repro.sim.bus", "validate_arbitration_cycles", kind=float
+)
 
 
 def _jobs_count(value: str) -> int:
@@ -1034,6 +1084,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--network", action="store_true",
         help="multistage network instead of a bus",
     )
+    predict_parser.add_argument(
+        "--discipline", default="fcfs", choices=registry_disciplines(),
+        help="bus arbitration discipline (default fcfs)",
+    )
+    predict_parser.add_argument(
+        "--arbitration-cycles", type=_arbitration_cycles, default=0.0,
+        metavar="A",
+        help="arbitration overhead per bus grant (per grant window "
+             "under batched; default 0)",
+    )
     predict_parser.set_defaults(handler=_command_predict)
 
     fuzz_parser = subparsers.add_parser(
@@ -1053,6 +1113,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="LIST",
         help="comma-separated protocols to check (default: every "
              "protocol with an oracle)",
+    )
+    fuzz_parser.add_argument(
+        "--disciplines", default="",
+        metavar="LIST",
+        help="comma-separated bus disciplines for the arbitrated-"
+             "engine differential (default: every registered "
+             "discipline)",
     )
     fuzz_parser.add_argument(
         "--scale", type=_fuzz_scale, default=1.0, metavar="F",

@@ -20,6 +20,10 @@ from repro.core.operations import CostTable
 from repro.core.params import WorkloadParams
 from repro.core.prediction import BusPrediction
 from repro.core.schemes import CoherenceScheme
+from repro.queueing.disciplines import (
+    SERVICE_DISCIPLINES,
+    solve_bus_discipline,
+)
 from repro.queueing.mva import (
     solve_machine_repairman,
     solve_machine_repairman_general,
@@ -46,20 +50,41 @@ class BusSystem:
             paper blames its contention overestimate on exactly this
             exponential assumption; the ``ablation-service-model``
             experiment compares the two against the simulator.
+        bus_discipline: bus arbitration discipline, one of
+            :data:`repro.queueing.disciplines.SERVICE_DISCIPLINES`
+            (matching the simulator's registry).  The default
+            ``fcfs`` with zero overhead takes exactly the original
+            solver path.
+        arbitration_cycles: fixed arbitration overhead per bus grant
+            (per grant window under ``batched``).
     """
 
     def __init__(
         self,
         costs: CostTable | None = None,
         service_model: str = "exponential",
+        bus_discipline: str = "fcfs",
+        arbitration_cycles: float = 0.0,
     ):
         if service_model not in _SERVICE_MODELS:
             raise ValueError(
                 f"service_model must be one of {_SERVICE_MODELS}, "
                 f"got {service_model!r}"
             )
+        if bus_discipline not in SERVICE_DISCIPLINES:
+            raise ValueError(
+                f"bus_discipline must be one of {SERVICE_DISCIPLINES}, "
+                f"got {bus_discipline!r}"
+            )
+        if not 0.0 <= arbitration_cycles < float("inf"):
+            raise ValueError(
+                f"arbitration_cycles must be >= 0 and finite, "
+                f"got {arbitration_cycles!r}"
+            )
         self.costs = costs if costs is not None else CostTable.bus()
         self.service_model = service_model
+        self.bus_discipline = bus_discipline
+        self.arbitration_cycles = arbitration_cycles
 
     def evaluate(
         self,
@@ -111,25 +136,48 @@ class BusSystem:
         """Mean bus-contention cycles per instruction, ``w``."""
         if cost.channel_cycles == 0.0:
             return 0.0
+        default_arbiter = (
+            self.bus_discipline == "fcfs" and self.arbitration_cycles == 0.0
+        )
         if self.service_model == "exponential":
-            # The paper's model: one transaction of mean b per
-            # instruction, exponential service.
-            solution = solve_machine_repairman(
+            if default_arbiter:
+                # The paper's model: one transaction of mean b per
+                # instruction, exponential service.
+                solution = solve_machine_repairman(
+                    population=processors,
+                    think_time=cost.think_time,
+                    service_time=cost.channel_cycles,
+                )
+                return solution.waiting_time
+            corrected = solve_bus_discipline(
+                self.bus_discipline,
                 population=processors,
                 think_time=cost.think_time,
                 service_time=cost.channel_cycles,
+                service_cv2=1.0,
+                arbitration_cycles=self.arbitration_cycles,
             )
-            return solution.waiting_time
+            return corrected.waiting_time
         # "measured": transactions at their real granularity with the
         # variance of the operation mix (extension).
         moments = transaction_moments(scheme, params, self.costs)
-        solution = solve_machine_repairman_general(
+        if default_arbiter:
+            solution = solve_machine_repairman_general(
+                population=processors,
+                think_time=cost.think_time / moments.rate,
+                service_time=moments.mean_service,
+                service_cv2=moments.cv2,
+            )
+            return solution.waiting_time * moments.rate
+        corrected = solve_bus_discipline(
+            self.bus_discipline,
             population=processors,
             think_time=cost.think_time / moments.rate,
             service_time=moments.mean_service,
             service_cv2=moments.cv2,
+            arbitration_cycles=self.arbitration_cycles,
         )
-        return solution.waiting_time * moments.rate
+        return corrected.waiting_time * moments.rate
 
     def sweep(
         self,
@@ -162,10 +210,16 @@ class BusSystem:
 
         At saturation the bus completes ``1 / b`` transactions (hence
         instructions) per cycle, each representing one cycle of
-        productive work, so processing power tends to ``1 / b``.
+        productive work, so processing power tends to ``1 / b`` — with
+        per-grant arbitration overhead ``a``, ``1 / (b + a)``.  Under
+        ``batched`` arbitration the grant windows grow without bound
+        as the queue saturates, amortizing the overhead away again.
         Infinite if the scheme generates no bus traffic.
         """
         cost = instruction_cost(scheme, params, self.costs)
         if cost.channel_cycles == 0.0:
             return float("inf")
-        return 1.0 / cost.channel_cycles
+        overhead = self.arbitration_cycles
+        if self.bus_discipline == "batched":
+            overhead = 0.0
+        return 1.0 / (cost.channel_cycles + overhead)

@@ -33,7 +33,8 @@ from repro.experiments.surface import GridSpec, ModelSurface, sweep_grid
 from repro.experiments.geometry import sweep_geometries
 
 # Importing these modules populates the registry.
-from repro.experiments import bus_figures  # noqa: F401  (registration)
+from repro.experiments import bus_discipline  # noqa: F401  (registration)
+from repro.experiments import bus_figures  # noqa: F401
 from repro.experiments import extensions  # noqa: F401
 from repro.experiments import hybrid  # noqa: F401
 from repro.experiments import network_figures  # noqa: F401

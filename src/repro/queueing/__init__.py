@@ -18,6 +18,10 @@ models are built on:
   engines that solve whole grids of ``(Z, S)`` pairs (all populations
   ``1..n`` in one MVA pass; all grid cells' network fixed points in
   lock-step), bit-identical to the scalar solvers per cell.
+* :mod:`repro.queueing.disciplines` — bus service-discipline
+  corrections (FCFS overhead, round-robin, fixed-priority, batched
+  grant windows) layered on the general-service solver, scalar and
+  grid, matching the simulator's arbitration axis.
 
 The engines are deliberately independent of cache-coherence concepts;
 they take (think time, service time) style inputs so they can be tested
@@ -37,6 +41,14 @@ from repro.queueing.batch import (
     solve_machine_repairman_grid,
     stage_rates_grid,
 )
+from repro.queueing.disciplines import (
+    SERVICE_DISCIPLINES,
+    DisciplineGridSolution,
+    DisciplineSolution,
+    effective_service,
+    solve_bus_discipline,
+    solve_bus_discipline_grid,
+)
 from repro.queueing.delta import (
     DeltaNetwork,
     FixedPointResult,
@@ -51,15 +63,21 @@ from repro.queueing.mva import (
 
 __all__ = [
     "DeltaNetwork",
+    "DisciplineGridSolution",
+    "DisciplineSolution",
     "FixedPointResult",
     "MvaGridSolution",
     "MvaResult",
+    "SERVICE_DISCIPLINES",
     "accepted_rate_grid",
     "asymptotic_throughput",
     "closed_loop_thinking_grid",
     "closed_loop_utilization",
+    "effective_service",
     "machine_repairman_bounds",
     "saturation_population",
+    "solve_bus_discipline",
+    "solve_bus_discipline_grid",
     "solve_machine_repairman",
     "solve_machine_repairman_general",
     "solve_machine_repairman_general_grid",

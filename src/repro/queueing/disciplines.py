@@ -1,0 +1,393 @@
+"""Bus service-discipline corrections to the machine-repairman model.
+
+The paper's bus model assumes a single FCFS-ish server; the simulator
+now parameterizes arbitration (:data:`repro.sim.bus.DISCIPLINES`), and
+this module supplies the matching queueing variants so model and
+simulator can be compared per discipline — the contention-layer
+extension of arXiv:1004.3560 ("Comparison of the Performance of Two
+Service Disciplines for a Shared Bus Multiprocessor with Private
+Caches"), ROADMAP open item 4.
+
+Every variant is expressed as a *service transformation* feeding the
+residual-life AMVA solver
+(:func:`repro.queueing.mva.solve_machine_repairman_general`), so the
+scalar and grid paths share one set of formulas and the grid kernels
+(:mod:`repro.queueing.batch`) cover the disciplines unchanged:
+
+``fcfs``
+    Each grant pays the arbitration overhead ``a`` once: effective
+    service ``S' = S + a``.  The overhead is deterministic, so the
+    service *variance* is unchanged and ``CV'^2 = CV^2 * S^2 / S'^2``.
+    With ``a = 0`` this is exactly the uncorrected solver
+    (test-pinned).
+``round-robin``
+    Work-conserving and service-time-oblivious, so by the M/G/1
+    conservation law the *aggregate* (population-mean) solution
+    coincides with FCFS — rotation redistributes waiting across CPUs
+    without changing its total.  The model tracks aggregates only,
+    hence the same transformation as ``fcfs``; the simulator's
+    per-CPU fairness ledger is where the disciplines part ways.
+``fixed-priority``
+    Same aggregate (conservation law again: non-preemptive priority
+    reorders the queue but serves the same work), plus a Cobham-style
+    per-class fixed point exposing *who* waits: class 0 (CPU 0) sees
+    only residual service, the lowest class absorbs everyone's
+    queueing.  Scalar path only — the grids report aggregates.
+``batched``
+    Gated grant windows: one arbitration per window of mean size
+    ``B``, so ``S' = S + a / B`` with ``B`` itself a fixed point of
+    the solution — ``B = clip(1 + L_q, 1, n)`` where ``L_q`` is the
+    mean number *waiting* (a window sweeps up whoever queued behind
+    the previous one).  Solved by damped iteration, in lock-step
+    across all cells on the grid path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.queueing.batch import (
+    MvaGridSolution,
+    solve_machine_repairman_general_grid,
+)
+from repro.queueing.mva import MvaResult, solve_machine_repairman_general
+
+__all__ = [
+    "DisciplineGridSolution",
+    "DisciplineSolution",
+    "SERVICE_DISCIPLINES",
+    "effective_service",
+    "solve_bus_discipline",
+    "solve_bus_discipline_grid",
+]
+
+#: Model-side discipline registry.  Must agree with the simulator's
+#: :data:`repro.sim.bus.DISCIPLINES` (the layers stay import-independent;
+#: ``tests/test_registry_drift.py`` pins the agreement).
+SERVICE_DISCIPLINES = ("fcfs", "round-robin", "fixed-priority", "batched")
+
+_BATCH_ITERATIONS = 200
+_BATCH_TOLERANCE = 1e-10
+_PRIORITY_ITERATIONS = 200
+_PRIORITY_TOLERANCE = 1e-10
+
+
+def _validate(discipline: str, arbitration_cycles) -> None:
+    if discipline not in SERVICE_DISCIPLINES:
+        raise ValueError(
+            f"unknown bus discipline {discipline!r}; choose from "
+            f"{', '.join(SERVICE_DISCIPLINES)}"
+        )
+    cycles = np.asarray(arbitration_cycles, dtype=float)
+    if np.any(~np.isfinite(cycles)) or np.any(cycles < 0.0):
+        raise ValueError(
+            f"arbitration_cycles must be >= 0 and finite, "
+            f"got {arbitration_cycles!r}"
+        )
+
+
+def effective_service(
+    service_time,
+    service_cv2,
+    overhead,
+):
+    """Fold a deterministic per-grant overhead into (mean, CV^2).
+
+    Elementwise-safe: scalars in, scalars out; arrays broadcast.  The
+    overhead shifts the mean without adding variance, so
+    ``Var' = Var`` and ``CV'^2 = CV^2 * S^2 / (S + overhead)^2``
+    (defined as ``CV^2`` unchanged when the new mean is zero).
+    """
+    service = np.asarray(service_time, dtype=float)
+    cv2 = np.asarray(service_cv2, dtype=float)
+    extra = np.asarray(overhead, dtype=float)
+    mean = service + extra
+    safe = np.where(mean > 0.0, mean, 1.0)
+    scaled = cv2 * np.square(service / safe)
+    new_cv2 = np.where(mean > 0.0, scaled, cv2)
+    if np.ndim(service_time) == 0 and np.ndim(service_cv2) == 0 \
+            and np.ndim(overhead) == 0:
+        return float(mean), float(new_cv2)
+    return mean, new_cv2
+
+
+@dataclass(frozen=True)
+class DisciplineSolution:
+    """Machine-repairman solution under one arbitration discipline.
+
+    Attributes:
+        discipline: the discipline solved.
+        arbitration_cycles: per-arbitration overhead ``a``.
+        result: aggregate AMVA solution at the effective service time.
+        effective_service_time: mean service after folding overhead.
+        effective_cv2: service CV^2 after folding overhead.
+        per_class_waiting: ``fixed-priority`` only — mean waiting time
+            per priority class (class 0 = CPU 0, highest), from the
+            Cobham-style fixed point.  ``None`` for other disciplines.
+        mean_batch_size: ``batched`` only — the converged mean grant
+            window size ``B`` in ``[1, population]``.
+    """
+
+    discipline: str
+    arbitration_cycles: float
+    result: MvaResult
+    effective_service_time: float
+    effective_cv2: float
+    per_class_waiting: tuple[float, ...] | None = None
+    mean_batch_size: float | None = None
+
+    @property
+    def waiting_time(self) -> float:
+        """Aggregate mean contention time per request."""
+        return self.result.waiting_time
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput
+
+    @property
+    def server_utilization(self) -> float:
+        return self.result.server_utilization
+
+
+@dataclass(frozen=True)
+class DisciplineGridSolution:
+    """Grid counterpart of :class:`DisciplineSolution` (aggregates only)."""
+
+    discipline: str
+    arbitration_cycles: float
+    solution: MvaGridSolution
+    effective_service_time: np.ndarray
+    effective_cv2: np.ndarray
+    mean_batch_size: np.ndarray | None = None
+
+    def waiting_time(self, population: int | None = None) -> np.ndarray:
+        return self.solution.waiting_time(population)
+
+
+def _priority_class_waits(
+    population: int,
+    think_time: float,
+    service_time: float,
+    service_cv2: float,
+    aggregate_waiting: float,
+) -> tuple[float, ...]:
+    """Cobham-style per-class waits, one customer per priority class.
+
+    Non-preemptive head-of-line priority: an arriving class-``i``
+    customer waits the residual service in progress, a full service
+    for every higher-or-equal-priority customer already waiting, and
+    is further retarded by higher-priority arrivals during its own
+    wait (the denominator).  Closed by a damped fixed point on the
+    per-class throughputs ``lambda_j = 1 / (Z + S + W_j)`` — a
+    heuristic finite-population adaptation (Cobham's formula is
+    open-network), kept for the *shape* it exposes: class 0 waits
+    near-zero, the last class absorbs the queueing.
+    """
+    if population <= 0 or service_time <= 0.0:
+        return tuple(0.0 for _ in range(max(population, 0)))
+    residual = service_time * (1.0 + service_cv2) / 2.0
+    waits = [aggregate_waiting] * population
+    floor = 1.0 / (10.0 * population)
+    for _ in range(_PRIORITY_ITERATIONS):
+        rates = [
+            1.0 / (think_time + service_time + wait) for wait in waits
+        ]
+        queued = [rate * wait for rate, wait in zip(rates, waits)]
+        busy = min(sum(rate for rate in rates) * service_time, 1.0)
+        delta = 0.0
+        ahead_rate = 0.0
+        ahead_queued = 0.0
+        for i in range(population):
+            denominator = max(1.0 - service_time * ahead_rate, floor)
+            wait = (busy * residual + service_time * ahead_queued)
+            wait /= denominator
+            delta = max(delta, abs(wait - waits[i]))
+            waits[i] = 0.5 * (waits[i] + wait)
+            ahead_rate += rates[i]
+            ahead_queued += queued[i]
+        if delta < _PRIORITY_TOLERANCE:
+            break
+    return tuple(waits)
+
+
+def solve_bus_discipline(
+    discipline: str,
+    population: int,
+    think_time: float,
+    service_time: float,
+    service_cv2: float = 1.0,
+    arbitration_cycles: float = 0.0,
+) -> DisciplineSolution:
+    """Solve the machine-repairman model under one bus discipline.
+
+    Args:
+        discipline: one of :data:`SERVICE_DISCIPLINES`.
+        population: number of processors, ``>= 0``.
+        think_time: mean think time ``Z`` between bus requests.
+        service_time: mean bus service time ``S`` per transaction.
+        service_cv2: squared coefficient of variation of service.
+        arbitration_cycles: per-arbitration overhead ``a``.
+
+    With ``discipline="fcfs"`` and ``arbitration_cycles=0.0`` the
+    aggregate solution equals
+    :func:`~repro.queueing.mva.solve_machine_repairman_general`
+    exactly (test-pinned).
+    """
+    _validate(discipline, arbitration_cycles)
+    if discipline == "batched":
+        return _solve_batched(
+            population, think_time, service_time, service_cv2,
+            arbitration_cycles,
+        )
+    mean, cv2 = effective_service(
+        service_time, service_cv2, arbitration_cycles
+    )
+    result = solve_machine_repairman_general(
+        population, think_time, mean, cv2
+    )
+    per_class = None
+    if discipline == "fixed-priority":
+        per_class = _priority_class_waits(
+            population, think_time, mean, cv2, result.waiting_time
+        )
+    return DisciplineSolution(
+        discipline=discipline,
+        arbitration_cycles=arbitration_cycles,
+        result=result,
+        effective_service_time=mean,
+        effective_cv2=cv2,
+        per_class_waiting=per_class,
+    )
+
+
+def _solve_batched(
+    population: int,
+    think_time: float,
+    service_time: float,
+    service_cv2: float,
+    arbitration_cycles: float,
+) -> DisciplineSolution:
+    """Damped fixed point on the mean grant-window size ``B``."""
+    batch = 1.0
+    mean, cv2 = effective_service(
+        service_time, service_cv2, arbitration_cycles
+    )
+    result = solve_machine_repairman_general(
+        population, think_time, mean, cv2
+    )
+    if population > 0 and arbitration_cycles > 0.0:
+        # The solution depends on B through the amortized overhead
+        # a / B, so iterate; the effective mean S + a / B stays
+        # positive throughout (a > 0), keeping every solve regular.
+        for _ in range(_BATCH_ITERATIONS):
+            mean, cv2 = effective_service(
+                service_time, service_cv2, arbitration_cycles / batch
+            )
+            result = solve_machine_repairman_general(
+                population, think_time, mean, cv2
+            )
+            utilization = min(result.throughput * mean, 1.0)
+            queued = max(result.queue_length - utilization, 0.0)
+            target = min(max(1.0 + queued, 1.0), float(population))
+            if abs(target - batch) < _BATCH_TOLERANCE:
+                batch = target
+                break
+            batch = 0.5 * (batch + target)
+    elif population > 0 and service_time > 0.0:
+        # Zero overhead: the solution is B-independent, so the window
+        # size reads straight off the one solve.
+        utilization = min(result.throughput * mean, 1.0)
+        queued = max(result.queue_length - utilization, 0.0)
+        batch = min(max(1.0 + queued, 1.0), float(population))
+    return DisciplineSolution(
+        discipline="batched",
+        arbitration_cycles=arbitration_cycles,
+        result=result,
+        effective_service_time=mean,
+        effective_cv2=cv2,
+        mean_batch_size=batch,
+    )
+
+
+def solve_bus_discipline_grid(
+    discipline: str,
+    population: int,
+    think_time,
+    service_time,
+    service_cv2=1.0,
+    arbitration_cycles: float = 0.0,
+) -> DisciplineGridSolution:
+    """Grid counterpart of :func:`solve_bus_discipline`.
+
+    Shares the service-transformation formulas with the scalar path
+    and delegates to
+    :func:`~repro.queueing.batch.solve_machine_repairman_general_grid`,
+    so non-batched disciplines are bit-identical per cell to a scalar
+    solve.  ``batched`` runs its damped ``B`` fixed point in lock-step
+    across all cells.  Per-class priority waits are scalar-only; the
+    grids report aggregates (identical to ``fcfs`` by the conservation
+    law).
+    """
+    _validate(discipline, arbitration_cycles)
+    service = np.asarray(service_time, dtype=float)
+    cv2_in = np.asarray(service_cv2, dtype=float)
+    if discipline != "batched":
+        mean, cv2 = effective_service(service, cv2_in, arbitration_cycles)
+        solution = solve_machine_repairman_general_grid(
+            population, think_time, mean, cv2
+        )
+        return DisciplineGridSolution(
+            discipline=discipline,
+            arbitration_cycles=arbitration_cycles,
+            solution=solution,
+            effective_service_time=np.asarray(mean, dtype=float),
+            effective_cv2=np.asarray(cv2, dtype=float),
+        )
+
+    think = np.asarray(think_time, dtype=float)
+    think_b, service_b, cv2_b = np.broadcast_arrays(think, service, cv2_in)
+    batch = np.ones(service_b.shape)
+    mean, cv2 = effective_service(service_b, cv2_b, arbitration_cycles)
+    solution = solve_machine_repairman_general_grid(
+        population, think_b, mean, cv2
+    )
+    if population > 0 and arbitration_cycles > 0.0:
+        # Same damped fixed point as the scalar path, all cells in
+        # lock-step (a > 0 keeps every cell's effective mean positive).
+        for _ in range(_BATCH_ITERATIONS):
+            mean, cv2 = effective_service(
+                service_b, cv2_b, arbitration_cycles / batch
+            )
+            solution = solve_machine_repairman_general_grid(
+                population, think_b, mean, cv2
+            )
+            throughput = solution.throughput[population]
+            queue = solution.queue_length[population]
+            utilization = np.minimum(throughput * mean, 1.0)
+            queued = np.maximum(queue - utilization, 0.0)
+            target = np.clip(1.0 + queued, 1.0, float(population))
+            if np.max(np.abs(target - batch)) < _BATCH_TOLERANCE:
+                batch = target
+                break
+            batch = 0.5 * (batch + target)
+    elif population > 0:
+        # Zero overhead: B-independent solution; degenerate cells
+        # (S == 0, where throughput may be inf) keep B = 1.
+        throughput = solution.throughput[population]
+        queue = solution.queue_length[population]
+        with np.errstate(invalid="ignore"):
+            utilization = np.minimum(throughput * mean, 1.0)
+            queued = np.maximum(queue - utilization, 0.0)
+            target = np.clip(1.0 + queued, 1.0, float(population))
+        batch = np.where(np.asarray(mean) > 0.0, target, 1.0)
+    return DisciplineGridSolution(
+        discipline="batched",
+        arbitration_cycles=arbitration_cycles,
+        solution=solution,
+        effective_service_time=np.asarray(mean, dtype=float),
+        effective_cv2=np.asarray(cv2, dtype=float),
+        mean_batch_size=batch,
+    )

@@ -182,14 +182,18 @@ def solve_machine_repairman_general(
         service_cv2: squared coefficient of variation of service,
             ``>= 0``.
     """
+    # Validate before the degenerate-case delegation: the early return
+    # used to run first, so a negative think_time or service_time could
+    # slip through this function's own checks whenever
+    # ``population <= 0 or service_time == 0.0`` selected it.
     if service_cv2 < 0.0:
         raise ValueError(f"service_cv2 must be >= 0, got {service_cv2}")
-    if population <= 0 or service_time == 0.0:
-        return solve_machine_repairman(population, think_time, service_time)
     if think_time < 0.0:
         raise ValueError(f"think_time must be >= 0, got {think_time}")
     if service_time < 0.0:
         raise ValueError(f"service_time must be >= 0, got {service_time}")
+    if population <= 0 or service_time == 0.0:
+        return solve_machine_repairman(population, think_time, service_time)
 
     residual = service_time * (1.0 + service_cv2) / 2.0
     queue_length = 0.0

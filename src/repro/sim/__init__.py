@@ -20,7 +20,12 @@ Protocols:
 """
 
 from repro.sim.cache import Cache, CacheGeometry, LineState
-from repro.sim.bus import TimedBus
+from repro.sim.bus import (
+    DISCIPLINES,
+    ArbitratedBus,
+    TimedBus,
+    validate_discipline,
+)
 from repro.sim.family import FAMILY_PROTOCOLS, run_coupled_family
 from repro.sim.machine import Machine, SimulationConfig, SimulationResult
 from repro.sim.measure import measure_workload_params
@@ -50,9 +55,11 @@ from repro.sim.protocols import (
 
 __all__ = [
     "AccessOutcome",
+    "ArbitratedBus",
     "BaseProtocol",
     "Cache",
     "CacheGeometry",
+    "DISCIPLINES",
     "DragonProtocol",
     "FAMILY_PROTOCOLS",
     "LineState",
@@ -77,4 +84,5 @@ __all__ = [
     "segment_events",
     "segment_reason",
     "supports_onepass",
+    "validate_discipline",
 ]

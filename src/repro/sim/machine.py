@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import heapq
 import time
+from bisect import insort
 from collections import Counter
 from dataclasses import dataclass, field
 from itertools import repeat
@@ -52,7 +53,13 @@ import numpy as np
 
 from repro.core.operations import CostTable, Operation
 from repro.obs.metrics import note_replay
-from repro.sim.bus import TimedBus
+from repro.sim.bus import (
+    ArbitratedBus,
+    TimedBus,
+    checked_utilization,
+    validate_arbitration_cycles,
+    validate_discipline,
+)
 from repro.sim.cache import Cache, CacheGeometry, LineState
 from repro.sim.protocols import Protocol, protocol_class
 from repro.sim.protocols.interface import NO_ACTION
@@ -86,11 +93,23 @@ class SimulationConfig:
             direct-mapped cache suffers conflict misses well above the
             paper's observed miss-rate range, and the paper does not
             pin the traced machine's associativity.
+        bus_discipline: bus arbitration discipline, one of
+            :data:`repro.sim.bus.DISCIPLINES`.  ``fcfs`` (the default)
+            reproduces the pre-discipline simulator; any other value
+            routes ``Machine.run`` to the ``arbitrated`` engine.
+        bus_arbitration_cycles: fixed overhead per arbitration (per
+            grant, or per grant window under ``batched``).
     """
 
     cache_bytes: int = 65536
     block_bytes: int = 16
     associativity: int = 2
+    bus_discipline: str = "fcfs"
+    bus_arbitration_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        validate_discipline(self.bus_discipline)
+        validate_arbitration_cycles(self.bus_arbitration_cycles)
 
     @property
     def geometry(self) -> CacheGeometry:
@@ -142,6 +161,7 @@ class SimulationResult:
     shared_data_misses: int = 0
     bus_busy_cycles: float = 0.0
     bus_transactions: int = 0
+    bus_arbitration_cycles: float = 0.0
     protocol_stats: object | None = None
     # Run provenance (not statistics): which engine replayed the trace,
     # how many records it consumed, and the host wall time it took.
@@ -237,9 +257,15 @@ class SimulationResult:
 
     @property
     def bus_utilization(self) -> float:
-        if self.elapsed_cycles == 0.0:
-            return 0.0
-        return min(self.bus_busy_cycles / self.elapsed_cycles, 1.0)
+        """Fraction of elapsed cycles the bus was held for service.
+
+        Raises:
+            ValueError: if busy cycles exceed elapsed cycles beyond
+                float epsilon — the bus cannot be held for longer than
+                the run lasted, so a ratio above 1.0 means bus cycles
+                were double-counted (previously clamped silently).
+        """
+        return checked_utilization(self.bus_busy_cycles, self.elapsed_cycles)
 
 
 class Machine:
@@ -290,23 +316,38 @@ class Machine:
                 original record loop; ``"segment"`` runs the pure-numpy
                 segment-scan kernel (geometry-local protocols,
                 associativity 1 or 2, integral costs — raises
-                ``ValueError`` otherwise).  All produce identical
-                statistics.
+                ``ValueError`` otherwise); ``"arbitrated"`` runs the
+                deferred-grant engine honouring the configured bus
+                discipline.  A non-``fcfs``
+                ``config.bus_discipline`` forces the arbitrated
+                engine (columnar/legacy cannot express it), and the
+                result's ``engine`` field records ``"arbitrated"``.
+                FCFS engines produce identical statistics.
         """
         if order not in ("time", "trace"):
             raise ValueError(f"order must be 'time' or 'trace', got {order!r}")
-        if engine not in ("columnar", "legacy", "segment"):
+        if engine not in ("columnar", "legacy", "segment", "arbitrated"):
             raise ValueError(
-                f"engine must be 'columnar', 'legacy', or 'segment', "
-                f"got {engine!r}"
+                f"engine must be 'columnar', 'legacy', 'segment', or "
+                f"'arbitrated', got {engine!r}"
             )
         if cpus is not None and cpus != trace.cpus:
             trace = trace.restricted_to(cpus)
+        discipline = self.config.bus_discipline
+        arbitrated = engine == "arbitrated" or discipline != "fcfs"
         if engine == "segment":
-            # Lazy import: onepass imports this module.
+            # Lazy import: onepass imports this module.  Non-default
+            # disciplines raise a structured error inside the gate.
             from repro.sim.onepass import run_segment_engine
 
             return run_segment_engine(self, trace, order)
+        if arbitrated and order == "trace":
+            raise ValueError(
+                "order='trace' cannot be honoured by the arbitrated "
+                "engine: a processor parked on a bus grant would "
+                "reorder its later records around other CPUs; "
+                "use order='time'"
+            )
 
         geometry = self.config.geometry
         caches = [Cache(geometry) for _ in range(trace.cpus)]
@@ -320,7 +361,13 @@ class Machine:
             return shared_low <= block < shared_high
 
         protocol = self.protocol_class(caches, is_shared_block)
-        bus = TimedBus()
+        if arbitrated:
+            engine = "arbitrated"
+            bus: TimedBus | ArbitratedBus = ArbitratedBus(
+                trace.cpus, discipline, self.config.bus_arbitration_cycles
+            )
+        else:
+            bus = TimedBus(self.config.bus_arbitration_cycles)
         result = SimulationResult(
             protocol=protocol.name,
             trace_name=trace.name,
@@ -328,7 +375,11 @@ class Machine:
             cpus=[CpuStats() for _ in range(trace.cpus)],
         )
         started = time.perf_counter()
-        if engine == "columnar":
+        if arbitrated:
+            self._run_arbitrated(
+                trace, protocol, bus, result, block_shift, is_shared_block,
+            )
+        elif engine == "columnar":
             self._run_columnar(
                 trace, order, caches, protocol, bus, result,
                 block_shift, shared_low, shared_high,
@@ -340,6 +391,7 @@ class Machine:
             )
         result.bus_busy_cycles = bus.busy_cycles
         result.bus_transactions = bus.transactions
+        result.bus_arbitration_cycles = bus.arbitration_busy_cycles
         result.protocol_stats = getattr(protocol, "stats", None)
         result.engine = engine
         result.records_replayed = len(trace)
@@ -445,6 +497,10 @@ class Machine:
         eager = (
             fast_hits
             and protocol.remote_traffic_preserves_residency
+            # Arbitration overhead lands on processor clocks via bus
+            # grants; it must be integral too for batched clock
+            # advances to stay bit-identical to single steps.
+            and float(self.config.bus_arbitration_cycles).is_integer()
             and all(
                 float(info[0]).is_integer() and float(info[1]).is_integer()
                 for info in op_info.values()
@@ -1221,6 +1277,176 @@ class Machine:
                 process(cpu, kind, address)
         else:
             self._replay_time_ordered(trace, stats, process)
+
+    # -- arbitrated engine (parameterized bus disciplines) ----------------
+
+    def _run_arbitrated(
+        self,
+        trace: Trace,
+        protocol: Protocol,
+        bus: ArbitratedBus,
+        result: SimulationResult,
+        block_shift: int,
+        is_shared_block,
+    ) -> None:
+        """Deferred-grant replay honouring the configured discipline.
+
+        Each processor runs as a generator that parks (``yield "bus"``)
+        when one of its operations needs the bus and resumes when the
+        bus grants it; the driver advances runnable processors in the
+        legacy merge order (lexicographic ``(clock-at-last-boundary,
+        cpu)``) and, before every arbitration decision, advances every
+        processor that can reach its next reference by the decision
+        instant — so the pending pool really contains everyone present
+        when the discipline picks a winner.
+
+        Under ``fcfs`` with zero arbitration overhead this reproduces
+        ``_run_legacy`` exactly for geometry-local protocols (one bus
+        operation per record, no cycle steals — test-pinned).  For
+        stealing protocols the engines can diverge on ties: a steal
+        landing while the victim is parked is applied when it resumes,
+        whereas the legacy loop applies it to the victim's clock
+        immediately.  All engines satisfy the verifier's conservation
+        invariants exactly.
+        """
+        cpu_cost = {op: cost.cpu_cycles for op, cost in self.costs.items()}
+        bus_cost = {op: cost.channel_cycles for op, cost in self.costs.items()}
+        stats = result.cpus
+        op_counts = result.operation_counts
+        handles_flush = protocol.handles_flush
+        fetch = AccessType.INST_FETCH
+        store = AccessType.STORE
+        flush = AccessType.FLUSH
+        n = trace.cpus
+
+        streams: list[list] = [[] for _ in range(n)]
+        for record in trace.records:
+            streams[record.cpu].append(record)
+
+        parked = [False] * n
+        # Steals that landed while the victim was parked on a grant;
+        # applied to its clock when the grant arrives.
+        deferred_steals = [0] * n
+
+        def stream(cpu: int):
+            """One processor's replay as a coroutine.
+
+            Yields ``"bus"`` to park on a posted bus request (the
+            driver sends back the grant's service-start cycle) and
+            ``None`` at every record boundary (where the driver
+            refreezes the merge key).
+            """
+            cpu_stats = stats[cpu]
+            for _, kind, address in streams[cpu]:
+                block = address >> block_shift
+                if kind is flush:
+                    cpu_stats.flushes += 1
+                    if not handles_flush:
+                        yield None
+                        continue
+                    outcome = protocol.flush(cpu, block)
+                else:
+                    if kind is fetch:
+                        cpu_stats.instructions += 1
+                        cpu_stats.clock += 1.0
+                    else:
+                        shared = is_shared_block(block)
+                        if kind is store:
+                            cpu_stats.stores += 1
+                            if shared:
+                                result.shared_stores += 1
+                        else:
+                            cpu_stats.loads += 1
+                            if shared:
+                                result.shared_loads += 1
+                    outcome = protocol.access(cpu, kind, block)
+                for operation in outcome.operations:
+                    hold = bus_cost[operation]
+                    if hold > 0.0:
+                        ready = cpu_stats.clock
+                        bus.request(cpu, ready, hold)
+                        start = yield "bus"
+                        cpu_stats.wait_cycles += start - ready
+                        cpu_stats.clock = start + cpu_cost[operation]
+                        if deferred_steals[cpu]:
+                            cpu_stats.clock += float(deferred_steals[cpu])
+                            deferred_steals[cpu] = 0
+                    else:
+                        cpu_stats.clock += cpu_cost[operation]
+                    op_counts[operation] += 1
+                    if operation in _MISS_OPERATIONS:
+                        if kind is fetch:
+                            result.fetch_misses += 1
+                        else:
+                            result.data_misses += 1
+                            if is_shared_block(block):
+                                result.shared_data_misses += 1
+                        if operation in _DIRTY_VICTIM_OPERATIONS:
+                            result.dirty_victim_misses += 1
+                for victim_cpu in outcome.steal_from:
+                    if parked[victim_cpu]:
+                        deferred_steals[victim_cpu] += 1
+                    else:
+                        stats[victim_cpu].clock += 1.0
+                    stats[victim_cpu].stolen_cycles += 1
+                yield None
+
+        generators = [stream(cpu) for cpu in range(n)]
+        # Merge keys: the clock frozen at each CPU's last record
+        # boundary (steals land on the clock but not the frozen key —
+        # the legacy heap's staleness).  ``runnable`` stays sorted so
+        # strict ``<`` comparisons tie-break toward the lower CPU id.
+        keys = [0.0] * n
+        runnable = [cpu for cpu in range(n) if streams[cpu]]
+        infinity = float("inf")
+
+        def earliest() -> int:
+            best_key = infinity
+            best_cpu = -1
+            for candidate in runnable:
+                key = keys[candidate]
+                if key < best_key:
+                    best_key = key
+                    best_cpu = candidate
+            return best_cpu
+
+        def pump(cpu: int, value=None) -> None:
+            """Advance ``cpu`` to its next yield and update run state."""
+            try:
+                token = generators[cpu].send(value)
+            except StopIteration:
+                token = "done"
+            was_parked = parked[cpu]
+            if token == "bus":
+                parked[cpu] = True
+                if not was_parked:
+                    runnable.remove(cpu)
+            elif token == "done":
+                parked[cpu] = False
+                if not was_parked:
+                    runnable.remove(cpu)
+            else:
+                parked[cpu] = False
+                keys[cpu] = stats[cpu].clock
+                if was_parked:
+                    insort(runnable, cpu)
+
+        while runnable or bus.has_pending:
+            if bus.has_pending:
+                decision = bus.next_grant_at()
+                # Everyone who reaches their next reference by the
+                # arbitration instant gets to post first; new requests
+                # can only move the decision earlier, so recompute.
+                while runnable:
+                    cpu = earliest()
+                    if keys[cpu] > decision:
+                        break
+                    pump(cpu)
+                    decision = bus.next_grant_at()
+                winner, start, _ = bus.grant_next()
+                pump(winner, start)
+            else:
+                pump(earliest())
 
     @staticmethod
     def _replay_time_ordered(trace: Trace, stats, process) -> None:

@@ -125,6 +125,8 @@ def family_support(
     protocol: str | type[Protocol],
     costs: CostTable | None = None,
     associativity: int = 2,
+    bus_discipline: str = "fcfs",
+    bus_arbitration_cycles: float = 0.0,
 ) -> tuple[str, str | None]:
     """How :func:`run_geometry_family` will run this combination.
 
@@ -133,11 +135,28 @@ def family_support(
     epoch-partitioned coupled-protocol engine, or
     ``("fallback", reason)`` when only per-config replay is exact.
     Reasons are structured ``category:detail`` strings
-    (``protocol:...``, ``costs:...``, ``associativity:...``) recorded
-    in the run manifest via ``repro.obs.metrics``.
+    (``protocol:...``, ``costs:...``, ``associativity:...``,
+    ``bus-discipline:...``) recorded in the run manifest via
+    ``repro.obs.metrics``.
     """
     name = _protocol_name(protocol)
     table = costs if costs is not None else CostTable.bus()
+    if bus_discipline != "fcfs":
+        # Every one-traversal engine assumes call-order FCFS grants;
+        # any other discipline needs the deferred-grant arbitrated
+        # engine, one exact Machine.run per configuration — loudly.
+        return (
+            "fallback",
+            f"bus-discipline:{bus_discipline} needs the deferred-grant "
+            "arbitrated engine",
+        )
+    if bus_arbitration_cycles != 0.0:
+        return (
+            "fallback",
+            "bus-discipline:arbitration overhead "
+            f"{bus_arbitration_cycles:g} cycles is not folded into the "
+            "one-pass merges",
+        )
     if name in ONEPASS_PROTOCOLS:
         cls = protocol_class(name) if isinstance(protocol, str) else protocol
         if not (
@@ -204,6 +223,8 @@ def run_geometry_family(
     costs: CostTable | None = None,
     order: str = "time",
     cpus: int | None = None,
+    bus_discipline: str = "fcfs",
+    bus_arbitration_cycles: float = 0.0,
 ) -> dict[int, SimulationResult]:
     """Simulate one protocol at every cache size in a single pass.
 
@@ -219,6 +240,13 @@ def run_geometry_family(
         costs: operation cost table (default: the paper's Table 1).
         order: ``"time"`` or ``"trace"``, as in ``Machine.run``.
         cpus: optional restriction to the first ``cpus`` processors.
+        bus_discipline: bus arbitration discipline shared by the
+            family.  Anything but ``fcfs`` (or a non-zero
+            ``bus_arbitration_cycles``) takes the loud per-config
+            fallback with a ``bus-discipline:...`` reason — the
+            one-traversal engines assume call-order FCFS grants.
+        bus_arbitration_cycles: per-arbitration overhead shared by
+            the family.
 
     Returns:
         ``{cache_bytes: SimulationResult}`` with statistics
@@ -236,6 +264,8 @@ def run_geometry_family(
             cache_bytes=size,
             block_bytes=block_bytes,
             associativity=associativity,
+            bus_discipline=bus_discipline,
+            bus_arbitration_cycles=bus_arbitration_cycles,
         )
         for size in sizes
     }
@@ -245,7 +275,9 @@ def run_geometry_family(
     if cpus is not None and cpus != trace.cpus:
         trace = trace.restricted_to(cpus)
 
-    engine, reason = family_support(protocol, table, associativity)
+    engine, reason = family_support(
+        protocol, table, associativity, bus_discipline, bus_arbitration_cycles
+    )
     if engine == "fallback":
         note_family_fallback(reason)
         machines = {
@@ -784,7 +816,12 @@ def run_segment_engine(
     """
     cls = machine.protocol_class
     reason = segment_reason(
-        cls, machine.costs, machine.config.associativity, trace
+        cls,
+        machine.costs,
+        machine.config.associativity,
+        trace,
+        bus_discipline=machine.config.bus_discipline,
+        bus_arbitration_cycles=machine.config.bus_arbitration_cycles,
     )
     if reason is not None:
         raise ValueError(

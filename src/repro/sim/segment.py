@@ -92,12 +92,25 @@ def segment_reason(
     costs: CostTable | None = None,
     associativity: int = 2,
     trace: Trace | None = None,
+    bus_discipline: str = "fcfs",
+    bus_arbitration_cycles: float = 0.0,
 ) -> str | None:
     """Why the segment-scan backend is *not* exact here, or None.
 
     The reason strings are structured ``category:detail`` so the run
     manifest can record them (see ``repro.obs.metrics``).
     """
+    if bus_discipline != "fcfs":
+        return (
+            f"bus-discipline:{bus_discipline} needs the deferred-grant "
+            "arbitrated engine"
+        )
+    if bus_arbitration_cycles != 0.0:
+        return (
+            "bus-discipline:arbitration overhead "
+            f"{bus_arbitration_cycles:g} cycles is not folded into the "
+            "segment merge"
+        )
     name = protocol if isinstance(protocol, str) else protocol.name
     if name not in SEGMENT_PROTOCOLS:
         return f"protocol:{name} is not geometry-local"

@@ -27,6 +27,14 @@ failure wins for that protocol):
    path, so this differentially validates the fast-path contract
    flags (``read_hit_is_free``, ``store_hit_is_local``, …) and the
    static hit analysis they enable.
+6. **Discipline sweep** — the case re-runs on the deferred-grant
+   arbitrated engine once per requested bus discipline.  Every run
+   must satisfy the conservation invariants; for the geometry-local
+   protocols (whose outcomes are interleaving-independent) the
+   ``fcfs`` arbitrated run must additionally reproduce the columnar
+   statistics bit-for-bit, and every other discipline must conserve
+   the order-independent counters (operation counts, misses, bus busy
+   cycles, transactions) against the columnar baseline.
 
 Cases the fuzzer marks ``model_comparable`` (statistically
 well-behaved workload-like traces) additionally compare simulated
@@ -40,13 +48,18 @@ model check is skipped for them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro.core import BASE, DRAGON, NO_CACHE, SOFTWARE_FLUSH, BusSystem
+from repro.sim.bus import DISCIPLINES
 from repro.sim.machine import Machine, SimulationConfig, SimulationResult
 from repro.sim.measure import measure_workload_params
-from repro.sim.onepass import run_geometry_family, supports_onepass
+from repro.sim.onepass import (
+    ONEPASS_PROTOCOLS,
+    run_geometry_family,
+    supports_onepass,
+)
 from repro.sim.segment import segment_reason
 from repro.trace.records import Trace
 from repro.verify.fuzzer import FuzzCase, generate_case
@@ -108,8 +121,8 @@ class FuzzFailure:
 
     ``check`` identifies the failing stage: ``engine-diff:<order>``,
     ``invariants:<order>``, ``onepass-diff:<order>``,
-    ``segment-diff:<order>``, ``oracle``, ``shadow-diff``, or
-    ``model-band``.
+    ``segment-diff:<order>``, ``oracle``, ``shadow-diff``,
+    ``discipline:<name>``, or ``model-band``.
     """
 
     seed: int
@@ -211,12 +224,13 @@ def check_case(
     case: FuzzCase,
     protocols: Sequence[str] = PAPER_PROTOCOLS,
     compare_model: bool = True,
+    disciplines: Sequence[str] = DISCIPLINES,
 ) -> list[FuzzFailure]:
     """All verification failures of one fuzz case (empty = clean)."""
     failures: list[FuzzFailure] = []
     baseline: dict[str, SimulationResult] = {}
     for protocol in protocols:
-        failure, result = _check_protocol(case, protocol)
+        failure, result = _check_protocol(case, protocol, disciplines)
         if failure is not None:
             failures.append(failure)
         elif result is not None:
@@ -231,19 +245,29 @@ def run_seed(
     scale: float = 1.0,
     protocols: Sequence[str] = PAPER_PROTOCOLS,
     compare_model: bool = True,
+    disciplines: Sequence[str] = DISCIPLINES,
 ) -> list[FuzzFailure]:
     """Generate the case for ``seed`` and run every check on it."""
     case = generate_case(seed, scale=scale)
-    return check_case(case, protocols=protocols, compare_model=compare_model)
+    return check_case(
+        case,
+        protocols=protocols,
+        compare_model=compare_model,
+        disciplines=disciplines,
+    )
 
 
 def seed_worker(
-    item: tuple[int, float, tuple[str, ...], bool]
+    item: tuple[int, float, tuple[str, ...], bool, tuple[str, ...]]
 ) -> list[FuzzFailure]:
     """Module-level (picklable) worker for parallel fuzz sweeps."""
-    seed, scale, protocols, compare_model = item
+    seed, scale, protocols, compare_model, disciplines = item
     return run_seed(
-        seed, scale=scale, protocols=protocols, compare_model=compare_model
+        seed,
+        scale=scale,
+        protocols=protocols,
+        compare_model=compare_model,
+        disciplines=disciplines,
     )
 
 
@@ -323,8 +347,91 @@ def _segment_divergence(
     return None
 
 
+#: Order-independent counters every bus discipline must conserve for
+#: the geometry-local protocols (whose outcomes never depend on the
+#: cross-CPU interleaving the arbiter chooses).
+_CONSERVED_FIELDS = (
+    "fetch_misses",
+    "data_misses",
+    "dirty_victim_misses",
+    "shared_loads",
+    "shared_stores",
+    "shared_data_misses",
+    "bus_busy_cycles",
+    "bus_transactions",
+)
+
+
+def _conserved_mismatch(
+    run: SimulationResult, baseline: SimulationResult
+) -> str | None:
+    """First order-independent counter the two runs disagree on."""
+    left = sorted(
+        (operation.value, count)
+        for operation, count in run.operation_counts.items()
+        if count
+    )
+    right = sorted(
+        (operation.value, count)
+        for operation, count in baseline.operation_counts.items()
+        if count
+    )
+    if left != right:
+        return f"operation counts: {left!r} != {right!r}"
+    for field_name in _CONSERVED_FIELDS:
+        a = getattr(run, field_name)
+        b = getattr(baseline, field_name)
+        if a != b:
+            return f"{field_name}: {a!r} != {b!r}"
+    return None
+
+
+def _discipline_divergence(
+    trace: Trace,
+    config: SimulationConfig,
+    protocol: str,
+    discipline: str,
+    columnar: SimulationResult,
+) -> str | None:
+    """Why the arbitrated engine under ``discipline`` fails (None = ok).
+
+    Every discipline's run must satisfy the conservation invariants.
+    For the geometry-local protocols the ``fcfs`` arbitrated run must
+    match the columnar baseline bit-for-bit, and every other
+    discipline must conserve the order-independent counters — only
+    clocks and waits may move with the grant order.
+    """
+    arbitrated_config = replace(config, bus_discipline=discipline)
+    run = Machine(protocol, arbitrated_config).run(
+        trace, order="time", engine="arbitrated"
+    )
+    if run.engine != "arbitrated":
+        return (
+            f"arbitrated engine not engaged (engine={run.engine!r}) "
+            f"for discipline {discipline!r}"
+        )
+    try:
+        check_result_invariants(run, trace=trace)
+    except InvariantViolation as violation:
+        return f"invariants under {discipline} arbitration: {violation}"
+    if protocol in ONEPASS_PROTOCOLS:
+        if discipline == "fcfs":
+            left = stats_signature(run)
+            right = stats_signature(columnar)
+            if left != right:
+                return (
+                    "fcfs arbitrated vs columnar: "
+                    + _describe_divergence(left, right)
+                )
+        else:
+            mismatch = _conserved_mismatch(run, columnar)
+            if mismatch is not None:
+                return f"{discipline} vs columnar baseline: {mismatch}"
+    return None
+
+
 def _check_protocol(
-    case: FuzzCase, protocol: str
+    case: FuzzCase, protocol: str, disciplines: Sequence[str] = DISCIPLINES
 ) -> tuple[FuzzFailure | None, SimulationResult | None]:
     """First failure (or None) plus the columnar time-order result."""
 
@@ -395,6 +502,13 @@ def _check_protocol(
             ),
             None,
         )
+
+    for discipline in disciplines:
+        message = _discipline_divergence(
+            case.trace, case.config, protocol, discipline, time_result
+        )
+        if message is not None:
+            return failure(f"discipline:{discipline}", message), None
     return None, time_result
 
 
@@ -492,6 +606,19 @@ def _failure_predicate(
             columnar = _run(trace, config, protocol, order)
             return (
                 _segment_divergence(trace, config, protocol, order, columnar)
+                is not None
+            )
+
+        return predicate
+    if check.startswith("discipline:"):
+        discipline = check.split(":", 1)[1]
+
+        def predicate(trace: Trace) -> bool:
+            columnar = _run(trace, config, protocol, "time")
+            return (
+                _discipline_divergence(
+                    trace, config, protocol, discipline, columnar
+                )
                 is not None
             )
 

@@ -1,0 +1,165 @@
+"""Unit tests for the bus service-discipline corrections."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    SERVICE_DISCIPLINES,
+    effective_service,
+    solve_bus_discipline,
+    solve_bus_discipline_grid,
+    solve_machine_repairman_general,
+)
+
+
+class TestEffectiveService:
+    def test_deterministic_overhead_adds_no_variance(self):
+        mean, cv2 = effective_service(4.0, 0.5, 4.0)
+        assert mean == 8.0
+        # Var' = Var: CV'^2 = CV^2 * S^2 / S'^2.
+        assert cv2 == pytest.approx(0.5 * 16.0 / 64.0)
+
+    def test_zero_overhead_is_identity(self):
+        assert effective_service(4.0, 0.5, 0.0) == (4.0, 0.5)
+
+    def test_scalars_in_scalars_out(self):
+        mean, cv2 = effective_service(4.0, 1.0, 2.0)
+        assert isinstance(mean, float) and isinstance(cv2, float)
+
+    def test_arrays_broadcast(self):
+        mean, cv2 = effective_service(np.array([2.0, 4.0]), 1.0, 2.0)
+        assert mean.tolist() == [4.0, 6.0]
+        assert cv2 == pytest.approx([0.25, 4.0 / 9.0])
+
+    def test_zero_mean_keeps_cv2(self):
+        mean, cv2 = effective_service(0.0, 1.0, 0.0)
+        assert (mean, cv2) == (0.0, 1.0)
+
+
+class TestScalarDisciplines:
+    def test_fcfs_without_overhead_is_the_plain_solver(self):
+        solution = solve_bus_discipline("fcfs", 8, 20.0, 4.0, 0.5)
+        plain = solve_machine_repairman_general(8, 20.0, 4.0, 0.5)
+        assert solution.result == plain
+
+    def test_work_conserving_disciplines_share_the_aggregate(self):
+        fcfs = solve_bus_discipline(
+            "fcfs", 8, 20.0, 4.0, 0.5, arbitration_cycles=1.0
+        )
+        for discipline in ("round-robin", "fixed-priority"):
+            other = solve_bus_discipline(
+                discipline, 8, 20.0, 4.0, 0.5, arbitration_cycles=1.0
+            )
+            assert other.waiting_time == fcfs.waiting_time
+            assert other.throughput == fcfs.throughput
+
+    def test_priority_class_waits_are_monotone(self):
+        solution = solve_bus_discipline(
+            "fixed-priority", 8, 20.0, 4.0, 0.5, arbitration_cycles=1.0
+        )
+        waits = solution.per_class_waiting
+        assert len(waits) == 8
+        assert all(b >= a for a, b in zip(waits, waits[1:]))
+        # Class 0 never waits more than the aggregate; the last class
+        # absorbs the queueing.
+        assert waits[0] <= solution.waiting_time
+        assert waits[-1] >= solution.waiting_time
+
+    def test_other_disciplines_have_no_per_class_waits(self):
+        assert (
+            solve_bus_discipline("fcfs", 4, 20.0, 4.0).per_class_waiting
+            is None
+        )
+
+    def test_batched_window_is_bounded_and_amortizes(self):
+        batched = solve_bus_discipline(
+            "batched", 8, 20.0, 4.0, 0.5, arbitration_cycles=1.0
+        )
+        fcfs = solve_bus_discipline(
+            "fcfs", 8, 20.0, 4.0, 0.5, arbitration_cycles=1.0
+        )
+        assert 1.0 <= batched.mean_batch_size <= 8.0
+        assert batched.mean_batch_size > 1.0  # contention builds windows
+        # Amortized overhead a/B < a, so batched waits strictly less.
+        assert batched.waiting_time < fcfs.waiting_time
+        assert batched.effective_service_time < fcfs.effective_service_time
+
+    def test_batched_without_overhead_matches_fcfs(self):
+        batched = solve_bus_discipline("batched", 8, 20.0, 4.0, 0.5)
+        plain = solve_machine_repairman_general(8, 20.0, 4.0, 0.5)
+        assert batched.result == plain
+        assert batched.mean_batch_size >= 1.0
+
+    def test_degenerate_populations(self):
+        for discipline in SERVICE_DISCIPLINES:
+            empty = solve_bus_discipline(discipline, 0, 20.0, 4.0)
+            assert empty.waiting_time == 0.0
+            free = solve_bus_discipline(
+                discipline, 4, 0.0, 0.0, arbitration_cycles=0.0
+            )
+            assert free.waiting_time == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown bus discipline"):
+            solve_bus_discipline("lifo", 4, 20.0, 4.0)
+        with pytest.raises(ValueError, match="arbitration_cycles"):
+            solve_bus_discipline("fcfs", 4, 20.0, 4.0, arbitration_cycles=-1.0)
+        with pytest.raises(ValueError, match="arbitration_cycles"):
+            solve_bus_discipline(
+                "fcfs", 4, 20.0, 4.0, arbitration_cycles=float("inf")
+            )
+
+
+class TestGridDisciplines:
+    def test_grid_matches_scalar_per_cell(self):
+        think = np.array([[10.0, 20.0], [40.0, 5.0]])
+        service = np.array([[2.0, 4.0], [1.0, 8.0]])
+        for discipline in ("fcfs", "round-robin", "fixed-priority"):
+            grid = solve_bus_discipline_grid(
+                discipline, 6, think, service, 0.5, arbitration_cycles=1.5
+            )
+            waits = grid.waiting_time()
+            for index in np.ndindex(think.shape):
+                scalar = solve_bus_discipline(
+                    discipline,
+                    6,
+                    float(think[index]),
+                    float(service[index]),
+                    0.5,
+                    arbitration_cycles=1.5,
+                )
+                assert waits[index] == scalar.waiting_time
+
+    def test_batched_grid_tracks_scalar(self):
+        think = np.array([20.0, 10.0])
+        service = np.array([4.0, 4.0])
+        grid = solve_bus_discipline_grid(
+            "batched", 8, think, service, 0.5, arbitration_cycles=1.0
+        )
+        assert grid.mean_batch_size.shape == (2,)
+        assert np.all(grid.mean_batch_size >= 1.0)
+        assert np.all(grid.mean_batch_size <= 8.0)
+        # Heavier load (shorter think time) builds bigger windows.
+        assert grid.mean_batch_size[1] > grid.mean_batch_size[0]
+        scalar = solve_bus_discipline(
+            "batched", 8, 20.0, 4.0, 0.5, arbitration_cycles=1.0
+        )
+        assert grid.mean_batch_size[0] == pytest.approx(
+            scalar.mean_batch_size, rel=1e-6
+        )
+        assert grid.waiting_time()[0] == pytest.approx(
+            scalar.waiting_time, rel=1e-6
+        )
+
+    def test_batched_grid_handles_degenerate_cells(self):
+        # S = 0 with Z = 0 gives infinite throughput; the window fixed
+        # point must not produce NaNs there.
+        think = np.array([0.0, 20.0])
+        service = np.array([0.0, 4.0])
+        grid = solve_bus_discipline_grid("batched", 4, think, service)
+        assert grid.mean_batch_size[0] == 1.0
+        assert np.isfinite(grid.mean_batch_size[1])
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError, match="unknown bus discipline"):
+            solve_bus_discipline_grid("lifo", 4, 20.0, 4.0)

@@ -75,6 +75,20 @@ class TestGeneralServiceSolver:
         with pytest.raises(ValueError):
             solve_machine_repairman_general(2, 1.0, -1.0)
 
+    def test_validation_precedes_the_degenerate_delegation(self):
+        # Regression: the early return for ``population <= 0`` or
+        # ``service_time == 0.0`` used to run before this function's
+        # own range checks, so negative inputs slipped through on
+        # exactly those paths.
+        with pytest.raises(ValueError, match="think_time"):
+            solve_machine_repairman_general(0, -1.0, 1.0)
+        with pytest.raises(ValueError, match="service_time"):
+            solve_machine_repairman_general(-3, 1.0, -1.0)
+        with pytest.raises(ValueError, match="think_time"):
+            solve_machine_repairman_general(4, -1.0, 0.0)
+        with pytest.raises(ValueError, match="cv2"):
+            solve_machine_repairman_general(0, 1.0, 0.0, service_cv2=-0.5)
+
     def test_population_conservation(self):
         result = solve_machine_repairman_general(8, 3.0, 1.0, 0.3)
         in_system = result.queue_length + result.throughput * 3.0

@@ -40,9 +40,65 @@ class TestTimedBus:
         bus.transact(0.0, 5.0)
         assert bus.utilization(10.0) == pytest.approx(0.5)
         assert bus.utilization(0.0) == 0.0
-        assert bus.utilization(2.0) == 1.0  # clamped
+
+    def test_overfull_utilization_raises(self):
+        # The old bus clamped busy > elapsed to 1.0, silently masking
+        # double-counted bus cycles; now it is a loud error.
+        bus = TimedBus()
+        bus.transact(0.0, 5.0)
+        with pytest.raises(
+            ValueError,
+            match=(
+                r"bus utilization 2\.5 exceeds 1\.0: busy cycles 5\.0 > "
+                r"elapsed cycles 2\.0 \(double-counted bus cycles\)"
+            ),
+        ):
+            bus.utilization(2.0)
+
+    def test_utilization_tolerates_float_epsilon(self):
+        bus = TimedBus()
+        bus.transact(0.0, 5.0)
+        assert bus.utilization(5.0 * (1.0 - 1e-12)) == 1.0
 
     def test_rejects_nonpositive_hold(self):
         bus = TimedBus()
         with pytest.raises(ValueError):
             bus.transact(0.0, 0.0)
+
+    @pytest.mark.parametrize(
+        "ready_at", [-1.0, -1e-9, float("inf"), float("nan")]
+    )
+    def test_rejects_bad_ready_at(self, ready_at):
+        bus = TimedBus()
+        with pytest.raises(
+            ValueError, match="ready_at must be a non-negative finite"
+        ):
+            bus.transact(ready_at, 5.0)
+
+    def test_grants_are_monotonic(self):
+        # A caller bug that presents an earlier ready_at after a later
+        # grant must not reorder grants: the bus only frees forward.
+        bus = TimedBus()
+        first, _ = bus.transact(50.0, 5.0)
+        second, wait = bus.transact(0.0, 5.0)
+        assert first == 50.0
+        assert second == 55.0  # not granted back at cycle 0
+        assert wait == 55.0
+        grants = [bus.transact(0.0, 1.0)[0] for _ in range(5)]
+        assert grants == sorted(grants)
+        assert grants[0] >= second + 5.0
+
+    def test_arbitration_overhead_is_accounted_separately(self):
+        bus = TimedBus(arbitration_cycles=2.0)
+        grant, wait = bus.transact(10.0, 5.0)
+        assert grant == 12.0
+        assert wait == 2.0
+        assert bus.busy_cycles == 5.0
+        assert bus.arbitration_busy_cycles == 2.0
+        assert bus.free_at == 17.0
+
+    def test_rejects_bad_arbitration_cycles(self):
+        with pytest.raises(ValueError, match="arbitration_cycles"):
+            TimedBus(arbitration_cycles=-1.0)
+        with pytest.raises(ValueError, match="arbitration_cycles"):
+            TimedBus(arbitration_cycles=float("inf"))

@@ -84,9 +84,12 @@ class TestTimeAndPower:
         assert result.utilization == pytest.approx(sum(per_cpu) / 2)
         assert result.processing_power == pytest.approx(sum(per_cpu))
 
-    def test_bus_utilization_clamped(self):
+    def test_bus_utilization_overflow_is_loud(self):
+        # Busy cycles beyond elapsed used to clamp silently to 1.0,
+        # masking double-counted bus cycles; now it raises.
         result = make_result(bus_busy_cycles=1e9)
-        assert result.bus_utilization == 1.0
+        with pytest.raises(ValueError, match="double-counted bus cycles"):
+            result.bus_utilization
 
 
 class TestCpuStats:

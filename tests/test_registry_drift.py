@@ -8,8 +8,17 @@ omitted ``base`` and ``directory``; the predict help hard-coded four
 schemes), which these tests make impossible to reintroduce.
 """
 
-from repro.cli import _scheme_help, build_parser, registry_protocols
+from repro.cli import (
+    _scheme_help,
+    build_parser,
+    registry_disciplines,
+    registry_protocols,
+)
+from repro.core.bus import BusSystem
 from repro.core.schemes import known_schemes, scheme_by_name
+from repro.queueing.disciplines import SERVICE_DISCIPLINES, solve_bus_discipline
+from repro.sim.bus import DISCIPLINES
+from repro.sim.machine import SimulationConfig
 from repro.sim.protocols import PROTOCOLS, protocol_aliases
 from repro.verify.oracles import ORACLES
 
@@ -61,6 +70,41 @@ class TestSchemeRegistryAgreement:
             assert scheme.name == canonical
             for alias in aliases:
                 assert scheme_by_name(alias) is scheme
+
+
+class TestDisciplineRegistryAgreement:
+    """The bus discipline set is defined twice on purpose — the
+    simulator (``repro.sim.bus.DISCIPLINES``) and the queueing model
+    (``repro.queueing.disciplines.SERVICE_DISCIPLINES``) stay
+    import-independent — so agreement lives here, not in an import."""
+
+    def test_model_registry_tracks_the_simulator(self):
+        assert SERVICE_DISCIPLINES == DISCIPLINES
+
+    def test_cli_disciplines_equal_the_registry(self):
+        assert registry_disciplines() == DISCIPLINES
+
+    def test_fuzz_disciplines_default_is_a_registry_sentinel(self):
+        # "" resolves through registry_disciplines(); a literal list
+        # here would be exactly the drift bug.
+        assert build_parser().parse_args(["fuzz"]).disciplines == ""
+
+    def test_predict_accepts_every_registered_discipline(self):
+        parser = build_parser()
+        for discipline in DISCIPLINES:
+            args = parser.parse_args(
+                ["predict", "dragon", "16", "--discipline", discipline]
+            )
+            assert args.discipline == discipline
+
+    def test_defaults_are_fcfs_in_both_layers(self):
+        assert SimulationConfig().bus_discipline == "fcfs"
+        assert BusSystem().bus_discipline == "fcfs"
+
+    def test_model_solver_accepts_every_registered_discipline(self):
+        for discipline in DISCIPLINES:
+            solution = solve_bus_discipline(discipline, 4, 20.0, 4.0)
+            assert solution.discipline == discipline
 
 
 class TestProtocolAliases:

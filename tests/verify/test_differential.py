@@ -5,6 +5,7 @@ import pickle
 import pytest
 
 from repro.sim import Machine, supports_onepass
+from repro.sim.bus import DISCIPLINES
 from repro.verify import (
     MODEL_BANDS,
     PAPER_PROTOCOLS,
@@ -28,7 +29,7 @@ class TestCleanSweep:
         assert run_seed(seed, scale=0.4) == []
 
     def test_seed_worker_matches_run_seed(self):
-        item = (1, 0.4, PAPER_PROTOCOLS, True)
+        item = (1, 0.4, PAPER_PROTOCOLS, True, DISCIPLINES)
         assert _seed_worker(item) == run_seed(1, scale=0.4)
 
     def test_protocol_subset_is_respected(self):
