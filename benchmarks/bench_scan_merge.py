@@ -1,0 +1,257 @@
+"""WTI scan-era merge tiers: exactness + sweep micro-benchmark.
+
+``wti_merge="auto"`` (the default) replaced the PR 6 inlined reference
+loop with a two-tier merge: a bounded-fixpoint lexsort scan
+(``engine="epoch-scan"``) when the a-priori bus-demand estimate says
+the wait cascades are short, and a folded single-unpack loop
+(``engine="epoch"``) everywhere else.  Both tiers are byte-identical
+to the retained ``wti_merge="loop"`` reference; this module pins the
+wall-clock side of that bargain.
+
+Honest numbers, recorded as measured: on the saturated ``pops``
+benchmark trace the scan gate refuses (bus utilization 0.55-0.89
+across the eight-size sweep, far above the 0.15 demand gate), so the
+sweep-scale win is entirely the folded tier's — measured ~1.1-1.15x
+over the reference loop with both sides timed gc-disabled (the benchmark
+disables the collector around *both* measurements; an asymmetric
+protocol flatters the ratio to ~1.6x because collection passes hit
+the loop's per-event tuples harder than the folded path).  That is
+NOT the 1.4x the scan formulation aimed for: the residual per-event
+cost is Python dispatch, not merge arithmetic.  The fixpoint scan
+cannot close the gap on this trace either: its pass count tracks the
+bus-conflict count (each lexsort pass resolves one wait-dependency
+hop), so it converges only on near-idle buses — and in write-through
+WTI, write sharing *is* bus traffic.  The scan tier therefore pays
+off only on quiet traces, where ``test_scan_engagement`` pins that
+it actually engages and stays exact.
+
+The module also runs standalone for CI::
+
+    python benchmarks/bench_scan_merge.py --smoke
+
+which checks auto-vs-loop bit-exactness on a reduced sweep plus the
+quiet-trace scan engagement, then times the benchmark sweep against a
+noise-tolerant smoke floor — seconds, not minutes, suitable for
+``scripts/check.sh``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.sim import run_geometry_family
+from repro.trace import preset
+from repro.trace.records import Trace
+from repro.verify.differential import stats_signature
+
+#: The paper's direct-mapped sweep: eight cache sizes, one trace, WTI.
+_BENCH_SIZES = tuple(2048 << k for k in range(8))
+_BENCH_RECORDS = 40_000
+_ASSOCIATIVITY = 1
+
+_SMOKE_SIZES = (4096, 16384, 65536, 262144)
+_SMOKE_RECORDS = 10_000
+
+_ROUNDS = 5
+#: The recorded claim, enforced by the pytest-benchmark entry: the
+#: default (tiered) merge beats the retained reference loop on the
+#: eight-size sweep.  Measured ~1.1-1.15x with both sides gc-disabled;
+#: the floor sits below that so a loaded box does not flake, while a
+#: real regression — the folded merge decaying back to per-event
+#: tuple unpacking — still trips it.
+_SWEEP_FLOOR = 1.08
+#: Noise-tolerant CI tripwire (the smoke also times gc-disabled).
+_SMOKE_SWEEP_FLOOR = 1.05
+
+#: Quiet-trace shape for the scan-engagement pin: two CPUs looping
+#: over disjoint 4-block working sets, loads only.  Bus utilization
+#: ~0.05, comfortably under the scan's 0.15 demand gate.
+_QUIET_RECORDS = 25_000
+
+
+def _trace(records: int):
+    return preset("pops").generate(records_per_cpu=records)
+
+
+def _quiet_trace(records: int) -> Trace:
+    cpu = np.tile([0, 1], records).astype(np.uint16)
+    kind = np.zeros(2 * records, dtype=np.uint8)
+    blocks = np.empty(2 * records, dtype=np.uint64)
+    blocks[0::2] = np.arange(records) % 4
+    blocks[1::2] = 8 + (np.arange(records) % 4)
+    return Trace.from_arrays(
+        name="quiet",
+        cpus=2,
+        shared_region=range(0, 0),
+        cpu=cpu,
+        kind=kind,
+        address=blocks * 16,
+    )
+
+
+def _sweep(trace, sizes, merge: str) -> dict:
+    return run_geometry_family(
+        "wti",
+        trace,
+        sizes,
+        associativity=_ASSOCIATIVITY,
+        wti_merge=merge,
+    )
+
+
+def _identical(family: dict, reference: dict) -> bool:
+    return all(
+        stats_signature(family[size]) == stats_signature(reference[size])
+        for size in reference
+    )
+
+
+def _min_seconds(fn, rounds: int = _ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _paired_min_seconds(fast, slow, rounds: int = _ROUNDS):
+    """Min wall time for both sides, measured in *alternating* rounds
+    so slow drift in machine load hits both paths, not just one."""
+    best_fast = best_slow = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fast()
+        best_fast = min(best_fast, time.perf_counter() - start)
+        start = time.perf_counter()
+        slow()
+        best_slow = min(best_slow, time.perf_counter() - start)
+    return best_fast, best_slow
+
+
+# -- pytest-benchmark entries -------------------------------------------
+
+
+def test_wti_merge_speedup(benchmark):
+    """Record and bound the tiered default vs the reference loop."""
+    import gc
+
+    trace = _trace(_BENCH_RECORDS)
+    reference = _sweep(trace, _BENCH_SIZES, "loop")
+    # pytest-benchmark disables the collector only around the
+    # benchmark() rounds; disable it here too so both sides of the
+    # ratio run under the same protocol.
+    collector_was_on = gc.isenabled()
+    gc.disable()
+    try:
+        loop_seconds = _min_seconds(
+            lambda: _sweep(trace, _BENCH_SIZES, "loop")
+        )
+    finally:
+        if collector_was_on:
+            gc.enable()
+    family = benchmark(lambda: _sweep(trace, _BENCH_SIZES, "auto"))
+    auto_seconds = benchmark.stats.stats.min
+
+    assert _identical(family, reference)
+    assert all(
+        run.engine in ("epoch", "epoch-scan") for run in family.values()
+    )
+    speedup = loop_seconds / auto_seconds
+    benchmark.extra_info["loop_seconds"] = loop_seconds
+    benchmark.extra_info["auto_seconds"] = auto_seconds
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["cache_sizes"] = len(_BENCH_SIZES)
+    benchmark.extra_info["records"] = len(trace)
+    benchmark.extra_info["engines"] = sorted(
+        {run.engine for run in family.values()}
+    )
+    assert speedup >= _SWEEP_FLOOR, (
+        f"tiered wti merge only {speedup:.2f}x vs the reference loop "
+        f"({loop_seconds:.3f}s vs {auto_seconds:.3f}s)"
+    )
+
+
+def test_scan_engagement(benchmark):
+    """Pin that the scan tier engages (and stays exact) off-saturation."""
+    trace = _quiet_trace(_QUIET_RECORDS)
+    sizes = (1024, 4096)
+    reference = _sweep(trace, sizes, "loop")
+    family = benchmark(lambda: _sweep(trace, sizes, "auto"))
+
+    assert all(run.engine == "epoch-scan" for run in family.values())
+    assert _identical(family, reference)
+    benchmark.extra_info["records"] = len(trace)
+    benchmark.extra_info["engine"] = "epoch-scan"
+    benchmark.extra_info["bus_utilization"] = max(
+        run.bus_utilization for run in family.values()
+    )
+
+
+# -- standalone smoke mode ----------------------------------------------
+
+
+def run_smoke() -> int:
+    """auto-vs-loop bit-exactness + scan engagement + the sweep floor;
+    0 if ok."""
+    trace = _trace(_SMOKE_RECORDS)
+    failures = 0
+    family = _sweep(trace, _SMOKE_SIZES, "auto")
+    reference = _sweep(trace, _SMOKE_SIZES, "loop")
+    if not _identical(family, reference):
+        print("MISMATCH wti auto vs loop", file=sys.stderr)
+        failures += 1
+
+    quiet = _quiet_trace(_SMOKE_RECORDS // 2)
+    quiet_family = _sweep(quiet, (1024, 4096), "auto")
+    if any(run.engine != "epoch-scan" for run in quiet_family.values()):
+        print("SCAN TIER NOT ENGAGED on the quiet trace", file=sys.stderr)
+        failures += 1
+    if not _identical(quiet_family, _sweep(quiet, (1024, 4096), "loop")):
+        print("MISMATCH epoch-scan vs loop", file=sys.stderr)
+        failures += 1
+    if failures:
+        return 1
+
+    bench_trace = _trace(_BENCH_RECORDS)
+    _sweep(bench_trace, _BENCH_SIZES, "auto")  # warm
+    # Time under the same protocol as the recorded baseline entries
+    # (pytest-benchmark runs with --benchmark-disable-gc).
+    import gc
+
+    gc.disable()
+    try:
+        auto_seconds, loop_seconds = _paired_min_seconds(
+            lambda: _sweep(bench_trace, _BENCH_SIZES, "auto"),
+            lambda: _sweep(bench_trace, _BENCH_SIZES, "loop"),
+            rounds=5,
+        )
+    finally:
+        gc.enable()
+    speedup = loop_seconds / auto_seconds
+    print(
+        f"scan-merge smoke ok: {len(_BENCH_SIZES)} sizes x "
+        f"{len(bench_trace)} records, loop {loop_seconds:.3f}s, "
+        f"auto {auto_seconds:.3f}s ({speedup:.2f}x); quiet trace "
+        f"engages epoch-scan"
+    )
+    if speedup < _SMOKE_SWEEP_FLOOR:
+        print(
+            f"tiered merge speedup {speedup:.2f}x below the "
+            f"{_SMOKE_SWEEP_FLOOR:.1f}x smoke floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        raise SystemExit(run_smoke())
+    print(__doc__)
+    raise SystemExit(
+        "run under pytest (--benchmark-only) or with --smoke"
+    )

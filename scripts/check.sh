@@ -79,9 +79,17 @@ echo "== epoch families (dragon/wti) + segment engine: smoke =="
 python benchmarks/bench_coupled.py --smoke
 
 echo "== bus arbitration disciplines: exactness + overhead smoke =="
-# fcfs bit-exactness (arbitrated engine vs columnar), the oracle
-# invariants for every registered discipline, then the deferred-grant
-# overhead ceiling (16x in smoke; the recorded baseline enforces 13x).
+# fcfs bit-exactness (arbitrated engine vs columnar, plus the folded
+# columnar+arb path vs the deferred reference), the oracle invariants
+# for every registered discipline, then the deferred-grant overhead
+# ceiling (16x in smoke; the recorded baseline enforces 13x) and the
+# folded-overhead parity ceiling (1.5x).
 python benchmarks/bench_bus.py --smoke
+
+echo "== wti scan-merge tiers: exactness + speedup smoke =="
+# auto-vs-loop bit-exactness on the reduced sweep, the quiet-trace
+# epoch-scan engagement pin, then the tiered-merge sweep floor
+# (1.05x in smoke; the recorded baseline enforces 1.08x).
+python benchmarks/bench_scan_merge.py --smoke
 
 echo "== all checks passed =="

@@ -38,10 +38,35 @@ merges over one shared classification pass.  Statistics — including
 bit-identical to per-config ``Machine.run`` (enforced by
 ``tests/sim/test_family.py``).
 
-Exactness has the same gates as the one-pass engine (integral costs)
-plus the segment kernel's associativity-1-or-2 bound;
-``repro.sim.onepass.family_support`` routes anything else to the
-per-config fallback with a recorded reason.
+WTI's simulated-time merge is additionally **scan-formulated**
+(:func:`_wti_scan_merge`): WTI never steals cycles, so every merge
+key is a static function of the per-CPU fetch prefix sums, the event
+outcomes, and the per-event bus waits.  The merge then collapses to a
+small fixed point over pure array passes — reconstruct keys by
+segmented cumulative sums, sort events globally by ``(key, cpu)``,
+fold the bus recurrence ``grant[i] = max(ready[i], free[i-1]) + arb``
+into an offset-subtracted running maximum, and repeat until the waits
+(and the coupled-set outcome replay) stop changing.  A converged
+fixed point is provably identical to the greedy dynamic merge, so the
+statistics stay bit-identical; the demand gate
+(:data:`_SCAN_DEMAND_GATE`) and non-convergence within
+:data:`_SCAN_MERGE_CAP` passes fall back loudly to the *folded*
+single-unpack merge (:func:`_wti_folded_merge`,
+``engine="epoch"``, with a recorded ``scan:...`` fallback reason);
+the PR 6 inlined reference loop stays selectable as
+``wti_merge="loop"``.  Scan results carry ``engine="epoch-scan"``.
+The scan pays off only off-saturation: each fixpoint pass resolves
+one wait-dependency hop, so passes-to-converge tracks the
+bus-conflict count, and in write-through WTI write sharing *is*
+bus traffic (see ``benchmarks/bench_scan_merge.py`` for the
+measured regime split).
+
+Exactness has the same gates as the one-pass engine (integral costs,
+and integral fcfs arbitration overhead — folded into every merge's
+service term exactly as ``TimedBus`` does) plus the segment kernel's
+associativity-1-or-2 bound; ``repro.sim.onepass.family_support``
+routes anything else to the per-config fallback with a recorded
+reason.
 """
 
 from __future__ import annotations
@@ -52,7 +77,7 @@ from collections import Counter
 import numpy as np
 
 from repro.core.operations import CostTable, Operation
-from repro.obs.metrics import note_replay
+from repro.obs.metrics import note_family_fallback, note_replay
 from repro.sim.machine import (
     _DIRTY_VICTIM_OPERATIONS,
     _MISS_OPERATIONS,
@@ -93,6 +118,21 @@ _WTI_OPS = (
     (Operation.WRITE_THROUGH,),                               # store hit
 )
 
+#: Maximum ``(keys, sort, grants)`` passes the WTI scan merge tries
+#: before declaring no fixed point and falling back to the folded
+#: sequential merge.  Low-contention traces converge in a handful of
+#: passes; the cap (with the in-loop futility heuristic) bounds the
+#: contention-driven cascades that would otherwise iterate once per
+#: reordered event.
+_SCAN_MERGE_CAP = 24
+
+#: Estimated bus-demand fraction (optimistic busy cycles over the
+#: no-wait span) above which the scan merge skips the fixed-point
+#: passes entirely: measured cascades reorder only a few events per
+#: pass once waits become steady, so a saturated bus can never settle
+#: within :data:`_SCAN_MERGE_CAP`.
+_SCAN_DEMAND_GATE = 0.15
+
 
 def run_coupled_family(
     name: str,
@@ -100,13 +140,23 @@ def run_coupled_family(
     configs: dict[int, SimulationConfig],
     costs: CostTable,
     order: str,
+    wti_merge: str = "auto",
 ) -> dict[int, SimulationResult]:
     """One-pass cache-size sweep for a geometry-coupled protocol.
 
     Callers (``repro.sim.onepass.run_geometry_family``) have already
     validated the protocol, order, cost integrality, and geometry
-    family.
+    family.  ``wti_merge`` selects WTI's simulated-time merge:
+    ``"auto"``/``"scan"`` try the vectorized scan formulation first
+    (falling back loudly when it finds no fixed point), ``"loop"``
+    forces the inlined reference loop — the equivalence suites compare
+    the two byte-for-byte.
     """
+    if wti_merge not in ("auto", "scan", "loop"):
+        raise ValueError(
+            f"wti_merge must be 'auto', 'scan', or 'loop', "
+            f"got {wti_merge!r}"
+        )
     started = time.perf_counter()
     block_shift = next(iter(configs.values())).geometry.block_shift
     derived = derived_columns(trace, block_shift)
@@ -117,15 +167,24 @@ def run_coupled_family(
         contended_sorted = np.isin(derived.blocks_sorted, contended)
     else:
         contended_sorted = np.zeros(len(derived.blocks_sorted), dtype=bool)
-    run_one = _run_dragon if name == "dragon" else _run_wti
-    results = {
-        size: run_one(
-            trace, config, costs, order, derived, spos,
-            contended, contended_sorted,
-        )
-        for size, config in configs.items()
-    }
-    note_replay(len(trace), "epoch")
+    if name == "dragon":
+        results = {
+            size: _run_dragon(
+                trace, config, costs, order, derived, spos,
+                contended, contended_sorted,
+            )
+            for size, config in configs.items()
+        }
+    else:
+        results = {
+            size: _run_wti(
+                trace, config, costs, order, derived, spos,
+                contended, contended_sorted, wti_merge,
+            )
+            for size, config in configs.items()
+        }
+    engines = {result.engine for result in results.values()}
+    note_replay(len(trace), "epoch-scan" if engines == {"epoch-scan"} else "epoch")
     wall = time.perf_counter() - started
     for result in results.values():
         result.run_wall_s = wall
@@ -414,6 +473,7 @@ def _run_wti(
     spos: np.ndarray,
     contended: np.ndarray,
     contended_sorted: np.ndarray,
+    wti_merge: str = "auto",
 ) -> SimulationResult:
     del spos  # WTI lines are never dirty; no interval queries needed
     n = trace.cpus
@@ -456,6 +516,26 @@ def _run_wti(
     code[unc_miss & ~is_store] = 0
     code[unc_miss & is_store] = 1
     code[unc & ~cls.miss & is_store] = 2
+
+    if order != "trace" and n > 1 and wti_merge != "loop":
+        # Folding an outcome's operation list into one grant update
+        # (and hoisting the static wait terms out of the merge) reorders
+        # float additions; that is only exact when every cost is an
+        # integer, so the scan path refuses fractional cost tables.
+        if all(
+            float(cost.cpu_cycles).is_integer()
+            and float(cost.channel_cycles).is_integer()
+            for _op, cost in costs.items()
+        ):
+            return _wti_scan_merge(
+                trace, config, costs, derived, sets, ev_mask, code,
+                set_idx, shared_ev, contended_sorted, cls.prev_same,
+                coupled_keys, assoc == 2,
+            )
+        note_family_fallback(
+            "scan:non-integral operation costs cannot be folded "
+            "exactly; inlined merge used"
+        )
 
     offsets = derived.offsets
     counts = derived.counts
@@ -588,6 +668,7 @@ def _run_wti(
     miss_ops, store_miss_ops, store_hit_ops = wti_info
     prefixes = _cpu_prefixes(derived, n)
     fetch_prefix = derived.fetch_prefix
+    arb = float(config.bus_arbitration_cycles)
     # Every coupled (cpu, set) pair gets its [mru, lru] list up front
     # (an untouched [-1, -1] behaves exactly like a lazily absent one).
     sim_map = {int(key): [-1, -1] for key in coupled_keys.tolist()}
@@ -712,11 +793,13 @@ def _run_wti(
             ):
                 counter[0] += 1
                 if bus_cycles > 0.0:
-                    if bus_free > clock:
-                        waits[cpu] += bus_free - clock
-                        grant = bus_free
-                    else:
-                        grant = clock
+                    # TimedBus.transact inlined, arbitration overhead
+                    # folded into the grant (identical arithmetic).
+                    grant = bus_free if bus_free > clock else clock
+                    if arb:
+                        grant += arb
+                    if grant > clock:
+                        waits[cpu] += grant - clock
                     bus_free = grant + bus_cycles
                     bus_busy += bus_cycles
                     bus_tx += 1
@@ -746,8 +829,721 @@ def _run_wti(
     return _assemble(
         "wti", trace, config, derived, op_info, clocks, waits, [0] * n,
         fetch_misses, data_misses, shared_data_misses, dirty_victims,
-        bus_busy, bus_tx, stats,
+        bus_busy, bus_tx, arb * bus_tx, stats,
     )
+
+
+# -- WTI scan merge ------------------------------------------------------
+
+
+def _fold_outcome(op_rows: tuple, arb: float) -> tuple:
+    """Fold one outcome's operation list into scan constants.
+
+    All offsets are relative to the outcome's *first* bus grant ``G``
+    (or to the event clock when no operation uses the bus): ``lead``
+    is the cpu-only advance before the first bus operation,
+    ``clock_adv``/``free_adv`` are the clock and bus-free offsets from
+    ``G`` after every operation, and ``extra_wait`` is the wait the
+    later (intra-outcome) bus operations accumulate.  An event's
+    operations run back-to-back in the merge — no other CPU's event
+    interleaves — so every later grant is a translation-invariant
+    function of ``G`` and folds into constants exactly.
+    """
+    uses_bus = False
+    lead = 0.0
+    rel_clock = 0.0
+    rel_free = 0.0
+    extra_wait = 0.0
+    busy = 0.0
+    tx = 0
+    for cpu_cycles, bus_cycles, _is_miss, _is_dirty, _cell in op_rows:
+        if bus_cycles > 0.0:
+            if uses_bus:
+                grant = rel_free if rel_free > rel_clock else rel_clock
+                grant += arb
+                extra_wait += grant - rel_clock
+                rel_free = grant + bus_cycles
+                rel_clock = grant + cpu_cycles
+            else:
+                uses_bus = True
+                rel_clock = cpu_cycles
+                rel_free = bus_cycles
+            busy += bus_cycles
+            tx += 1
+        elif uses_bus:
+            rel_clock += cpu_cycles
+        else:
+            lead += cpu_cycles
+    return uses_bus, lead, rel_clock, rel_free, extra_wait, busy, tx
+
+
+def _replay_coupled(
+    cl_cpu: list,
+    cl_set: list,
+    cl_block: list,
+    cl_store: list,
+    cl_cont: list,
+    cl_resolve: list,
+    coupled_key_ints: list,
+    sets: int,
+    two_way: bool,
+    n: int,
+) -> tuple[list[int], int]:
+    """Replay the coupled-set events in the given merge order.
+
+    Same LRU/invalidation discipline as ``_run_wti``'s inlined merge
+    (``[mru, lru]`` lists, associativity <= 2).  Entries whose
+    ``resolve`` flag is False are associativity-1 locally-resolved
+    misses: their outcome is already known, so they only restate the
+    set's single way (``sim[0] = block``).  Returns the outcome id per
+    resolved event (0 = miss, 1 = store miss, 2 = store hit, 3 = hit)
+    and the invalidation count.
+    """
+    sim_map = {key: [-1, -1] for key in coupled_key_ints}
+    out: list[int] = []
+    append = out.append
+    invalidations = 0
+    for cpu, sid, block, store, cont, resolve in zip(
+        cl_cpu, cl_set, cl_block, cl_store, cl_cont, cl_resolve
+    ):
+        sim = sim_map[cpu * sets + sid]
+        if not resolve:
+            sim[0] = block
+            continue
+        if not store:
+            if block == sim[0]:
+                append(3)
+            elif two_way and block == sim[1]:
+                sim[1] = sim[0]
+                sim[0] = block
+                append(3)
+            else:
+                if two_way:
+                    sim[1] = sim[0]
+                sim[0] = block
+                append(0)
+            continue
+        if cont:
+            for j in range(n):
+                if j == cpu:
+                    continue
+                other = sim_map.get(j * sets + sid)
+                if other is not None:
+                    if other[0] == block:
+                        other[0] = other[1]
+                        other[1] = -1
+                        invalidations += 1
+                    elif other[1] == block:
+                        other[1] = -1
+                        invalidations += 1
+        if block == sim[0]:
+            append(2)
+        elif two_way and block == sim[1]:
+            sim[1] = sim[0]
+            sim[0] = block
+            append(2)
+        else:
+            if two_way:
+                sim[1] = sim[0]
+            sim[0] = block
+            append(1)
+    return out, invalidations
+
+
+def _wti_scan_merge(
+    trace: Trace,
+    config: SimulationConfig,
+    costs: CostTable,
+    derived: DerivedColumns,
+    sets: int,
+    ev_mask: np.ndarray,
+    code: np.ndarray,
+    set_idx: np.ndarray,
+    shared_sorted: np.ndarray,
+    contended_sorted: np.ndarray,
+    prev_same: np.ndarray,
+    coupled_keys: np.ndarray,
+    two_way: bool,
+) -> SimulationResult:
+    """WTI simulated-time merge as a pure-numpy fixed point.
+
+    WTI never steals, so an event's merge key is its CPU's clock —
+    fetch prefix plus the outcome advances and bus waits of the CPU's
+    earlier events.  Iterate on the per-event waits ``w``: each pass
+    reconstructs every key exactly (segmented cumulative sums of the
+    per-event advances), sorts events globally by ``(key, cpu)``,
+    replays the coupled-set outcomes in that order when it changed,
+    and computes the exact grants of the fcfs bus recurrence
+    ``grant[b] = max(ready[b], free[b-1]) + arb`` via an
+    offset-subtracted running maximum.  A pass whose waits and
+    outcomes both reproduce themselves is a self-consistent fixed
+    point, and the fixed point is unique: two self-consistent
+    schedules with a first differing merge position would have
+    identical prefixes, hence identical per-CPU head keys and an
+    identical ``(key, cpu)``-minimal winner at that position.  Keys
+    are per-CPU monotone by construction (every advance is
+    non-negative), so the ``(key, cpu)`` sort equals the greedy
+    dynamic merge order and all statistics are bit-identical to the
+    inlined reference loop.  Saturated buses cascade waits pass to
+    pass faster than sorting can catch up, so a frontier-progress
+    heuristic bails out of hopeless iterations (recorded via
+    :func:`note_family_fallback`) into :func:`_wti_folded_merge`,
+    the sequential residue with the same folded arithmetic.
+    """
+    n = trace.cpus
+    arb = float(config.bus_arbitration_cycles)
+    op_info = _operation_info(costs)
+    wti_rows = tuple(
+        tuple(op_info[op] for op in ops) for ops in _WTI_OPS
+    )
+    all_rows = wti_rows + ((),)
+
+    kinds = derived.kinds_sorted
+    offsets = np.asarray(derived.offsets, dtype=np.int64)
+    counts = np.asarray(derived.counts, dtype=np.int64)
+    fetch_prefix = derived.fetch_prefix
+    ends = offsets + counts
+    base = fetch_prefix[offsets]
+    totals = (fetch_prefix[ends] - base).astype(np.float64)
+
+    g_idx = np.flatnonzero(ev_mask)
+    e_total = len(g_idx)
+
+    stats = WtiStats()
+    if not e_total:
+        result = _assemble(
+            "wti", trace, config, derived, op_info, totals.tolist(),
+            [0.0] * n, [0] * n, 0, 0, 0, 0, 0.0, 0, 0.0, stats,
+        )
+        result.engine = "epoch-scan"
+        return result
+
+    # Per-outcome scan constants (0 = miss, 1 = store miss, 2 = store
+    # hit, 3 = hit).
+    folds = [_fold_outcome(rows, arb) for rows in all_rows]
+    uses_bus = np.asarray([f[0] for f in folds], dtype=bool)
+    lead = np.asarray([f[1] for f in folds])
+    clock_adv = np.asarray([f[2] for f in folds])
+    free_adv = np.asarray([f[3] for f in folds])
+    extra_wait = np.asarray([f[4] for f in folds])
+    busy_adv = np.asarray([f[5] for f in folds])
+    tx_adv = np.asarray([f[6] for f in folds], dtype=np.int64)
+    miss_ops = np.asarray(
+        [sum(1 for row in rows if row[2]) for rows in all_rows],
+        dtype=np.int64,
+    )
+    dirty_ops = np.asarray(
+        [sum(1 for row in rows if row[2] and row[3]) for rows in all_rows],
+        dtype=np.int64,
+    )
+
+    # Event columns, CPU-major (g_idx is sorted-record order).
+    ev_cpu = derived.cpus_sorted[g_idx].astype(np.int64)
+    ev_kind = kinds[g_idx]
+    ev_block = derived.blocks_sorted[g_idx].astype(np.int64)
+    ev_set = set_idx[g_idx]
+    ev_shared = shared_sorted[g_idx]
+    ev_cont = contended_sorted[g_idx]
+    ev_store = ev_kind == 2
+    ev_pre = (ev_kind == 0).astype(np.float64)
+    coupled_ev = code[g_idx] == 3
+    outcome = code[g_idx].copy()
+    prev_same_ev = prev_same[g_idx]
+
+    # Scan-side classification refinements (the retained reference
+    # loop keeps the original classification untouched; outcomes are
+    # provably equal, which the equivalence suites enforce).
+    #
+    # Any associativity: a store in a coupled set whose immediate
+    # same-set predecessor touched the same non-contended block is a
+    # provable store hit — the predecessor left the block MRU,
+    # invalidations only ever remove *other*, contended lines, its
+    # write-through invalidates no remote copy, and re-marking an MRU
+    # block changes no LRU state.  Pre-resolved, no sim participation.
+    prov_store = coupled_ev & ev_store & prev_same_ev & ~ev_cont
+    outcome = np.where(prov_store, 2, outcome)
+    # Associativity 1 only: invalidations remove only contended
+    # blocks and a one-way set is overwritten by every touch, so
+    # every remaining non-contended event resolves locally — hit iff
+    # its previous same-set touch was the same block, which
+    # ``prov_store`` and the pre-excluded provable load hits already
+    # cover; everything left is a miss.  Only the contended touches
+    # still need the merge order; the locally-resolved misses merely
+    # restate the set's single way (``state_upd``).
+    if not two_way:
+        noncont = coupled_ev & ~ev_cont & ~prov_store
+        outcome = np.where(
+            noncont, np.where(ev_store, 1, 0), outcome
+        )
+        state_upd = noncont
+        resolve_ev = coupled_ev & ev_cont
+    else:
+        state_upd = np.zeros(e_total, dtype=bool)
+        resolve_ev = coupled_ev & ~prov_store
+    replay_ev = resolve_ev | state_upd
+
+    ev_counts = np.bincount(ev_cpu, minlength=n)
+    ev_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(ev_counts, out=ev_offsets[1:])
+    starts = ev_offsets[:-1]
+    has_ev = ev_counts > 0
+    last_of = ev_offsets[1:] - 1
+
+    # Outgoing fetch-prefix gap per event (cost to the CPU's next
+    # event, or to end-of-stream for its last), and the first key.
+    nxt = np.empty(e_total, dtype=np.int64)
+    nxt[:-1] = fetch_prefix[g_idx[1:]]
+    nxt[last_of[has_ev]] = fetch_prefix[ends[has_ev]]
+    gap = (nxt - fetch_prefix[g_idx + 1]).astype(np.float64)
+    fk = np.zeros(n)
+    fk[has_ev] = (
+        fetch_prefix[g_idx[starts[has_ev]]] - base[has_ev]
+    ).astype(np.float64)
+
+    any_replay = bool(replay_ev.any())
+    coupled_key_ints = coupled_keys.tolist()
+    prev_sel: np.ndarray | None = None
+    invalidations = 0
+    static_code = outcome.copy()
+    start_excl = np.zeros(n)
+    converged = False
+    fallback_reason: str | None = None
+
+    # A-priori bus-demand gate.  The fixed point converges only when
+    # bus waits are almost absent: any steady contention cascades one
+    # reordering per pass, so passes grow with trace length (measured
+    # on the paper presets, whose write-through traffic saturates the
+    # bus).  Estimate demand optimistically (unresolved contended
+    # touches as hits/store hits) — if even that saturates, skip
+    # straight to the folded sequential merge.
+    optimistic = outcome.copy()
+    optimistic[resolve_ev & ~ev_store] = 3
+    optimistic[resolve_ev & ev_store] = 2
+    span = float(totals.max())
+    demand = (
+        float(np.dot(busy_adv + arb * tx_adv, np.bincount(optimistic, minlength=4)))
+        / span
+        if span > 0.0
+        else 0.0
+    )
+    if demand > _SCAN_DEMAND_GATE:
+        fallback_reason = (
+            f"scan:estimated bus demand {demand:.2f} saturates the fcfs "
+            "bus and defeats the fixed point; folded merge used"
+        )
+    else:
+        w = np.where(uses_bus[outcome], arb, 0.0)
+        q_max = 0
+        for passes in range(1, _SCAN_MERGE_CAP + 1):
+            adv = ev_pre + lead[outcome] + clock_adv[outcome] + w + gap
+            cum = np.cumsum(adv)
+            excl = cum - adv
+            start_excl[has_ev] = excl[starts[has_ev]]
+            keys = fk[ev_cpu] + (excl - start_excl[ev_cpu])
+            order_idx = np.lexsort((ev_cpu, keys))
+            stale = False
+            stale_pos = e_total
+            if any_replay:
+                sel = order_idx[replay_ev[order_idx]]
+                if prev_sel is None or not np.array_equal(sel, prev_sel):
+                    prev_sel = sel
+                    res_mask = resolve_ev[sel]
+                    resolved, invalidations = _replay_coupled(
+                        ev_cpu[sel].tolist(),
+                        ev_set[sel].tolist(),
+                        ev_block[sel].tolist(),
+                        ev_store[sel].tolist(),
+                        ev_cont[sel].tolist(),
+                        res_mask.tolist(),
+                        coupled_key_ints,
+                        sets,
+                        two_way,
+                        n,
+                    )
+                    resolved = np.asarray(resolved, dtype=np.int64)
+                    targets = sel[res_mask]
+                    changed_out = outcome[targets] != resolved
+                    stale = bool(changed_out.any())
+                    if stale:
+                        positions = np.flatnonzero(resolve_ev[order_idx])
+                        stale_pos = int(positions[np.argmax(changed_out)])
+                    outcome[targets] = resolved
+            out_s = outcome[order_idx]
+            b = np.flatnonzero(uses_bus[out_s])
+            ready = keys[order_idx] + ev_pre[order_idx] + lead[out_s]
+            w_new = np.zeros(e_total)
+            if len(b):
+                ready_b = ready[b]
+                shift = np.zeros(len(b))
+                if len(b) > 1:
+                    np.cumsum(free_adv[out_s[b[:-1]]] + arb, out=shift[1:])
+                grants = arb + shift + np.maximum.accumulate(ready_b - shift)
+                w_new[order_idx[b]] = grants - ready_b
+            if not stale and np.array_equal(w_new, w):
+                converged = True
+                break
+            # Futility heuristic: the merged prefix before the first
+            # changed wait (or stale outcome) is final, so the
+            # frontier position only ever grows.  When its best-so-far
+            # trails a linear march to ``e_total`` within the pass
+            # budget, the cascade is contention-bound and iterating
+            # further would cost more than the folded merge below.
+            changed = (w_new != w)[order_idx]
+            q = int(np.argmax(changed)) if changed.any() else e_total
+            if stale_pos < q:
+                q = stale_pos
+            if q > q_max:
+                q_max = q
+            if (
+                passes >= 2
+                and q_max * (_SCAN_MERGE_CAP - 1) < e_total * (passes - 1)
+            ):
+                break
+            w = w_new
+        if not converged:
+            fallback_reason = (
+                "scan:wti merge found no fixed point within "
+                f"{_SCAN_MERGE_CAP} sort passes; folded merge used"
+            )
+
+    if converged:
+        waits = np.zeros(n)
+        if len(b):
+            waits = np.bincount(
+                ev_cpu[order_idx[b]],
+                weights=grants - ready_b + extra_wait[out_s[b]],
+                minlength=n,
+            )
+        clocks = totals.copy()
+        lasts = last_of[has_ev]
+        clocks[has_ev] = keys[lasts] + adv[lasts]
+        engine = "epoch-scan"
+    else:
+        note_family_fallback(fallback_reason or "scan:no fixed point")
+        outcome, waits, clocks, invalidations = _wti_folded_merge(
+            n, sets, arb, two_way, totals, static_code, resolve_ev,
+            replay_ev, ev_cpu, ev_set, ev_block, ev_store, ev_cont,
+            ev_pre, gap, fk, starts, ev_offsets, uses_bus, lead,
+            clock_adv, free_adv, extra_wait, coupled_key_ints,
+        )
+        engine = "epoch"
+
+    # Segmented reductions: the merged per-event outcomes are the
+    # reference loop's exact values, so every statistic is a sum over
+    # them.
+    counts_by_outcome = np.bincount(outcome, minlength=4)
+    for oc, rows in enumerate(wti_rows):
+        cnt = int(counts_by_outcome[oc])
+        if cnt:
+            for row in rows:
+                row[4][0] += cnt
+    bus_busy = float(np.dot(busy_adv, counts_by_outcome))
+    bus_tx = int(np.dot(tx_adv, counts_by_outcome))
+    mc = miss_ops[outcome]
+    is_fetch_ev = ev_kind == 0
+    fetch_misses = int(mc[is_fetch_ev].sum())
+    data_misses = int(mc[~is_fetch_ev].sum())
+    shared_data_misses = int(mc[~is_fetch_ev & ev_shared].sum())
+    dirty_victims = int(dirty_ops[outcome].sum())
+    stats.invalidations += invalidations
+    result = _assemble(
+        "wti", trace, config, derived, op_info, clocks.tolist(),
+        waits.tolist(), [0] * n, fetch_misses, data_misses,
+        shared_data_misses, dirty_victims, bus_busy, bus_tx,
+        arb * bus_tx, stats,
+    )
+    result.engine = engine
+    return result
+
+
+def _wti_folded_merge(
+    n: int,
+    sets: int,
+    arb: float,
+    two_way: bool,
+    totals: np.ndarray,
+    scode: np.ndarray,
+    resolve_ev: np.ndarray,
+    replay_ev: np.ndarray,
+    ev_cpu: np.ndarray,
+    ev_set: np.ndarray,
+    ev_block: np.ndarray,
+    ev_store: np.ndarray,
+    ev_cont: np.ndarray,
+    ev_pre: np.ndarray,
+    gap: np.ndarray,
+    fk: np.ndarray,
+    starts: np.ndarray,
+    ev_offsets: np.ndarray,
+    uses_bus: np.ndarray,
+    lead: np.ndarray,
+    clock_adv: np.ndarray,
+    free_adv: np.ndarray,
+    extra_wait: np.ndarray,
+    coupled_key_ints: list[int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Folded sequential residue of the WTI simulated-time merge.
+
+    Same greedy dynamic merge as the inlined reference loop — the
+    next event is always the globally earliest ready CPU (lowest CPU
+    on ties), and unresolved touches are resolved at pick time against
+    the shared coupled sets, so the result is bit-identical by
+    construction.  Three structural folds carry the speedup:
+
+    - every outcome's operation list is pre-folded
+      (:func:`_fold_outcome`) into one bus-grant update, and all
+      counting, miss attribution, and static wait terms are hoisted
+      into the caller's numpy reductions;
+    - the per-pick CPU argmin runs on a binary heap keyed by
+      ``(ready_key, cpu)`` with exactly one entry per CPU, replacing
+      the linear scan;
+    - events whose outcome the caller pre-resolved (uncoupled events,
+      plus — for one-way sets — the non-contended coupled touches)
+      take a straight-line branch that at most restates the set's
+      single way.
+
+    Event records are uniform six-tuples ``(flag, a, b, c, sim,
+    block)``: flag 0 is a pre-resolved bus event (``a`` = ready
+    offset, ``b`` = clock advance incl. outgoing gap, ``c`` = bus-free
+    advance, ``sim`` truthy when the one-way set must be restated to
+    ``block``); flag 3 is the same without a bus transaction; flags 1
+    (load) and 2 (store, ``a`` = peer-set tuple for invalidation) are
+    resolved at pick time and write their outcome at trace slot ``c``.
+    Returns ``(outcome, waits, clocks, invalidations)``.
+    """
+    e_total = len(scode)
+    scode_safe = np.where(scode == 3, 0, scode)
+    flags = np.where(uses_bus[scode_safe], 0, 3)
+    flags[resolve_ev & ~ev_store] = 1
+    flags[resolve_ev & ev_store] = 2
+
+    # Fold the fcfs arbitration overhead into the per-outcome clock
+    # and bus-free advances of the bus events so the hot loop carries
+    # no ``arb`` branch, and drop wait accounting from the loop
+    # entirely: with integral costs every quantity is an exact
+    # integer-valued float, so per-CPU waits telescope to the merged
+    # clock minus the static no-wait clock (recovered vectorised
+    # below).
+    arb_term = np.where(flags == 0, arb, 0.0)
+    a_col = np.where(resolve_ev, ev_pre, ev_pre + lead[scode_safe])
+    b_col = np.where(resolve_ev, gap, clock_adv[scode_safe] + gap) + arb_term
+    flag_l = flags.tolist()
+    a_l = a_col.tolist()
+    b_l = b_col.tolist()
+    c_l = (free_adv[scode_safe] + arb_term).tolist()
+    d_l: list = [0] * e_total
+    e_l = np.where(replay_ev, ev_block, 0).tolist()
+
+    # Shared coupled-set state, spliced into the replayed slots by
+    # sorted rank (``coupled_key_ints`` is sorted-unique).
+    sim_map = {key: [-1, -1] for key in coupled_key_ints}
+    sims_by_rank = [sim_map[key] for key in coupled_key_ints]
+    pos = np.flatnonzero(replay_ev)
+    if len(pos):
+        rank = np.searchsorted(
+            np.asarray(coupled_key_ints, dtype=np.int64),
+            ev_cpu[pos] * sets + ev_set[pos],
+        )
+        for p, r in zip(pos.tolist(), rank.tolist()):
+            d_l[p] = sims_by_rank[r]
+    resolve_pos = np.flatnonzero(resolve_ev).tolist()
+    for p in resolve_pos:
+        c_l[p] = p
+    store_pos = np.flatnonzero(flags == 2)
+    if len(store_pos):
+        rem_cache: dict[int, tuple] = {}
+        for p, cpu_p, sid, cont_p in zip(
+            store_pos.tolist(),
+            ev_cpu[store_pos].tolist(),
+            ev_set[store_pos].tolist(),
+            ev_cont[store_pos].tolist(),
+        ):
+            if not cont_p:
+                a_l[p] = ()
+                continue
+            ck = cpu_p * sets + sid
+            rem = rem_cache.get(ck)
+            if rem is None:
+                rem = tuple(
+                    sim_map[other * sets + sid]
+                    for other in range(n)
+                    if other != cpu_p and other * sets + sid in sim_map
+                )
+                rem_cache[ck] = rem
+            a_l[p] = rem
+
+    ub0, ub1, ub2, _ = uses_bus.tolist()
+    lead0, lead1, lead2, lead3 = lead.tolist()
+    adv0, adv1, adv2, adv3 = clock_adv.tolist()
+    fr0, fr1, fr2, _ = free_adv.tolist()
+    hit_tot = lead3 + adv3
+    adv0a = adv0 + arb
+    adv1a = adv1 + arb
+    adv2a = adv2 + arb
+    fr0a = fr0 + arb
+    fr1a = fr1 + arb
+    fr2a = fr2 + arb
+
+    clocks_l = totals.tolist()
+    rows_by_cpu: list = [None] * n
+    keys_l = [0.0] * n
+    eidx = [0] * n
+    nrows = [0] * n
+    active: list[int] = []
+    for cpu in range(n):
+        s = int(starts[cpu])
+        e = int(ev_offsets[cpu + 1])
+        if s == e:
+            continue
+        rows_by_cpu[cpu] = list(
+            zip(
+                flag_l[s:e], a_l[s:e], b_l[s:e],
+                c_l[s:e], d_l[s:e], e_l[s:e],
+            )
+        )
+        nrows[cpu] = e - s
+        keys_l[cpu] = float(fk[cpu])
+        active.append(cpu)
+
+    out_flat = scode.tolist()
+    bus_free = 0.0
+    invalidations = 0
+    infinity = float("inf")
+    while active:
+        # Linear argmin with second-best tracking: n is tiny, and the
+        # second-best key bounds how far the winner may drain its own
+        # stream before any other CPU can interleave (strict ``<`` and
+        # ascending scan reproduce the lowest-CPU tie-break).
+        best = infinity
+        second = infinity
+        cpu = -1
+        scpu = -1
+        for cand in active:
+            k = keys_l[cand]
+            if k < best:
+                second = best
+                scpu = cpu
+                best = k
+                cpu = cand
+            elif k < second:
+                second = k
+                scpu = cand
+        row = rows_by_cpu[cpu]
+        i = eidx[cpu]
+        limit = nrows[cpu]
+        key = best
+        while True:
+            flag, a_f, b_f, c_f, sim, block = row[i]
+            if flag == 0:
+                # Pre-resolved bus event: one folded grant (arb is
+                # pre-added to the advances); restate the one-way set
+                # when the caller resolved a coupled miss.
+                ready = key + a_f
+                grant = bus_free if bus_free > ready else ready
+                bus_free = grant + c_f
+                next_key = grant + b_f
+                if sim:
+                    sim[0] = block
+            elif flag == 3:
+                # Pre-resolved event with no bus transaction.
+                next_key = key + a_f + b_f
+                if sim:
+                    sim[0] = block
+            elif flag == 1:
+                pre = a_f
+                gap_out = b_f
+                j = c_f
+                if block == sim[0]:
+                    outcome_id = 3
+                elif two_way and block == sim[1]:
+                    sim[1] = sim[0]
+                    sim[0] = block
+                    outcome_id = 3
+                else:
+                    if two_way:
+                        sim[1] = sim[0]
+                    sim[0] = block
+                    outcome_id = 0
+                out_flat[j] = outcome_id
+                if outcome_id == 3:
+                    next_key = key + pre + hit_tot + gap_out
+                elif ub0:
+                    ready = key + pre + lead0
+                    grant = bus_free if bus_free > ready else ready
+                    bus_free = grant + fr0a
+                    next_key = grant + adv0a + gap_out
+                else:
+                    next_key = key + pre + lead0 + adv0 + gap_out
+            else:
+                rem = a_f
+                gap_out = b_f
+                j = c_f
+                for other in rem:
+                    if other[0] == block:
+                        other[0] = other[1]
+                        other[1] = -1
+                        invalidations += 1
+                    elif other[1] == block:
+                        other[1] = -1
+                        invalidations += 1
+                if block == sim[0]:
+                    outcome_id = 2
+                elif two_way and block == sim[1]:
+                    sim[1] = sim[0]
+                    sim[0] = block
+                    outcome_id = 2
+                else:
+                    if two_way:
+                        sim[1] = sim[0]
+                    sim[0] = block
+                    outcome_id = 1
+                out_flat[j] = outcome_id
+                if outcome_id == 2:
+                    if ub2:
+                        ready = key + lead2
+                        grant = bus_free if bus_free > ready else ready
+                        bus_free = grant + fr2a
+                        next_key = grant + adv2a + gap_out
+                    else:
+                        next_key = key + lead2 + adv2 + gap_out
+                elif ub1:
+                    ready = key + lead1
+                    grant = bus_free if bus_free > ready else ready
+                    bus_free = grant + fr1a
+                    next_key = grant + adv1a + gap_out
+                else:
+                    next_key = key + lead1 + adv1 + gap_out
+            i += 1
+            if i == limit:
+                clocks_l[cpu] = next_key
+                active.remove(cpu)
+                break
+            if next_key < second or (next_key == second and cpu < scpu):
+                key = next_key
+                continue
+            keys_l[cpu] = next_key
+            eidx[cpu] = i
+            break
+
+    outcome = np.asarray(out_flat, dtype=np.int64)
+    # Waits telescope: every event advances its CPU's key by its
+    # static no-wait cost plus its (non-negative) bus wait, so the
+    # per-CPU wait total is the merged final clock minus the static
+    # no-wait clock.  Exact because the integral-cost gate makes all
+    # terms integer-valued floats.
+    static_adv = ev_pre + lead[outcome] + clock_adv[outcome] + gap
+    nowait = totals.copy()
+    hase = (ev_offsets[1:] - starts) > 0
+    nowait[hase] = (
+        fk[hase]
+        + np.bincount(ev_cpu, weights=static_adv, minlength=n)[hase]
+    )
+    waits = (
+        np.asarray(clocks_l)
+        - nowait
+        + np.bincount(ev_cpu, weights=extra_wait[outcome], minlength=n)
+    )
+    return outcome, waits, np.asarray(clocks_l), invalidations
 
 
 # -- shared event merge + result assembly --------------------------------
@@ -785,6 +1581,7 @@ def _assemble(
     dirty_victims: int,
     bus_busy: float,
     bus_tx: int,
+    bus_arb: float,
     protocol_stats,
 ) -> SimulationResult:
     n = trace.cpus
@@ -815,6 +1612,7 @@ def _assemble(
     result.shared_stores = derived.shared_stores
     result.bus_busy_cycles = bus_busy
     result.bus_transactions = bus_tx
+    result.bus_arbitration_cycles = bus_arb
     result.protocol_stats = protocol_stats
     result.engine = "epoch"
     result.records_replayed = len(trace)
@@ -859,6 +1657,7 @@ def _merge_and_finish(
     counts = derived.counts
     prefixes = _cpu_prefixes(derived, n)
     op_info = _operation_info(costs)
+    arb = float(config.bus_arbitration_cycles)
     estatic, resolve = make_resolver(op_info)
 
     # One tuple per event — a single list index in the hot loop
@@ -920,11 +1719,11 @@ def _merge_and_finish(
             ):
                 counter[0] += 1
                 if bus_cycles > 0.0:
-                    if bus_free > clock:
-                        waits[cpu] += bus_free - clock
-                        grant = bus_free
-                    else:
-                        grant = clock
+                    grant = bus_free if bus_free > clock else clock
+                    if arb:
+                        grant += arb
+                    if grant > clock:
+                        waits[cpu] += grant - clock
                     bus_free = grant + bus_cycles
                     bus_busy += bus_cycles
                     bus_tx += 1
@@ -1014,11 +1813,11 @@ def _merge_and_finish(
             ):
                 counter[0] += 1
                 if bus_cycles > 0.0:
-                    if bus_free > clock:
-                        waits[cpu] += bus_free - clock
-                        grant = bus_free
-                    else:
-                        grant = clock
+                    grant = bus_free if bus_free > clock else clock
+                    if arb:
+                        grant += arb
+                    if grant > clock:
+                        waits[cpu] += grant - clock
                     bus_free = grant + bus_cycles
                     bus_busy += bus_cycles
                     bus_tx += 1
@@ -1086,5 +1885,5 @@ def _merge_and_finish(
     return _assemble(
         name, trace, config, derived, op_info, clocks, waits, steals,
         fetch_misses, data_misses, shared_data_misses, dirty_victims,
-        bus_busy, bus_tx, protocol_stats,
+        bus_busy, bus_tx, arb * bus_tx, protocol_stats,
     )

@@ -393,6 +393,10 @@ class Machine:
         result.bus_transactions = bus.transactions
         result.bus_arbitration_cycles = bus.arbitration_busy_cycles
         result.protocol_stats = getattr(protocol, "stats", None)
+        if engine == "columnar" and self.config.bus_arbitration_cycles:
+            # fcfs arbitration overhead is folded into the synchronous
+            # TimedBus grants; label the provenance distinctly.
+            engine = "columnar+arb"
         result.engine = engine
         result.records_replayed = len(trace)
         result.run_wall_s = time.perf_counter() - started

@@ -150,12 +150,17 @@ def family_support(
             f"bus-discipline:{bus_discipline} needs the deferred-grant "
             "arbitrated engine",
         )
-    if bus_arbitration_cycles != 0.0:
+    if bus_arbitration_cycles != 0.0 and not float(
+        bus_arbitration_cycles
+    ).is_integer():
+        # Integral fcfs overhead folds into every merge's service term
+        # exactly as TimedBus applies it; a non-integral overhead
+        # breaks the batched-advance float-exactness gate.
         return (
             "fallback",
             "bus-discipline:arbitration overhead "
-            f"{bus_arbitration_cycles:g} cycles is not folded into the "
-            "one-pass merges",
+            f"{bus_arbitration_cycles:g} cycles is non-integral and "
+            "cannot be folded exactly into the one-pass merges",
         )
     if name in ONEPASS_PROTOCOLS:
         cls = protocol_class(name) if isinstance(protocol, str) else protocol
@@ -225,6 +230,7 @@ def run_geometry_family(
     cpus: int | None = None,
     bus_discipline: str = "fcfs",
     bus_arbitration_cycles: float = 0.0,
+    wti_merge: str = "auto",
 ) -> dict[int, SimulationResult]:
     """Simulate one protocol at every cache size in a single pass.
 
@@ -241,12 +247,16 @@ def run_geometry_family(
         order: ``"time"`` or ``"trace"``, as in ``Machine.run``.
         cpus: optional restriction to the first ``cpus`` processors.
         bus_discipline: bus arbitration discipline shared by the
-            family.  Anything but ``fcfs`` (or a non-zero
-            ``bus_arbitration_cycles``) takes the loud per-config
+            family.  Anything but ``fcfs`` takes the loud per-config
             fallback with a ``bus-discipline:...`` reason — the
             one-traversal engines assume call-order FCFS grants.
         bus_arbitration_cycles: per-arbitration overhead shared by
-            the family.
+            the family.  Integral fcfs overhead is folded into every
+            merge's service term exactly as ``TimedBus`` applies it;
+            non-integral overhead takes the loud per-config fallback.
+        wti_merge: WTI simulated-time merge selection, passed through
+            to :func:`repro.sim.family.run_coupled_family`
+            (``"auto"``/``"scan"``/``"loop"``).
 
     Returns:
         ``{cache_bytes: SimulationResult}`` with statistics
@@ -291,16 +301,26 @@ def run_geometry_family(
 
     name = _protocol_name(protocol)
     if engine == "epoch":
-        return run_coupled_family(name, trace, configs, table, order)
+        return run_coupled_family(
+            name, trace, configs, table, order, wti_merge=wti_merge
+        )
 
     started = time.perf_counter()
     block_shift = next(iter(configs.values())).geometry.block_shift
     derived = derived_columns(trace, block_shift)
     geometries = [configs[size].geometry for size in configs]
-    if segment_reason(name, table, associativity, trace) is None:
+    handled_flushes = name == "swflush" and bool(
+        np.count_nonzero(trace.kind == 3)
+    )
+    if (
+        segment_reason(name, table, associativity, trace) is None
+        and not handled_flushes
+    ):
         # The segment-scan kernel classifies the whole family without
-        # a per-record loop; it covers associativity 1 and 2 and
-        # flush-free swflush streams.
+        # a per-record loop; it covers associativity 1 and 2.  Handled
+        # flushes stay on the classify walk below: the kernel replays
+        # flush-bearing segments exactly but per geometry, while the
+        # walk shares that work across the whole family.
         events = [
             segment_events(name, derived, trace.cpus, geometry)
             for geometry in geometries
@@ -625,7 +645,7 @@ def _account(
         config=config,
         cpus=[CpuStats() for _ in range(n)],
     )
-    bus = TimedBus()
+    bus = TimedBus(config.bus_arbitration_cycles)
     clocks = [0.0] * n
     waits = [0.0] * n
     op_counts = [0] * len(_EVENT_OPERATIONS)
@@ -792,6 +812,7 @@ def _account(
     result.shared_stores = derived.shared_stores
     result.bus_busy_cycles = bus.busy_cycles
     result.bus_transactions = bus.transactions
+    result.bus_arbitration_cycles = bus.arbitration_busy_cycles
     result.protocol_stats = None
     result.engine = "onepass"
     result.records_replayed = len(trace)

@@ -1,0 +1,149 @@
+"""Property suite for the scan-era merge paths.
+
+Two families of byte-identity obligations from the scan-formulation
+work:
+
+* WTI's default family merge (the tiered scan/folded path selected by
+  ``wti_merge="auto"``) must produce statistics identical to the
+  retained PR 6 inlined reference loop (``wti_merge="loop"``) on
+  arbitrary tiny traces and adversarial fuzzer shapes, across
+  geometries and replay orders.
+* fcfs with an integral arbitration overhead folds into the synchronous
+  engines (``columnar+arb`` and the one-pass family merges); the folded
+  accounting must match the deferred-grant ``engine="arbitrated"``
+  reference exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Machine, SimulationConfig, run_geometry_family
+from repro.trace.records import Trace
+from repro.verify.differential import stats_signature
+from repro.verify.fuzzer import generate_case
+
+
+def stats_dict(result):
+    return stats_signature(result)
+
+
+references = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # cpu (of 3)
+        st.integers(min_value=0, max_value=3),  # kind incl. FLUSH
+        st.integers(min_value=0, max_value=23),  # block
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+def build_trace(refs):
+    cpu = np.array([r[0] for r in refs], dtype=np.uint16)
+    kind = np.array([r[1] for r in refs], dtype=np.uint8)
+    address = np.array([r[2] * 16 for r in refs], dtype=np.uint64)
+    # Blocks 12..23 are shared.
+    return Trace.from_arrays(
+        name="hyp-scan",
+        cpus=3,
+        shared_region=range(12 * 16, 24 * 16),
+        cpu=cpu,
+        kind=kind,
+        address=address,
+    )
+
+
+class TestWtiScanMergeEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(references, st.sampled_from([1, 2]))
+    def test_scan_matches_loop_on_tiny_traces(self, refs, associativity):
+        trace = build_trace(refs)
+        sizes = [64, 128, 512]
+        families = {
+            merge: run_geometry_family(
+                "wti", trace, sizes,
+                block_bytes=16, associativity=associativity,
+                order="time", wti_merge=merge,
+            )
+            for merge in ("auto", "scan", "loop")
+        }
+        for size in sizes:
+            reference = stats_dict(families["loop"][size])
+            assert stats_dict(families["auto"][size]) == reference
+            assert stats_dict(families["scan"][size]) == reference
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=400))
+    def test_scan_matches_loop_on_fuzz_shapes(self, seed):
+        case = generate_case(seed, scale=0.2)
+        sizes = [1024, case.config.cache_bytes]
+        families = {
+            merge: run_geometry_family(
+                "wti", case.trace, sizes,
+                block_bytes=case.config.block_bytes,
+                associativity=case.config.associativity,
+                order="time", wti_merge=merge,
+            )
+            for merge in ("auto", "loop")
+        }
+        for size in sizes:
+            assert stats_dict(families["auto"][size]) == stats_dict(
+                families["loop"][size]
+            )
+
+
+class TestFoldedArbitrationEquivalence:
+    # The synchronous engines serve bus transactions in call order
+    # (each record's transactions are issued atomically), while the
+    # deferred ArbitratedBus interleaves parked requests.  The two
+    # coincide exactly for the single-transaction-per-record one-pass
+    # protocols — the same scope PR 9 pinned for fcfs bit-identity —
+    # so the fold is held to the deferred reference there, and to the
+    # retained synchronous reference (columnar+arb) for the coupled
+    # family protocols.
+    @settings(max_examples=25, deadline=None)
+    @given(
+        references,
+        st.sampled_from([1.0, 2.0, 4.0]),
+        st.sampled_from(["base", "nocache", "swflush"]),
+    )
+    def test_folded_fcfs_overhead_matches_arbitrated(
+        self, refs, overhead, protocol
+    ):
+        trace = build_trace(refs)
+        config = SimulationConfig(
+            cache_bytes=256,
+            block_bytes=16,
+            associativity=2,
+            bus_arbitration_cycles=overhead,
+        )
+        machine = Machine(protocol, config)
+        folded = machine.run(trace)
+        assert folded.engine == "columnar+arb"
+        deferred = machine.run(trace, engine="arbitrated")
+        assert deferred.engine == "arbitrated"
+        assert stats_signature(folded) == stats_signature(deferred)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_family_folds_overhead_on_fuzz_shapes(self, seed):
+        import dataclasses
+
+        case = generate_case(seed, scale=0.2)
+        size = case.config.cache_bytes
+        config = dataclasses.replace(
+            case.config, bus_arbitration_cycles=4.0
+        )
+        for protocol in ("wti", "dragon", "swflush"):
+            family = run_geometry_family(
+                protocol, case.trace, (size,),
+                block_bytes=case.config.block_bytes,
+                associativity=case.config.associativity,
+                bus_arbitration_cycles=4.0,
+            )
+            reference = Machine(protocol, config).run(case.trace)
+            assert reference.engine == "columnar+arb"
+            assert stats_signature(family[size]) == stats_signature(
+                reference
+            )

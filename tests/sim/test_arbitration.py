@@ -148,9 +148,10 @@ class TestArbitratedEngine:
             bus_arbitration_cycles=2.0,
         )
         run = Machine(protocol, config).run(case.trace)
-        # fcfs + overhead is synchronous, so it keeps the columnar
-        # engine; every other discipline needs deferred grants.
-        expected = "columnar" if discipline == "fcfs" else "arbitrated"
+        # fcfs + integral overhead folds into the synchronous columnar
+        # grants (labelled distinctly); every other discipline needs
+        # deferred grants.
+        expected = "columnar+arb" if discipline == "fcfs" else "arbitrated"
         assert run.engine == expected
         check_result_invariants(run, trace=case.trace)
         assert run.bus_arbitration_cycles > 0.0
@@ -207,8 +208,14 @@ class TestFastPathGates:
         )
         assert engine == "fallback"
         assert reason.startswith("bus-discipline:fixed-priority")
-        engine, reason = family_support(
+        # Integral fcfs overhead folds into the one-pass merges; only
+        # a non-integral overhead still needs the arbitrated engine.
+        engine, _reason = family_support(
             protocol, bus_arbitration_cycles=2.0
+        )
+        assert engine != "fallback"
+        engine, reason = family_support(
+            protocol, bus_arbitration_cycles=2.5
         )
         assert engine == "fallback"
         assert reason.startswith("bus-discipline:arbitration overhead")
@@ -239,11 +246,20 @@ class TestFastPathGates:
             bus_discipline="batched",
         )
         assert reason.startswith("bus-discipline:batched")
+        assert (
+            segment_reason(
+                "base",
+                associativity=case.config.associativity,
+                trace=case.trace,
+                bus_arbitration_cycles=1.0,
+            )
+            is None
+        )
         reason = segment_reason(
             "base",
             associativity=case.config.associativity,
             trace=case.trace,
-            bus_arbitration_cycles=1.0,
+            bus_arbitration_cycles=1.5,
         )
         assert reason.startswith("bus-discipline:arbitration overhead")
 

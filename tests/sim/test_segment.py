@@ -77,13 +77,30 @@ class TestSegmentMatchesColumnar:
         assert_segment_matches_columnar(seeded_trace, "base", config)
 
     def test_swflush_exact_on_flushfree_trace(self, seeded_trace):
-        # swflush passes the gate only when the trace carries no FLUSH
-        # records (handled flushes invalidate the run collapse).
         trace = without_flushes(seeded_trace)
         assert segment_reason("swflush", trace=trace) is None
         for size in (4096, 65536):
             config = SimulationConfig(cache_bytes=size)
             assert_segment_matches_columnar(trace, "swflush", config)
+
+    def test_swflush_exact_on_flush_trace(self, seeded_trace):
+        # Handled flushes break the run-collapse closed form, but the
+        # flush-bearing segments are replayed exactly, so real swflush
+        # traces (which always flush at section exits) qualify.
+        assert int(np.count_nonzero(seeded_trace.kind == 3)) > 0
+        assert segment_reason("swflush", trace=seeded_trace) is None
+        for size in (4096, 65536):
+            config = SimulationConfig(cache_bytes=size)
+            assert_segment_matches_columnar(seeded_trace, "swflush", config)
+
+    def test_swflush_flush_trace_matches_machine_run(self, seeded_trace):
+        # End-to-end: the segment backend must reproduce the reference
+        # Machine.run byte-for-byte on a flush-bearing trace.
+        machine = Machine("swflush", SimulationConfig(cache_bytes=16384))
+        segment = machine.run(seeded_trace, engine="segment")
+        reference = machine.run(seeded_trace, engine="legacy")
+        assert segment.engine == "segment"
+        assert stats_signature(segment) == stats_signature(reference)
 
     @pytest.mark.parametrize("seed", range(3))
     def test_fuzz_traces(self, seed):
@@ -94,14 +111,6 @@ class TestSegmentMatchesColumnar:
 
 
 class TestSegmentGate:
-    def test_swflush_refuses_handled_flushes(self, seeded_trace):
-        assert int(np.count_nonzero(seeded_trace.kind == 3)) > 0
-        reason = segment_reason("swflush", trace=seeded_trace)
-        assert reason.startswith("trace:")
-        machine = Machine("swflush", SimulationConfig())
-        with pytest.raises(ValueError, match="segment engine is not exact"):
-            machine.run(seeded_trace, engine="segment")
-
     def test_refuses_coupled_protocol(self, seeded_trace):
         assert segment_reason("dragon").startswith("protocol:")
         machine = Machine("dragon", SimulationConfig())
